@@ -1,0 +1,53 @@
+//! Wire-codec throughput: the communication substrate's per-message cost
+//! at the paper's two model scales (logistic ≈ 7.9k params, CNN ≈ 135k).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedprox_net::codec::{decode, encode, encoded_len};
+use fedprox_net::{Compressor, Message};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for &(label, dim) in &[("logistic_7850", 7850usize), ("cnn_135k", 135_000)] {
+        let msg = Message::LocalModel {
+            device: 3,
+            round: 17,
+            params: (0..dim).map(|i| i as f64 * 0.001).collect(),
+            weight: 0.01,
+            grad_evals: 4096,
+            compute_time: 0.25,
+        };
+        let bytes = encoded_len(&msg) as u64;
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_with_input(BenchmarkId::new("encode", label), &msg, |bch, m| {
+            bch.iter(|| encode(black_box(m)))
+        });
+        let wire = encode(&msg);
+        g.bench_with_input(BenchmarkId::new("decode", label), &wire, |bch, w| {
+            bch.iter(|| decode(black_box(w)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compress");
+    let dim = 135_000;
+    let v: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.37).sin()).collect();
+    for (label, scheme) in [
+        ("topk_1pct", Compressor::TopK { k: dim / 100 }),
+        ("uniform_8bit", Compressor::Uniform { bits: 8 }),
+    ] {
+        g.throughput(Throughput::Bytes((dim * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("compress_cnn", label), &scheme, |bch, s| {
+            bch.iter(|| s.compress(black_box(&v)))
+        });
+        let compressed = scheme.compress(&v);
+        g.bench_with_input(BenchmarkId::new("decompress_cnn", label), &compressed, |bch, cc| {
+            bch.iter(|| Compressor::decompress(black_box(cc)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_compression);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Per-step cost of the gradient estimators of eq. (8) and the ablation
+//! of the closed-form vs iterative proximal operator (DESIGN.md).
+//!
+//! The paper's cost model charges 1 gradient per SGD step and 2 per
+//! VR step; these benches verify that the constant factors match.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedprox_data::synthetic::{generate, SyntheticConfig};
+use fedprox_models::MultinomialLogistic;
+use fedprox_optim::estimator::{Estimator, EstimatorKind};
+use fedprox_optim::{IterativeProx, Proximal, QuadraticProx};
+
+fn bench_estimator_step(c: &mut Criterion) {
+    let data = &generate(&SyntheticConfig { seed: 1, ..Default::default() }, &[500])[0];
+    let model = MultinomialLogistic::new(60, 10);
+    let w0 = fedprox_models::LossModel::init_params(&model, 1);
+    let wt: Vec<f64> = w0.iter().map(|v| v + 0.01).collect();
+    let batch: Vec<usize> = (0..32).collect();
+
+    let mut g = c.benchmark_group("estimator_step");
+    for kind in [EstimatorKind::Sgd, EstimatorKind::Svrg, EstimatorKind::Sarah] {
+        g.bench_with_input(BenchmarkId::new("step_b32", kind.name()), &kind, |bch, &k| {
+            let mut est = Estimator::begin(k, &model, data, &w0);
+            bch.iter(|| est.step(&model, data, black_box(&batch), black_box(&wt)))
+        });
+    }
+    g.bench_function("begin_full_grad_500", |bch| {
+        bch.iter(|| Estimator::begin(EstimatorKind::Svrg, &model, data, black_box(&w0)))
+    });
+    g.finish();
+}
+
+fn bench_prox_ablation(c: &mut Criterion) {
+    // Ablation: eq. (10)'s closed form vs a generic 50-iteration
+    // numerical prox — the design choice DESIGN.md calls out.
+    let dim = 610;
+    let anchor = vec![0.25; dim];
+    let x = vec![1.0; dim];
+    let mut out = vec![0.0; dim];
+    let closed = QuadraticProx::new(0.5, anchor.clone());
+    let iterative = IterativeProx::new(QuadraticProx::new(0.5, anchor), 50, 0.1);
+
+    let mut g = c.benchmark_group("prox_ablation");
+    g.bench_function("closed_form_610", |bch| {
+        bch.iter(|| closed.prox(0.04, black_box(&x), &mut out))
+    });
+    g.bench_function("iterative50_610", |bch| {
+        bch.iter(|| iterative.prox(0.04, black_box(&x), &mut out))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimator_step, bench_prox_ablation);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Cost of one device's local update (Algorithm 1 lines 3–10) as τ and
+//! the estimator vary — the quantity the paper's d_cmp·τ term models.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedprox_data::synthetic::{generate, SyntheticConfig};
+use fedprox_models::MultinomialLogistic;
+use fedprox_optim::estimator::EstimatorKind;
+use fedprox_optim::solver::{IterateChoice, LocalSolver, LocalSolverConfig};
+use fedprox_optim::{QuadraticProx, StepSize};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_local_solve(c: &mut Criterion) {
+    let data = &generate(&SyntheticConfig { seed: 2, ..Default::default() }, &[400])[0];
+    let model = MultinomialLogistic::new(60, 10);
+    let w0 = fedprox_models::LossModel::init_params(&model, 2);
+    let prox = QuadraticProx::new(0.5, w0.clone());
+    let solver = LocalSolver;
+
+    let mut g = c.benchmark_group("local_solve");
+    g.sample_size(20);
+    for tau in [5usize, 20] {
+        for kind in [EstimatorKind::Sgd, EstimatorKind::Svrg, EstimatorKind::Sarah] {
+            let cfg = LocalSolverConfig {
+                kind,
+                step: StepSize::paper(5.0, 3.0),
+                tau,
+                batch_size: 16,
+                choice: IterateChoice::Last,
+            };
+            g.bench_with_input(
+                BenchmarkId::new(format!("tau{tau}"), kind.name()),
+                &cfg,
+                |bch, cfg| {
+                    bch.iter(|| {
+                        let mut rng = StdRng::seed_from_u64(3);
+                        solver.solve(&model, data, &prox, black_box(&w0), cfg, &mut rng)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_local_solve);
+criterion_main!(benches);

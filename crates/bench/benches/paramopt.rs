@@ -1,0 +1,33 @@
+//! Cost of the Fig. 1 parameter optimization (problem (23)): one γ solve
+//! and a full sweep. Also benches the Lemma 1 root solve of eq. (15).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fedprox_core::paramopt;
+use fedprox_core::theory::{Lemma1, TheoryParams};
+
+fn bench_paramopt(c: &mut Criterion) {
+    let base = TheoryParams { smoothness: 1.0, lambda: 0.5, mu: f64::NAN, sigma_bar_sq: 1.0 };
+    let mut g = c.benchmark_group("paramopt");
+    g.sample_size(10);
+    g.bench_function("solve_single_gamma", |bch| {
+        bch.iter(|| paramopt::solve(black_box(&base), 1e-2))
+    });
+    let gammas: Vec<f64> = (0..8).map(|i| 10f64.powf(-4.0 + i as f64 * 0.5)).collect();
+    g.bench_function("sweep_8_gammas", |bch| {
+        bch.iter(|| paramopt::sweep(black_box(&base), black_box(&gammas)))
+    });
+    g.finish();
+}
+
+fn bench_lemma1(c: &mut Criterion) {
+    let p = TheoryParams { smoothness: 1.0, lambda: 0.5, mu: 2.0, sigma_bar_sq: 1.0 };
+    c.bench_function("beta_min_bisection", |bch| {
+        bch.iter(|| Lemma1::beta_min_sarah(black_box(&p), 0.3, 1e5))
+    });
+    c.bench_function("tau_upper_svrg_scan", |bch| {
+        bch.iter(|| Lemma1::tau_upper_svrg(black_box(50.0)))
+    });
+}
+
+criterion_group!(benches, bench_paramopt, bench_lemma1);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Minimal CLI argument handling shared by the experiment binaries.
+
+/// Experiment scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Shape-preserving reduction: few devices, short horizon; finishes
+    /// in seconds. The default.
+    Small,
+    /// The paper's sizes (100 devices for convex, 10 for CNN, T ≈ 800+).
+    Paper,
+}
+
+/// Options common to all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Scale preset.
+    pub scale: Scale,
+    /// Override the number of global rounds (applies after the preset).
+    pub rounds: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+    /// Directory for JSON output (created if missing); `None` = print only.
+    pub out: Option<String>,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs { scale: Scale::Small, rounds: None, seed: 1, out: None }
+    }
+}
+
+/// Parse `--scale small|paper`, `--rounds N`, `--seed N`, `--out DIR`
+/// from an iterator of CLI arguments. Unknown flags abort with a usage
+/// message naming `program`.
+pub fn parse_args(program: &str, argv: impl Iterator<Item = String>) -> CommonArgs {
+    let mut args = CommonArgs::default();
+    let mut it = argv.peekable();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{program}: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => {
+                args.scale = match value("--scale").as_str() {
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => {
+                        eprintln!("{program}: unknown scale '{other}' (small|paper)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--rounds" => {
+                args.rounds = Some(value("--rounds").parse().unwrap_or_else(|_| {
+                    eprintln!("{program}: --rounds must be an integer");
+                    std::process::exit(2);
+                }))
+            }
+            "--seed" => {
+                args.seed = value("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("{program}: --seed must be an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => args.out = Some(value("--out")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: {program} [--scale small|paper] [--rounds N] [--seed N] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("{program}: unknown flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> CommonArgs {
+        parse_args("test", v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, Scale::Small);
+        assert_eq!(a.rounds, None);
+        assert_eq!(a.seed, 1);
+        assert!(a.out.is_none());
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = parse(&["--scale", "paper", "--rounds", "42", "--seed", "9", "--out", "/tmp/x"]);
+        assert_eq!(a.scale, Scale::Paper);
+        assert_eq!(a.rounds, Some(42));
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.out.as_deref(), Some("/tmp/x"));
+    }
+}

@@ -1,0 +1,20 @@
+//! Shared plumbing for the experiment binaries that regenerate every
+//! figure and table of the paper (see DESIGN.md §3 for the index).
+//!
+//! Each binary accepts `--scale small|paper` (default `small`): the
+//! `paper` preset matches the paper's device counts, shard-size ranges and
+//! round budgets; `small` is a shape-preserving reduction that finishes in
+//! seconds and is what `cargo bench` and CI exercise. Results are printed
+//! as aligned tables and, with `--out DIR`, written as JSON series.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod datasets;
+pub mod plot;
+pub mod report;
+pub mod spec;
+
+pub use args::{parse_args, CommonArgs, Scale};
+pub use datasets::{fashion_federation, mnist_federation, synthetic_federation, Federation};
+pub use report::{print_histories, write_json};

@@ -1,0 +1,326 @@
+//! Minimal SVG line charts for convergence curves — so the figure
+//! binaries emit an actual figure next to the JSON series, with zero
+//! plotting dependencies.
+
+use fedprox_core::History;
+use std::fmt::Write as _;
+
+/// Which metric of a [`History`] to plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Training loss (left axis of the paper's figures).
+    TrainLoss,
+    /// Test accuracy (right axis of the paper's figures).
+    TestAccuracy,
+    /// Stationarity gap `‖∇F̄‖²`.
+    GradNormSq,
+}
+
+impl Metric {
+    fn extract(&self, h: &History) -> Vec<(f64, f64)> {
+        h.records
+            .iter()
+            .map(|r| {
+                let y = match self {
+                    Metric::TrainLoss => r.train_loss,
+                    Metric::TestAccuracy => r.test_accuracy,
+                    Metric::GradNormSq => r.grad_norm_sq,
+                };
+                (r.round as f64, y)
+            })
+            .filter(|(_, y)| y.is_finite())
+            .collect()
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            Metric::TrainLoss => "training loss",
+            Metric::TestAccuracy => "test accuracy",
+            Metric::GradNormSq => "||grad F||^2",
+        }
+    }
+}
+
+/// Chart geometry and options.
+#[derive(Debug, Clone)]
+pub struct PlotOptions {
+    /// Total width in px.
+    pub width: f64,
+    /// Total height in px.
+    pub height: f64,
+    /// Plot the y axis in log10 (loss curves).
+    pub log_y: bool,
+    /// Chart title.
+    pub title: String,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        PlotOptions { width: 640.0, height: 400.0, log_y: false, title: String::new() }
+    }
+}
+
+const MARGIN_L: f64 = 60.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 46.0;
+const PALETTE: [&str; 6] = ["#4363d8", "#e6194B", "#3cb44b", "#f58231", "#911eb4", "#469990"];
+
+/// Render labelled histories as one SVG line chart.
+pub fn render_svg(series: &[(String, &History)], metric: Metric, opts: &PlotOptions) -> String {
+    let data: Vec<(String, Vec<(f64, f64)>)> = series
+        .iter()
+        .map(|(label, h)| (label.clone(), metric.extract(h)))
+        .filter(|(_, pts)| !pts.is_empty())
+        .collect();
+
+    let mut svg = String::new();
+    let (w, h) = (opts.width, opts.height);
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = write!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    if data.is_empty() {
+        svg.push_str("<text x=\"20\" y=\"30\">no data</text></svg>");
+        return svg;
+    }
+
+    // Bounds.
+    let tx = |v: f64| v;
+    let ty = |v: f64| if opts.log_y { v.max(1e-12).log10() } else { v };
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, pts) in &data {
+        for &(x, y) in pts {
+            x0 = x0.min(tx(x));
+            x1 = x1.max(tx(x));
+            y0 = y0.min(ty(y));
+            y1 = y1.max(ty(y));
+        }
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let px = |x: f64| MARGIN_L + (tx(x) - x0) / (x1 - x0) * plot_w;
+    let py = |y: f64| MARGIN_T + (1.0 - (ty(y) - y0) / (y1 - y0)) * plot_h;
+
+    // Axes.
+    let _ = write!(
+        svg,
+        r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        MARGIN_L,
+        MARGIN_T + plot_h,
+        MARGIN_L + plot_w,
+        MARGIN_T + plot_h
+    );
+    let _ = write!(
+        svg,
+        r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        MARGIN_L, MARGIN_T, MARGIN_L, MARGIN_T + plot_h
+    );
+
+    // Ticks (5 per axis).
+    for i in 0..=4 {
+        let fx = x0 + (x1 - x0) * i as f64 / 4.0;
+        let sx = MARGIN_L + plot_w * i as f64 / 4.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{sx}" y1="{}" x2="{sx}" y2="{}" stroke="black"/><text x="{sx}" y="{}" font-size="11" text-anchor="middle">{:.0}</text>"#,
+            MARGIN_T + plot_h,
+            MARGIN_T + plot_h + 5.0,
+            MARGIN_T + plot_h + 18.0,
+            fx
+        );
+        let fy = y0 + (y1 - y0) * i as f64 / 4.0;
+        let sy = MARGIN_T + plot_h * (1.0 - i as f64 / 4.0);
+        let label = if opts.log_y { format!("1e{fy:.1}") } else { format!("{fy:.3}") };
+        let _ = write!(
+            svg,
+            r#"<line x1="{}" y1="{sy}" x2="{}" y2="{sy}" stroke="black"/><text x="{}" y="{}" font-size="11" text-anchor="end">{label}</text>"#,
+            MARGIN_L - 5.0,
+            MARGIN_L,
+            MARGIN_L - 8.0,
+            sy + 4.0
+        );
+    }
+
+    // Axis labels and title.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" font-size="13" text-anchor="middle">global round</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        h - 8.0
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="14" y="{}" font-size="13" text-anchor="middle" transform="rotate(-90 14 {})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        metric.label()
+    );
+    if !opts.title.is_empty() {
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="20" font-size="15" text-anchor="middle" font-weight="bold">{}</text>"#,
+            w / 2.0,
+            xml_escape(&opts.title)
+        );
+    }
+
+    // Series.
+    for (i, (label, pts)) in data.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let mut path = String::new();
+        for &(x, y) in pts {
+            let _ = write!(path, "{:.2},{:.2} ", px(x), py(y));
+        }
+        let _ = write!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+            path.trim_end()
+        );
+        // Legend entry.
+        let ly = MARGIN_T + 14.0 * i as f64 + 6.0;
+        let lx = MARGIN_L + plot_w - 150.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{}" y="{}" font-size="11">{}</text>"#,
+            lx + 18.0,
+            lx + 24.0,
+            ly + 4.0,
+            xml_escape(label)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Write a chart beside the JSON output: `dir/name.svg`.
+pub fn write_svg(
+    dir: &str,
+    name: &str,
+    series: &[(String, &History)],
+    metric: Metric,
+    opts: &PlotOptions,
+) {
+    let svg = render_svg(series, metric, opts);
+    let path = std::path::Path::new(dir).join(format!("{name}.svg"));
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, svg)) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedprox_core::config::ConfigSummary;
+    use fedprox_core::RoundRecord;
+
+    fn history(losses: &[f64]) -> History {
+        History {
+            config: ConfigSummary {
+                algorithm: "fedavg".into(),
+                beta: 5.0,
+                tau: 10,
+                mu: 0.0,
+                batch_size: 8,
+                rounds: losses.len(),
+                eta: 0.1,
+                seed: 0,
+                l1: 0.0,
+                participation: 1.0,
+                uniform_random_iterate: false,
+            },
+            records: losses
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| RoundRecord {
+                    round: i,
+                    train_loss: l,
+                    test_accuracy: 1.0 - l / 10.0,
+                    grad_norm_sq: l * l,
+                    theta_measured: None,
+                    sim_time: 0.0,
+                    bytes: 0,
+                    grad_evals: 0,
+                })
+                .collect(),
+            diverged: false,
+            rounds_run: losses.len(),
+            total_sim_time: 0.0,
+            final_model: vec![],
+        }
+    }
+
+    #[test]
+    fn svg_structure_contains_series_and_axes() {
+        let a = history(&[3.0, 2.0, 1.0, 0.5]);
+        let b = history(&[3.0, 2.5, 2.0, 1.8]);
+        let series = vec![("fedavg".to_string(), &a), ("fedproxvr<svrg>".to_string(), &b)];
+        let svg = render_svg(
+            &series,
+            Metric::TrainLoss,
+            &PlotOptions { title: "Fig 2 & friends".into(), ..Default::default() },
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("training loss"));
+        assert!(svg.contains("global round"));
+        // XML escaping in labels/titles.
+        assert!(svg.contains("fedproxvr&lt;svrg&gt;"));
+        assert!(svg.contains("Fig 2 &amp; friends"));
+        assert!(!svg.contains("<svrg>"));
+    }
+
+    #[test]
+    fn log_scale_handles_small_values() {
+        let a = history(&[1.0, 0.1, 0.01, 0.001]);
+        let series = vec![("x".to_string(), &a)];
+        let svg = render_svg(
+            &series,
+            Metric::TrainLoss,
+            &PlotOptions { log_y: true, ..Default::default() },
+        );
+        assert!(svg.contains("1e")); // log tick labels
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let svg = render_svg(&[], Metric::TestAccuracy, &PlotOptions::default());
+        assert!(svg.contains("no data"));
+    }
+
+    #[test]
+    fn nonfinite_points_are_dropped() {
+        let mut a = history(&[1.0, 2.0]);
+        a.records[1].train_loss = f64::INFINITY;
+        let series = vec![("x".to_string(), &a)];
+        let svg = render_svg(&series, Metric::TrainLoss, &PlotOptions::default());
+        // Only one finite point — still renders without NaN coordinates.
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn accuracy_metric_extracts_correct_field() {
+        let a = history(&[5.0]);
+        let pts = Metric::TestAccuracy.extract(&a);
+        assert_eq!(pts, vec![(0.0, 0.5)]);
+        let g = Metric::GradNormSq.extract(&a);
+        assert_eq!(g, vec![(0.0, 25.0)]);
+    }
+}

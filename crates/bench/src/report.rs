@@ -1,0 +1,89 @@
+//! Printing and persisting experiment results.
+
+use fedprox_core::History;
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// Print labelled convergence curves side by side — one row per evaluated
+/// round, matching the series the paper plots (training loss and test
+/// accuracy vs global iteration).
+pub fn print_histories(title: &str, histories: &[(String, &History)]) {
+    println!("\n== {title} ==");
+    if histories.is_empty() {
+        println!("(no runs)");
+        return;
+    }
+    print!("{:>6}", "round");
+    for (label, _) in histories {
+        print!(" | {label:>22}");
+    }
+    println!();
+    print!("{:>6}", "");
+    for _ in histories {
+        print!(" | {:>11} {:>10}", "loss", "acc");
+    }
+    println!();
+    let max_records = histories.iter().map(|(_, h)| h.records.len()).max().unwrap_or(0);
+    for i in 0..max_records {
+        let round = histories
+            .iter()
+            .filter_map(|(_, h)| h.records.get(i).map(|r| r.round))
+            .next()
+            .unwrap_or(0);
+        print!("{round:>6}");
+        for (_, h) in histories {
+            match h.records.get(i) {
+                Some(r) => {
+                    print!(" | {:>11.5} {:>9.2}%", r.train_loss, r.test_accuracy * 100.0)
+                }
+                None => print!(" | {:>11} {:>10}", "-", "-"),
+            }
+        }
+        println!();
+    }
+    for (label, h) in histories {
+        println!(
+            "-- {label}: best acc {:.2}%, final loss {}, diverged: {}",
+            h.best_accuracy() * 100.0,
+            h.final_loss().map_or("n/a".into(), |l| format!("{l:.5}")),
+            h.diverged
+        );
+    }
+}
+
+/// Write any serializable value as pretty JSON under `dir/name.json`.
+pub fn write_json<T: Serialize>(dir: &str, name: &str, value: &T) {
+    let dir = Path::new(dir);
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: serialization failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_json_roundtrip() {
+        let dir = std::env::temp_dir().join("fedprox-report-test");
+        let dir_s = dir.to_str().unwrap();
+        write_json(dir_s, "probe", &vec![1, 2, 3]);
+        let read = std::fs::read_to_string(dir.join("probe.json")).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&read).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,79 @@
+//! End-to-end tests of the experiment binaries as real processes.
+
+use std::process::Command;
+
+#[test]
+fn fedrun_executes_a_spec_and_writes_output() {
+    let dir = std::env::temp_dir().join("fedprox-fedrun-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("spec.json");
+    std::fs::write(
+        &spec_path,
+        r#"{
+            "dataset": {"kind": "synthetic", "alpha": 0.5, "beta": 0.5},
+            "model": {"kind": "logistic"},
+            "algorithms": ["fedavg", "fedproxvr-svrg"],
+            "devices": 3, "min_size": 20, "max_size": 40,
+            "rounds": 3, "eval_every": 3, "smoothness": 3.0
+        }"#,
+    )
+    .unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_fedrun"))
+        .arg(&spec_path)
+        .arg("--out")
+        .arg(&dir)
+        .output()
+        .expect("fedrun should start");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fedavg"), "stdout: {stdout}");
+    assert!(stdout.contains("fedproxvr-svrg"));
+    // JSON artifacts exist and parse as histories.
+    for name in ["fedrun_fedavg.json", "fedrun_fedproxvr-svrg.json"] {
+        let text = std::fs::read_to_string(dir.join(name)).expect(name);
+        let h = fedprox_core::History::from_json(&text).expect("valid history JSON");
+        assert_eq!(h.rounds_run, 3);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fedrun_rejects_bad_spec() {
+    let dir = std::env::temp_dir().join("fedprox-fedrun-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("bad.json");
+    std::fs::write(&spec_path, "{not json").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_fedrun")).arg(&spec_path).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid spec"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fig1_binary_prints_the_sweep() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig1_param_opt"))
+        .output()
+        .expect("fig1 should start");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sigma_bar^2 = 0.1"));
+    assert!(stdout.contains("sigma_bar^2 = 10"));
+    assert!(stdout.contains("beta_min (eq. 15)"));
+}
+
+#[test]
+fn experiment_binaries_accept_help() {
+    for bin in [
+        env!("CARGO_BIN_EXE_fig2_convex"),
+        env!("CARGO_BIN_EXE_fig3_nonconvex"),
+        env!("CARGO_BIN_EXE_fig4_mu_effect"),
+        env!("CARGO_BIN_EXE_table1_convex"),
+        env!("CARGO_BIN_EXE_table2_nonconvex"),
+    ] {
+        let out = Command::new(bin).arg("--help").output().unwrap();
+        assert!(out.status.success(), "{bin} --help failed");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("--scale"));
+    }
+}

@@ -1,0 +1,537 @@
+//! The top-level training loop: FedProxVR (Algorithm 1) and the FedAvg
+//! baseline, over any execution backend.
+
+use crate::config::{FedConfig, NetRunnerOptions, RunnerKind};
+use crate::device::Device;
+use crate::metrics::{History, RoundRecord};
+use crate::{eval, runner, server};
+use fedprox_data::Dataset;
+use fedprox_models::LossModel;
+use fedprox_net::runtime::FnWorker;
+use fedprox_net::{DeviceReply, NetworkRuntime};
+use fedprox_tensor::vecops;
+
+/// Which federated algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// McMahan et al.'s FedAvg: τ plain SGD steps per device, last
+    /// iterate, plain averaging.
+    FedAvg,
+    /// Li et al.'s FedProx: the proximal surrogate of eq. (6) solved with
+    /// plain SGD (no variance reduction) — the paper's closest prior.
+    FedProx,
+    /// Konečný et al.'s FSVRG: SVRG anchored at the **global** gradient
+    /// `∇F̄(w̄)` distributed by the server (one extra aggregation per
+    /// round), no proximal term.
+    Fsvrg,
+    /// The paper's FedProxVR with the given variance-reduced estimator.
+    FedProxVr(fedprox_optim::EstimatorKind),
+}
+
+impl Algorithm {
+    /// Canonical lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::FedAvg => "fedavg",
+            Algorithm::FedProx => "fedprox",
+            Algorithm::Fsvrg => "fsvrg",
+            Algorithm::FedProxVr(k) => match k {
+                fedprox_optim::EstimatorKind::Svrg => "fedproxvr-svrg",
+                fedprox_optim::EstimatorKind::Sarah => "fedproxvr-sarah",
+                fedprox_optim::EstimatorKind::Sgd => "fedproxvr-sgd",
+                fedprox_optim::EstimatorKind::FullGd => "fedproxvr-gd",
+            },
+        }
+    }
+
+    /// Whether the server must distribute the global gradient `∇F̄(w̄)`
+    /// alongside the model each round (FSVRG only).
+    pub fn needs_global_gradient(&self) -> bool {
+        matches!(self, Algorithm::Fsvrg)
+    }
+}
+
+/// Drives global iterations of the configured algorithm over a federation.
+pub struct FederatedTrainer<'a, M: LossModel> {
+    model: &'a M,
+    devices: &'a [Device],
+    test: &'a Dataset,
+    cfg: FedConfig,
+}
+
+impl<'a, M: LossModel> FederatedTrainer<'a, M> {
+    /// Build a trainer. `devices` must be non-empty and indexed to match
+    /// their `id` fields (aggregation weights come from shard sizes).
+    pub fn new(model: &'a M, devices: &'a [Device], test: &'a Dataset, cfg: FedConfig) -> Self {
+        assert!(!devices.is_empty(), "trainer needs at least one device");
+        for (i, d) in devices.iter().enumerate() {
+            assert_eq!(d.id, i, "device ids must match their position");
+            assert!(!d.data.is_empty(), "device {i} has no data");
+        }
+        FederatedTrainer { model, devices, test, cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FedConfig {
+        &self.cfg
+    }
+
+    /// Run from the model's seeded initialisation.
+    pub fn run(&self) -> History {
+        let w0 = self.model.init_params(self.cfg.seed);
+        self.run_from(w0)
+    }
+
+    /// Run from an explicit initial global model.
+    pub fn run_from(&self, w0: Vec<f64>) -> History {
+        match self.cfg.runner.clone() {
+            RunnerKind::Sequential => self.run_local_loop(w0, false),
+            RunnerKind::Parallel => self.run_local_loop(w0, true),
+            RunnerKind::Network(opts) => self.run_networked(w0, &opts),
+        }
+    }
+
+    /// Sequential / rayon-parallel backends share this loop.
+    fn run_local_loop(&self, w0: Vec<f64>, parallel: bool) -> History {
+        let weights = server::weights_from_sizes(
+            &self.devices.iter().map(Device::samples).collect::<Vec<_>>(),
+        );
+        let mut global = w0;
+        let mut agg = vec![0.0; global.len()];
+        let mut records = Vec::new();
+        let mut diverged = false;
+        let mut total_grad_evals = 0u64;
+        let mut rounds_run = 0;
+
+        // Round 0: the initial global model, so every curve starts from
+        // the same baseline (and divergence is visible as an *increase*).
+        records.push(self.evaluate(0, &global, None, 0, 0.0, 0));
+
+        let n = self.devices.len();
+        for s in 1..=self.cfg.rounds {
+            // Partial participation: sample ⌈pN⌉ devices for this round
+            // from a stream derived from (seed, round) only, so the
+            // selection is identical across backends.
+            let participants: Vec<usize> = if self.cfg.participation >= 1.0 {
+                (0..n).collect()
+            } else {
+                let k = ((self.cfg.participation * n as f64).ceil() as usize).clamp(1, n);
+                let mut rng = fedprox_data::synthetic::device_rng(
+                    self.cfg.seed ^ 0x9A87,
+                    s as u64,
+                );
+                rand::seq::index::sample(&mut rng, n, k).into_vec()
+            };
+            // FSVRG: the server aggregates and re-distributes the global
+            // gradient before the local updates (one extra exchange).
+            let global_grad = if self.cfg.algorithm.needs_global_gradient() {
+                let mut g = vec![0.0; global.len()];
+                eval::global_grad(self.model, self.devices, &global, &mut g);
+                // Every device spent a full local gradient pass for it.
+                total_grad_evals +=
+                    self.devices.iter().map(|d| d.samples() as u64).sum::<u64>();
+                Some(g)
+            } else {
+                None
+            };
+            let updates = runner::run_round_subset(
+                self.model,
+                self.devices,
+                &participants,
+                &global,
+                &self.cfg,
+                s - 1,
+                parallel,
+                global_grad.as_deref(),
+            );
+            total_grad_evals += updates.iter().map(|u| u.grad_evals as u64).sum::<u64>();
+
+            // Optional θ measurement against the pre-aggregation global.
+            let theta = if self.cfg.measure_theta {
+                let mut sum = 0.0;
+                let mut wsum = 0.0;
+                for (&i, u) in participants.iter().zip(&updates) {
+                    let d = &self.devices[i];
+                    sum += weights[i] * d.theta_measured(self.model, &global, &u.w, self.cfg.mu);
+                    wsum += weights[i];
+                }
+                Some(sum / wsum)
+            } else {
+                None
+            };
+
+            let locals: Vec<(&[f64], f64)> = updates
+                .iter()
+                .zip(&participants)
+                .map(|(u, &i)| (u.w.as_slice(), weights[i]))
+                .collect();
+            server::aggregate(&locals, &mut agg);
+            std::mem::swap(&mut global, &mut agg);
+            rounds_run = s;
+
+            if !vecops::all_finite(&global) {
+                diverged = true;
+                records.push(self.divergence_record(s, theta, total_grad_evals));
+                break;
+            }
+            if s.is_multiple_of(self.cfg.eval_every) || s == self.cfg.rounds {
+                let rec = self.evaluate(s, &global, theta, total_grad_evals, 0.0, 0);
+                let bad = !rec.train_loss.is_finite() || rec.train_loss > self.cfg.loss_guard;
+                records.push(rec);
+                if bad {
+                    diverged = true;
+                    break;
+                }
+            }
+        }
+
+        History {
+            config: self.cfg.summary(),
+            records,
+            diverged,
+            rounds_run,
+            total_sim_time: 0.0,
+            final_model: global,
+        }
+    }
+
+    /// Networked backend: the actor runtime owns the loop; metrics are
+    /// recorded from its per-round callback and timing is patched in from
+    /// the virtual clock afterwards.
+    fn run_networked(&self, w0: Vec<f64>, opts: &NetRunnerOptions) -> History {
+        assert!(
+            self.cfg.participation >= 1.0,
+            "the networked backend requires full participation; use Sequential/Parallel"
+        );
+        assert!(
+            !self.cfg.algorithm.needs_global_gradient(),
+            "FSVRG's extra gradient exchange is not modelled by the networked backend"
+        );
+        let weights = server::weights_from_sizes(
+            &self.devices.iter().map(Device::samples).collect::<Vec<_>>(),
+        );
+        let workers: Vec<_> = self
+            .devices
+            .iter()
+            .map(|d| {
+                let model = self.model;
+                let cfg = &self.cfg;
+                let weight = weights[d.id];
+                let sec_per = opts.sec_per_grad_eval;
+                FnWorker(move |round: u32, global: &[f64]| {
+                    let upd = d.local_update(model, global, cfg, round as usize);
+                    DeviceReply {
+                        params: upd.w,
+                        weight,
+                        grad_evals: upd.grad_evals as u64,
+                        compute_time: upd.grad_evals as f64 * sec_per,
+                    }
+                })
+            })
+            .collect();
+
+        let mut records = Vec::new();
+        let mut diverged = false;
+        let cfg = &self.cfg;
+        records.push(self.evaluate(0, &w0, None, 0, 0.0, 0));
+        let report = NetworkRuntime.run(
+            workers,
+            w0,
+            cfg.rounds as u32,
+            &opts.net,
+            |round, global| {
+                let s = round as usize + 1;
+                if !vecops::all_finite(global) {
+                    diverged = true;
+                    records.push(self.divergence_record(s, None, 0));
+                    return false;
+                }
+                if s.is_multiple_of(cfg.eval_every) || s == cfg.rounds {
+                    let rec = self.evaluate(s, global, None, 0, 0.0, 0);
+                    let bad = !rec.train_loss.is_finite() || rec.train_loss > cfg.loss_guard;
+                    records.push(rec);
+                    if bad {
+                        diverged = true;
+                        return false;
+                    }
+                }
+                true
+            },
+        );
+
+        // Patch per-round simulated time and traffic into the records.
+        let mut cumulative = Vec::with_capacity(report.round_durations.len());
+        let mut acc = 0.0;
+        for d in &report.round_durations {
+            acc += d;
+            cumulative.push(acc);
+        }
+        let total_bytes = report.clock.bytes_up() + report.clock.bytes_down();
+        let per_round_bytes = if report.rounds_run > 0 {
+            total_bytes / report.rounds_run as u64
+        } else {
+            0
+        };
+        for rec in records.iter_mut() {
+            if rec.round >= 1 && rec.round <= cumulative.len() {
+                rec.sim_time = cumulative[rec.round - 1];
+                rec.bytes = per_round_bytes * rec.round as u64;
+            }
+        }
+
+        History {
+            config: self.cfg.summary(),
+            records,
+            diverged,
+            rounds_run: report.rounds_run as usize,
+            total_sim_time: report.clock.now(),
+            final_model: report.final_model,
+        }
+    }
+
+    fn evaluate(
+        &self,
+        round: usize,
+        global: &[f64],
+        theta: Option<f64>,
+        grad_evals: u64,
+        sim_time: f64,
+        bytes: u64,
+    ) -> RoundRecord {
+        RoundRecord {
+            round,
+            train_loss: eval::global_loss(self.model, self.devices, global),
+            test_accuracy: eval::test_accuracy(self.model, self.test, global),
+            grad_norm_sq: eval::stationarity_gap(self.model, self.devices, global),
+            theta_measured: theta,
+            sim_time,
+            bytes,
+            grad_evals,
+        }
+    }
+
+    fn divergence_record(&self, round: usize, theta: Option<f64>, grad_evals: u64) -> RoundRecord {
+        RoundRecord {
+            round,
+            train_loss: f64::INFINITY,
+            test_accuracy: 0.0,
+            grad_norm_sq: f64::INFINITY,
+            theta_measured: theta,
+            sim_time: 0.0,
+            bytes: 0,
+            grad_evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RunnerKind;
+    use fedprox_data::split::split_federation;
+    use fedprox_data::synthetic::{generate, SyntheticConfig};
+    use fedprox_models::MultinomialLogistic;
+    use fedprox_optim::estimator::EstimatorKind;
+
+    fn federation(seed: u64) -> (Vec<Device>, Dataset, MultinomialLogistic) {
+        let shards =
+            generate(&SyntheticConfig { seed, ..Default::default() }, &[60, 90, 40, 80]);
+        let (train, test) = split_federation(&shards, seed);
+        let devices: Vec<Device> =
+            train.into_iter().enumerate().map(|(i, s)| Device::new(i, s)).collect();
+        (devices, test, MultinomialLogistic::new(60, 10))
+    }
+
+    fn base_cfg(alg: Algorithm) -> FedConfig {
+        FedConfig::new(alg)
+            .with_beta(5.0)
+            .with_tau(5)
+            .with_mu(0.5)
+            .with_batch_size(8)
+            .with_rounds(10)
+            .with_seed(7)
+    }
+
+    #[test]
+    fn training_reduces_loss_all_algorithms() {
+        let (devices, test, model) = federation(1);
+        for alg in [
+            Algorithm::FedAvg,
+            Algorithm::FedProxVr(EstimatorKind::Svrg),
+            Algorithm::FedProxVr(EstimatorKind::Sarah),
+        ] {
+            let trainer = FederatedTrainer::new(&model, &devices, &test, base_cfg(alg));
+            let h = trainer.run();
+            assert!(!h.diverged, "{} diverged", alg.name());
+            assert_eq!(h.rounds_run, 10);
+            let first = h.records.first().unwrap().train_loss;
+            let last = h.final_loss().unwrap();
+            assert!(last < first, "{}: {first} -> {last}", alg.name());
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_identical() {
+        let (devices, test, model) = federation(2);
+        let cfg = base_cfg(Algorithm::FedProxVr(EstimatorKind::Sarah));
+        let h_seq = FederatedTrainer::new(&model, &devices, &test, cfg.clone()).run();
+        let h_par = FederatedTrainer::new(
+            &model,
+            &devices,
+            &test,
+            cfg.with_runner(RunnerKind::Parallel),
+        )
+        .run();
+        assert_eq!(h_seq.records.len(), h_par.records.len());
+        for (a, b) in h_seq.records.iter().zip(&h_par.records) {
+            assert_eq!(a.train_loss, b.train_loss, "round {}", a.round);
+            assert_eq!(a.test_accuracy, b.test_accuracy);
+        }
+    }
+
+    #[test]
+    fn network_matches_sequential_trajectory() {
+        let (devices, test, model) = federation(3);
+        let cfg = base_cfg(Algorithm::FedProxVr(EstimatorKind::Svrg)).with_rounds(5);
+        let h_seq = FederatedTrainer::new(&model, &devices, &test, cfg.clone()).run();
+        let h_net = FederatedTrainer::new(
+            &model,
+            &devices,
+            &test,
+            cfg.with_runner(RunnerKind::Network(NetRunnerOptions::default())),
+        )
+        .run();
+        assert_eq!(h_seq.records.len(), h_net.records.len());
+        for (a, b) in h_seq.records.iter().zip(&h_net.records) {
+            assert_eq!(a.train_loss, b.train_loss, "round {}", a.round);
+        }
+        // Network run reports simulated time.
+        assert!(h_net.total_sim_time > 0.0);
+        assert!(h_net.records.last().unwrap().sim_time > 0.0);
+        assert!(h_net.records.last().unwrap().bytes > 0);
+    }
+
+    #[test]
+    fn measure_theta_records_values() {
+        let (devices, test, model) = federation(4);
+        let cfg = base_cfg(Algorithm::FedProxVr(EstimatorKind::Sarah))
+            .with_rounds(3)
+            .with_measure_theta(true);
+        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        assert!(h.records[0].theta_measured.is_none(), "no theta before any local solve");
+        for r in h.records.iter().skip(1) {
+            let t = r.theta_measured.expect("theta missing");
+            assert!(t.is_finite() && t >= 0.0);
+        }
+    }
+
+    #[test]
+    fn eval_every_thins_records() {
+        let (devices, test, model) = federation(5);
+        let cfg = base_cfg(Algorithm::FedAvg).with_rounds(10).with_eval_every(4);
+        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        let rounds: Vec<usize> = h.records.iter().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![0, 4, 8, 10]); // baseline, every 4th, final
+    }
+
+    #[test]
+    fn fedprox_and_fsvrg_baselines_learn() {
+        let (devices, test, model) = federation(9);
+        for alg in [Algorithm::FedProx, Algorithm::Fsvrg] {
+            let h = FederatedTrainer::new(&model, &devices, &test, base_cfg(alg)).run();
+            assert!(!h.diverged, "{} diverged", alg.name());
+            assert!(
+                h.final_loss().unwrap() < h.records[0].train_loss,
+                "{} failed to learn",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fsvrg_accounts_for_global_gradient_cost() {
+        let (devices, test, model) = federation(10);
+        let total_samples: u64 = devices.iter().map(|d| d.samples() as u64).sum();
+        let rounds = 3;
+        let h = FederatedTrainer::new(
+            &model,
+            &devices,
+            &test,
+            base_cfg(Algorithm::Fsvrg).with_rounds(rounds).with_eval_every(1),
+        )
+        .run();
+        let evals = h.records.last().unwrap().grad_evals;
+        // At least one full pass per round just for the global gradient.
+        assert!(evals >= rounds as u64 * total_samples, "evals {evals}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not modelled by the networked backend")]
+    fn networked_rejects_fsvrg() {
+        let (devices, test, model) = federation(11);
+        let cfg = base_cfg(Algorithm::Fsvrg)
+            .with_runner(RunnerKind::Network(NetRunnerOptions::default()));
+        let _ = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+    }
+
+    #[test]
+    fn partial_participation_trains_and_differs_from_full() {
+        let (devices, test, model) = federation(7);
+        let full = FederatedTrainer::new(
+            &model,
+            &devices,
+            &test,
+            base_cfg(Algorithm::FedAvg).with_rounds(6),
+        )
+        .run();
+        let half = FederatedTrainer::new(
+            &model,
+            &devices,
+            &test,
+            base_cfg(Algorithm::FedAvg).with_rounds(6).with_participation(0.5),
+        )
+        .run();
+        assert!(!half.diverged);
+        // Different device subsets ⇒ different trajectory.
+        assert_ne!(
+            full.final_loss().unwrap(),
+            half.final_loss().unwrap(),
+            "sampling half the devices should change the trajectory"
+        );
+        // Still learns.
+        assert!(half.final_loss().unwrap() < half.records[0].train_loss);
+        // Reproducible.
+        let half2 = FederatedTrainer::new(
+            &model,
+            &devices,
+            &test,
+            base_cfg(Algorithm::FedAvg).with_rounds(6).with_participation(0.5),
+        )
+        .run();
+        assert_eq!(half.records, half2.records);
+    }
+
+    #[test]
+    #[should_panic(expected = "full participation")]
+    fn networked_rejects_partial_participation() {
+        let (devices, test, model) = federation(8);
+        let cfg = base_cfg(Algorithm::FedAvg)
+            .with_participation(0.5)
+            .with_runner(RunnerKind::Network(NetRunnerOptions::default()));
+        let _ = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::FedAvg.name(), "fedavg");
+        assert_eq!(Algorithm::FedProxVr(EstimatorKind::Svrg).name(), "fedproxvr-svrg");
+        assert_eq!(Algorithm::FedProxVr(EstimatorKind::Sarah).name(), "fedproxvr-sarah");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_federation_rejected() {
+        let (_, test, model) = federation(6);
+        let _ = FederatedTrainer::new(&model, &[], &test, base_cfg(Algorithm::FedAvg));
+    }
+}

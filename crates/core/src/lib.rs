@@ -1,0 +1,34 @@
+//! FedProxVR — the paper's primary contribution.
+//!
+//! * [`config`] — experiment configuration ([`config::FedConfig`]),
+//! * [`device`] / [`server`] — the two actors of Algorithm 1,
+//! * [`algorithm`] — the [`algorithm::FederatedTrainer`] driving global
+//!   iterations for FedProxVR (SVRG / SARAH) and the FedAvg baseline,
+//! * [`runner`] — sequential, rayon-parallel and networked execution
+//!   backends producing identical trajectories for a fixed seed,
+//! * [`eval`] — global loss / accuracy / gradient-norm / σ̄² measurement,
+//! * [`metrics`] — per-round records and JSON/CSV export,
+//! * [`theory`] — Lemma 1 bounds, Theorem 1's federated factor Θ,
+//!   Corollary 1's iteration bound,
+//! * [`paramopt`] — the Section 4.3 training-time minimisation
+//!   (problem (23)) via grid + Nelder–Mead,
+//! * [`search`] — the random hyper-parameter search behind Tables 1–2.
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod autotune;
+pub mod config;
+pub mod device;
+pub mod eval;
+pub mod metrics;
+pub mod paramopt;
+pub mod runner;
+pub mod search;
+pub mod server;
+pub mod theory;
+
+pub use algorithm::{Algorithm, FederatedTrainer};
+pub use config::{FedConfig, RunnerKind};
+pub use device::Device;
+pub use metrics::{History, RoundRecord};

@@ -1,0 +1,181 @@
+//! Per-round metric records and export.
+
+use crate::config::ConfigSummary;
+use serde::{Deserialize, Serialize};
+
+/// Metrics captured at one evaluated global iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Global iteration index `s` (1-based, matching the paper).
+    pub round: usize,
+    /// Global training loss `F̄(w̄^{(s)})`.
+    pub train_loss: f64,
+    /// Test accuracy of the global model.
+    pub test_accuracy: f64,
+    /// Stationarity gap `‖∇F̄(w̄^{(s)})‖²` (eq. (12)).
+    pub grad_norm_sq: f64,
+    /// Mean measured local accuracy ratio (criterion (11)), if enabled.
+    pub theta_measured: Option<f64>,
+    /// Simulated time at the end of this round (networked backend only).
+    pub sim_time: f64,
+    /// Cumulative uplink + downlink bytes (networked backend only).
+    pub bytes: u64,
+    /// Cumulative per-sample gradient evaluations across all devices.
+    pub grad_evals: u64,
+}
+
+/// The full trajectory of one training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct History {
+    /// Configuration that produced this history.
+    pub config: ConfigSummary,
+    /// Evaluated rounds, in order.
+    pub records: Vec<RoundRecord>,
+    /// True when the loss guard tripped or parameters became non-finite.
+    pub diverged: bool,
+    /// Rounds actually executed (≤ configured when diverged).
+    pub rounds_run: usize,
+    /// Final simulated training time (networked backend only).
+    pub total_sim_time: f64,
+    /// The trained global model `w̄^{(T)}` (empty when the run produced
+    /// no rounds).
+    #[serde(default)]
+    pub final_model: Vec<f64>,
+}
+
+impl History {
+    /// Best test accuracy seen at any evaluated round.
+    pub fn best_accuracy(&self) -> f64 {
+        self.records.iter().map(|r| r.test_accuracy).fold(0.0, f64::max)
+    }
+
+    /// Training loss at the last evaluated round.
+    pub fn final_loss(&self) -> Option<f64> {
+        self.records.last().map(|r| r.train_loss)
+    }
+
+    /// The paper's convergence indicator: the running average of the
+    /// stationarity gap, `(1/T) Σ_s ‖∇F̄(w̄^{(s)})‖²` (eq. (12)).
+    pub fn avg_stationarity_gap(&self) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        Some(self.records.iter().map(|r| r.grad_norm_sq).sum::<f64>() / self.records.len() as f64)
+    }
+
+    /// First evaluated round whose test accuracy reaches `target`
+    /// (the paper's "starts to converge earlier" comparisons).
+    pub fn rounds_to_accuracy(&self, target: f64) -> Option<usize> {
+        self.records.iter().find(|r| r.test_accuracy >= target).map(|r| r.round)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("history serialization")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Render as CSV (`round,train_loss,test_accuracy,grad_norm_sq,...`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "round,train_loss,test_accuracy,grad_norm_sq,theta_measured,sim_time,bytes,grad_evals\n",
+        );
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                r.round,
+                r.train_loss,
+                r.test_accuracy,
+                r.grad_norm_sq,
+                r.theta_measured.map_or(String::new(), |t| t.to_string()),
+                r.sim_time,
+                r.bytes,
+                r.grad_evals
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, loss: f64, acc: f64) -> RoundRecord {
+        RoundRecord {
+            round,
+            train_loss: loss,
+            test_accuracy: acc,
+            grad_norm_sq: loss * 2.0,
+            theta_measured: None,
+            sim_time: 0.0,
+            bytes: 0,
+            grad_evals: 0,
+        }
+    }
+
+    fn history() -> History {
+        History {
+            config: ConfigSummary {
+                algorithm: "fedavg".into(),
+                beta: 5.0,
+                tau: 10,
+                mu: 0.0,
+                batch_size: 32,
+                rounds: 3,
+                eta: 0.2,
+                seed: 0,
+                l1: 0.0,
+                participation: 1.0,
+                uniform_random_iterate: false,
+            },
+            records: vec![record(1, 2.0, 0.3), record(2, 1.0, 0.6), record(3, 0.5, 0.55)],
+            diverged: false,
+            rounds_run: 3,
+            total_sim_time: 0.0,
+            final_model: vec![0.5, -0.5],
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let h = history();
+        assert_eq!(h.best_accuracy(), 0.6);
+        assert_eq!(h.final_loss(), Some(0.5));
+        let avg = h.avg_stationarity_gap().unwrap();
+        assert!((avg - (4.0 + 2.0 + 1.0) / 3.0).abs() < 1e-12);
+        assert_eq!(h.rounds_to_accuracy(0.5), Some(2));
+        assert_eq!(h.rounds_to_accuracy(0.99), None);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let h = history();
+        let s = h.to_json();
+        let back = History::from_json(&s).unwrap();
+        assert_eq!(back.records, h.records);
+        assert_eq!(back.config, h.config);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = history().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("round,train_loss"));
+        assert!(lines[1].starts_with("1,2,0.3"));
+    }
+
+    #[test]
+    fn empty_history_edge_cases() {
+        let mut h = history();
+        h.records.clear();
+        assert_eq!(h.best_accuracy(), 0.0);
+        assert_eq!(h.final_loss(), None);
+        assert_eq!(h.avg_stationarity_gap(), None);
+    }
+}

@@ -1,0 +1,82 @@
+//! The aggregation server: Algorithm 1, line 12.
+
+use fedprox_tensor::vecops;
+
+/// Weighted aggregation `w̄^{(s)} = Σ_n (D_n/D) w_n^{(s)}`.
+///
+/// Sums strictly in device order so every backend produces bit-identical
+/// global models. Weights are normalised defensively (they should already
+/// sum to 1).
+pub fn aggregate(locals: &[(&[f64], f64)], out: &mut [f64]) {
+    assert!(!locals.is_empty(), "aggregate: no local models");
+    out.fill(0.0);
+    let mut weight_sum = 0.0;
+    for (w, p) in locals {
+        assert_eq!(w.len(), out.len(), "aggregate: dim mismatch");
+        assert!(*p >= 0.0, "aggregate: negative weight");
+        vecops::axpy(*p, w, out);
+        weight_sum += p;
+    }
+    assert!(weight_sum > 0.0, "aggregate: weights sum to zero");
+    if (weight_sum - 1.0).abs() > 1e-12 {
+        vecops::scale(1.0 / weight_sum, out);
+    }
+}
+
+/// Aggregation weights `D_n / D` from shard sizes.
+pub fn weights_from_sizes(sizes: &[usize]) -> Vec<f64> {
+    let total: usize = sizes.iter().sum();
+    assert!(total > 0, "weights_from_sizes: empty federation");
+    sizes.iter().map(|&s| s as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_mean() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 6.0];
+        let mut out = [0.0; 2];
+        aggregate(&[(&a, 0.25), (&b, 0.75)], &mut out);
+        assert_eq!(out, [2.5, 5.0]);
+    }
+
+    #[test]
+    fn unnormalised_weights_are_normalised() {
+        let a = [2.0];
+        let b = [4.0];
+        let mut out = [0.0; 1];
+        aggregate(&[(&a, 1.0), (&b, 1.0)], &mut out);
+        assert_eq!(out, [3.0]);
+    }
+
+    #[test]
+    fn aggregation_inside_convex_hull_per_coordinate() {
+        let a = [0.0, 10.0, -5.0];
+        let b = [1.0, 0.0, 5.0];
+        let c = [0.5, 5.0, 0.0];
+        let mut out = [0.0; 3];
+        aggregate(&[(&a, 0.2), (&b, 0.5), (&c, 0.3)], &mut out);
+        for i in 0..3 {
+            let lo = a[i].min(b[i]).min(c[i]);
+            let hi = a[i].max(b[i]).max(c[i]);
+            assert!(out[i] >= lo - 1e-12 && out[i] <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_from_sizes_sum_to_one() {
+        let w = weights_from_sizes(&[10, 30, 60]);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+        assert_eq!(w, vec![0.1, 0.3, 0.6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no local models")]
+    fn empty_aggregate_panics() {
+        let mut out = [0.0; 1];
+        aggregate(&[], &mut out);
+    }
+}

@@ -1,0 +1,164 @@
+//! Loader for the MNIST/Fashion-MNIST IDX binary format.
+//!
+//! When the real files (`train-images-idx3-ubyte`, `train-labels-idx1-ubyte`,
+//! and the `t10k-*` pair) are present in a directory, the experiment
+//! harness uses them instead of the procedural generators; otherwise it
+//! falls back silently (DESIGN.md §2). Pixel values are scaled to `[0, 1]`.
+
+use crate::dataset::Dataset;
+use fedprox_tensor::Matrix;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Magic number of an IDX3 (images) file.
+const MAGIC_IMAGES: u32 = 0x0000_0803;
+/// Magic number of an IDX1 (labels) file.
+const MAGIC_LABELS: u32 = 0x0000_0801;
+
+fn read_u32(buf: &[u8], off: usize) -> io::Result<u32> {
+    buf.get(off..off + 4)
+        .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "idx: truncated header"))
+}
+
+/// Parse an IDX3 image buffer into `(n, rows, cols, pixels)`.
+pub fn parse_images(buf: &[u8]) -> io::Result<(usize, usize, usize, Vec<f64>)> {
+    if read_u32(buf, 0)? != MAGIC_IMAGES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "idx: bad image magic"));
+    }
+    let n = read_u32(buf, 4)? as usize;
+    let rows = read_u32(buf, 8)? as usize;
+    let cols = read_u32(buf, 12)? as usize;
+    let need = 16 + n * rows * cols;
+    if buf.len() < need {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "idx: truncated image data"));
+    }
+    let pixels = buf[16..need].iter().map(|&b| b as f64 / 255.0).collect();
+    Ok((n, rows, cols, pixels))
+}
+
+/// Parse an IDX1 label buffer.
+pub fn parse_labels(buf: &[u8]) -> io::Result<Vec<u8>> {
+    if read_u32(buf, 0)? != MAGIC_LABELS {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "idx: bad label magic"));
+    }
+    let n = read_u32(buf, 4)? as usize;
+    let need = 8 + n;
+    if buf.len() < need {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "idx: truncated label data"));
+    }
+    Ok(buf[8..need].to_vec())
+}
+
+/// Combine parsed images + labels into a [`Dataset`].
+pub fn dataset_from_buffers(images: &[u8], labels: &[u8]) -> io::Result<Dataset> {
+    let (n, rows, cols, pixels) = parse_images(images)?;
+    let labs = parse_labels(labels)?;
+    if labs.len() != n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("idx: {n} images vs {} labels", labs.len()),
+        ));
+    }
+    let feats = Matrix::from_vec(n, rows * cols, pixels);
+    let labels: Vec<f64> = labs.into_iter().map(|l| l as f64).collect();
+    Ok(Dataset::new(feats, labels, 10))
+}
+
+/// Load `(train, test)` from a directory containing the four standard
+/// MNIST file names. Returns `None` if any file is missing, `Err` on
+/// malformed files.
+pub fn load_mnist_dir(dir: &Path) -> io::Result<Option<(Dataset, Dataset)>> {
+    let names = [
+        "train-images-idx3-ubyte",
+        "train-labels-idx1-ubyte",
+        "t10k-images-idx3-ubyte",
+        "t10k-labels-idx1-ubyte",
+    ];
+    let paths: Vec<_> = names.iter().map(|n| dir.join(n)).collect();
+    if !paths.iter().all(|p| p.exists()) {
+        return Ok(None);
+    }
+    let bufs: Vec<Vec<u8>> = paths.iter().map(fs::read).collect::<Result<_, _>>()?;
+    let train = dataset_from_buffers(&bufs[0], &bufs[1])?;
+    let test = dataset_from_buffers(&bufs[2], &bufs[3])?;
+    Ok(Some((train, test)))
+}
+
+/// Serialize a dataset to the IDX pair format (used by tests to round-trip
+/// and by users who want to export generated data).
+pub fn to_idx_buffers(data: &Dataset, rows: usize, cols: usize) -> (Vec<u8>, Vec<u8>) {
+    assert_eq!(rows * cols, data.dim(), "to_idx_buffers: dims don't match");
+    let n = data.len();
+    let mut images = Vec::with_capacity(16 + n * rows * cols);
+    images.extend_from_slice(&MAGIC_IMAGES.to_be_bytes());
+    images.extend_from_slice(&(n as u32).to_be_bytes());
+    images.extend_from_slice(&(rows as u32).to_be_bytes());
+    images.extend_from_slice(&(cols as u32).to_be_bytes());
+    for i in 0..n {
+        for &p in data.x(i) {
+            images.push((p.clamp(0.0, 1.0) * 255.0).round() as u8);
+        }
+    }
+    let mut labels = Vec::with_capacity(8 + n);
+    labels.extend_from_slice(&MAGIC_LABELS.to_be_bytes());
+    labels.extend_from_slice(&(n as u32).to_be_bytes());
+    for i in 0..n {
+        labels.push(data.class_of(i) as u8);
+    }
+    (images, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::images::{generate, ImageConfig};
+
+    #[test]
+    fn roundtrip_through_idx() {
+        let d = generate(&ImageConfig::mnist(1), 12);
+        let (im, lab) = to_idx_buffers(&d, 28, 28);
+        let d2 = dataset_from_buffers(&im, &lab).unwrap();
+        assert_eq!(d2.len(), 12);
+        assert_eq!(d2.dim(), 784);
+        for i in 0..d.len() {
+            assert_eq!(d.class_of(i), d2.class_of(i));
+            // Quantisation to u8 loses at most 1/255 per pixel (+0.5 rounding).
+            for (a, b) in d.x(i).iter().zip(d2.x(i)) {
+                assert!((a - b).abs() <= 0.5 / 255.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = vec![0u8; 32];
+        buf[3] = 0x42;
+        assert!(parse_images(&buf).is_err());
+        assert!(parse_labels(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let d = generate(&ImageConfig::mnist(2), 3);
+        let (im, lab) = to_idx_buffers(&d, 28, 28);
+        assert!(parse_images(&im[..im.len() - 1]).is_err());
+        assert!(parse_labels(&lab[..lab.len() - 1]).is_err());
+        assert!(parse_images(&im[..8]).is_err());
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let d = generate(&ImageConfig::mnist(3), 4);
+        let (im, _) = to_idx_buffers(&d, 28, 28);
+        let (_, lab2) = to_idx_buffers(&d.subset(&[0, 1]), 28, 28);
+        assert!(dataset_from_buffers(&im, &lab2).is_err());
+    }
+
+    #[test]
+    fn missing_dir_returns_none() {
+        let r = load_mnist_dir(Path::new("/nonexistent-fedprox-data")).unwrap();
+        assert!(r.is_none());
+    }
+}

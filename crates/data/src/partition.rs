@@ -1,0 +1,259 @@
+//! Device partitioners reproducing the paper's heterogeneity protocol:
+//! power-law sample counts and **two of the ten labels per device**.
+
+use crate::dataset::Dataset;
+use crate::synthetic::device_rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draw per-device sample counts from a bounded discrete power law
+/// (Pareto-like): `P(size = s) ∝ s^{-alpha}` over `[min_size, max_size]`.
+/// The paper's per-dataset ranges ([37, 3277] Synthetic, [454, 3939] MNIST,
+/// [37, 1350] Fashion-MNIST) are reproduced by choosing the bounds.
+pub fn power_law_sizes(
+    devices: usize,
+    min_size: usize,
+    max_size: usize,
+    alpha: f64,
+    seed: u64,
+) -> Vec<usize> {
+    assert!(min_size >= 1 && max_size >= min_size, "power_law_sizes: bad range");
+    assert!(alpha > 0.0, "power_law_sizes: alpha must be positive");
+    let mut rng = device_rng(seed, 0x51AE);
+    // Inverse-CDF sampling of a continuous bounded Pareto, then rounding.
+    let a = 1.0 - alpha;
+    let (lo, hi) = (min_size as f64, max_size as f64);
+    (0..devices)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let s = if (a.abs()) < 1e-9 {
+                // alpha == 1: log-uniform.
+                (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+            } else {
+                (lo.powf(a) + u * (hi.powf(a) - lo.powf(a))).powf(1.0 / a)
+            };
+            (s.round() as usize).clamp(min_size, max_size)
+        })
+        .collect()
+}
+
+/// How a [`Partitioner`] assigns samples to devices.
+#[derive(Debug, Clone)]
+pub enum PartitionSpec {
+    /// i.i.d.: shuffle and deal samples round-robin with power-law counts.
+    Iid {
+        /// Per-device sample counts.
+        sizes: Vec<usize>,
+    },
+    /// Each device receives samples from exactly `labels_per_device`
+    /// classes (the paper uses 2 of 10), with power-law sample counts.
+    LabelShards {
+        /// Per-device sample counts.
+        sizes: Vec<usize>,
+        /// How many distinct labels each device may hold.
+        labels_per_device: usize,
+    },
+}
+
+/// Splits a centralized [`Dataset`] into per-device shards.
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    spec: PartitionSpec,
+    seed: u64,
+}
+
+impl Partitioner {
+    /// Create a partitioner with the given spec and seed.
+    pub fn new(spec: PartitionSpec, seed: u64) -> Self {
+        Partitioner { spec, seed }
+    }
+
+    /// Partition `data` into shards. Sample indices are drawn without
+    /// replacement where supply allows and with replacement when a device
+    /// requests more samples of a label than remain (the generators make
+    /// this rare; it keeps requested power-law sizes exact).
+    pub fn partition(&self, data: &Dataset) -> Vec<Dataset> {
+        match &self.spec {
+            PartitionSpec::Iid { sizes } => self.partition_iid(data, sizes),
+            PartitionSpec::LabelShards { sizes, labels_per_device } => {
+                self.partition_label_shards(data, sizes, *labels_per_device)
+            }
+        }
+    }
+
+    fn partition_iid(&self, data: &Dataset, sizes: &[usize]) -> Vec<Dataset> {
+        let mut rng = device_rng(self.seed, 0x11D);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        order.shuffle(&mut rng);
+        let mut cursor = 0usize;
+        sizes
+            .iter()
+            .map(|&s| {
+                let idx: Vec<usize> =
+                    (0..s).map(|k| order[(cursor + k) % order.len()]).collect();
+                cursor += s;
+                data.subset(&idx)
+            })
+            .collect()
+    }
+
+    fn partition_label_shards(
+        &self,
+        data: &Dataset,
+        sizes: &[usize],
+        labels_per_device: usize,
+    ) -> Vec<Dataset> {
+        let classes = data.num_classes();
+        assert!(classes > 0, "label shards require a classification dataset");
+        assert!(
+            labels_per_device >= 1 && labels_per_device <= classes,
+            "labels_per_device out of range"
+        );
+        // Bucket sample indices per class, shuffled.
+        let mut rng = device_rng(self.seed, 0x5AAD);
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); classes];
+        for i in 0..data.len() {
+            buckets[data.class_of(i)].push(i);
+        }
+        for b in buckets.iter_mut() {
+            b.shuffle(&mut rng);
+        }
+        let mut cursors = vec![0usize; classes];
+
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(dev, &size)| {
+                // Deterministic label pair assignment: device d takes
+                // labels {d, d+1, …} mod classes — cycling so all labels
+                // are used roughly equally across the federation.
+                let labels: Vec<usize> =
+                    (0..labels_per_device).map(|k| (dev + k) % classes).collect();
+                let mut idx = Vec::with_capacity(size);
+                for (j, &lab) in labels.iter().enumerate() {
+                    // Split the device's quota across its labels.
+                    let quota = size / labels.len()
+                        + if j < size % labels.len() { 1 } else { 0 };
+                    let bucket = &buckets[lab];
+                    if bucket.is_empty() {
+                        continue;
+                    }
+                    for _ in 0..quota {
+                        // Without replacement until exhausted, then wrap.
+                        let pos = cursors[lab] % bucket.len();
+                        idx.push(bucket[pos]);
+                        cursors[lab] += 1;
+                    }
+                }
+                data.subset(&idx)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedprox_tensor::Matrix;
+
+    fn class_dataset(per_class: usize, classes: usize) -> Dataset {
+        let n = per_class * classes;
+        let mut f = Matrix::zeros(n, 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % classes;
+            f.row_mut(i)[0] = c as f64;
+            f.row_mut(i)[1] = i as f64;
+            labels.push(c as f64);
+        }
+        Dataset::new(f, labels, classes)
+    }
+
+    #[test]
+    fn power_law_sizes_in_range_and_deterministic() {
+        let s1 = power_law_sizes(100, 37, 3277, 1.5, 9);
+        let s2 = power_law_sizes(100, 37, 3277, 1.5, 9);
+        assert_eq!(s1, s2);
+        assert!(s1.iter().all(|&s| (37..=3277).contains(&s)));
+        // Power law: median well below midpoint.
+        let mut sorted = s1.clone();
+        sorted.sort_unstable();
+        assert!(sorted[50] < (37 + 3277) / 2);
+    }
+
+    #[test]
+    fn power_law_alpha_one_is_log_uniform() {
+        let s = power_law_sizes(50, 10, 1000, 1.0, 4);
+        assert!(s.iter().all(|&x| (10..=1000).contains(&x)));
+    }
+
+    #[test]
+    fn iid_partition_sizes_exact() {
+        let data = class_dataset(50, 10);
+        let sizes = vec![30, 70, 10];
+        let shards = Partitioner::new(PartitionSpec::Iid { sizes: sizes.clone() }, 3)
+            .partition(&data);
+        for (sh, &s) in shards.iter().zip(&sizes) {
+            assert_eq!(sh.len(), s);
+        }
+    }
+
+    #[test]
+    fn label_shards_limit_labels_per_device() {
+        let data = class_dataset(100, 10);
+        let sizes = vec![40; 20];
+        let shards = Partitioner::new(
+            PartitionSpec::LabelShards { sizes, labels_per_device: 2 },
+            17,
+        )
+        .partition(&data);
+        for sh in &shards {
+            let labs = sh.distinct_labels();
+            assert!(labs.len() <= 2, "device has {} labels", labs.len());
+            assert_eq!(sh.len(), 40);
+        }
+    }
+
+    #[test]
+    fn label_shards_cover_all_labels_across_federation() {
+        let data = class_dataset(100, 10);
+        let shards = Partitioner::new(
+            PartitionSpec::LabelShards { sizes: vec![20; 10], labels_per_device: 2 },
+            1,
+        )
+        .partition(&data);
+        let mut seen = vec![false; 10];
+        for sh in &shards {
+            for l in sh.distinct_labels() {
+                seen[l] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "labels covered: {seen:?}");
+    }
+
+    #[test]
+    fn label_shards_with_scarce_supply_wrap_without_panicking() {
+        let data = class_dataset(3, 4); // only 3 samples per class
+        let shards = Partitioner::new(
+            PartitionSpec::LabelShards { sizes: vec![10, 10], labels_per_device: 2 },
+            5,
+        )
+        .partition(&data);
+        assert_eq!(shards[0].len(), 10);
+        assert_eq!(shards[1].len(), 10);
+    }
+
+    #[test]
+    fn deterministic_partition() {
+        let data = class_dataset(50, 10);
+        let p = Partitioner::new(
+            PartitionSpec::LabelShards { sizes: vec![25; 8], labels_per_device: 2 },
+            99,
+        );
+        let a = p.partition(&data);
+        let b = p.partition(&data);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Feature preprocessing.
+//!
+//! The paper's step size `η = 1/(βL)` ties directly to the feature scale
+//! (for the convex losses, L ∝ ‖x‖²), so controlling the scale of inputs
+//! is part of reproducing the experiments. Statistics are always fitted
+//! on *training* data and applied unchanged to test data.
+
+use crate::dataset::Dataset;
+use fedprox_tensor::Matrix;
+
+/// Fitted per-feature standardisation (z-score) parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    /// Inverse standard deviation (0-variance features map to 0).
+    inv_std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit means and standard deviations on `data`.
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "Standardizer::fit: empty dataset");
+        let d = data.dim();
+        let n = data.len() as f64;
+        let mut mean = vec![0.0; d];
+        for i in 0..data.len() {
+            for (m, &x) in mean.iter_mut().zip(data.x(i)) {
+                *m += x;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for i in 0..data.len() {
+            for ((v, &x), &m) in var.iter_mut().zip(data.x(i)).zip(&mean) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let inv_std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    1.0 / s
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Standardizer { mean, inv_std }
+    }
+
+    /// Fit on the union of several shards (the federated train split).
+    pub fn fit_shards(shards: &[Dataset]) -> Self {
+        let refs: Vec<&Dataset> = shards.iter().collect();
+        Self::fit(&Dataset::concat(&refs))
+    }
+
+    /// Apply to a dataset, producing a transformed copy.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        assert_eq!(data.dim(), self.mean.len(), "Standardizer: dim mismatch");
+        let mut out = Matrix::zeros(data.len(), data.dim());
+        for i in 0..data.len() {
+            let row = out.row_mut(i);
+            for ((o, &x), (&m, &is)) in
+                row.iter_mut().zip(data.x(i)).zip(self.mean.iter().zip(&self.inv_std))
+            {
+                *o = (x - m) * is;
+            }
+        }
+        Dataset::new(out, data.labels().to_vec(), data.num_classes())
+    }
+}
+
+/// Scale every sample to unit Euclidean norm (zero rows stay zero).
+/// After this, the softmax cross-entropy smoothness bound is ≤ 1,
+/// making `η = 1/β` a principled choice.
+pub fn unit_norm_rows(data: &Dataset) -> Dataset {
+    let mut out = Matrix::zeros(data.len(), data.dim());
+    for i in 0..data.len() {
+        let norm = fedprox_tensor::vecops::norm(data.x(i));
+        let row = out.row_mut(i);
+        if norm > 1e-12 {
+            for (o, &x) in row.iter_mut().zip(data.x(i)) {
+                *o = x / norm;
+            }
+        }
+    }
+    Dataset::new(out, data.labels().to_vec(), data.num_classes())
+}
+
+/// Min-max scale each feature to `[0, 1]` using bounds fitted on `fit`
+/// and applied to `apply` (constant features map to 0).
+pub fn min_max_scale(fit: &Dataset, apply: &Dataset) -> Dataset {
+    assert_eq!(fit.dim(), apply.dim());
+    assert!(!fit.is_empty());
+    let d = fit.dim();
+    let mut lo = vec![f64::INFINITY; d];
+    let mut hi = vec![f64::NEG_INFINITY; d];
+    for i in 0..fit.len() {
+        for ((l, h), &x) in lo.iter_mut().zip(hi.iter_mut()).zip(fit.x(i)) {
+            *l = l.min(x);
+            *h = h.max(x);
+        }
+    }
+    let mut out = Matrix::zeros(apply.len(), d);
+    for i in 0..apply.len() {
+        let row = out.row_mut(i);
+        for ((o, &x), (&l, &h)) in row.iter_mut().zip(apply.x(i)).zip(lo.iter().zip(&hi)) {
+            *o = if h - l > 1e-12 { ((x - l) / (h - l)).clamp(0.0, 1.0) } else { 0.0 };
+        }
+    }
+    Dataset::new(out, apply.labels().to_vec(), apply.num_classes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedprox_tensor::vecops;
+
+    fn toy() -> Dataset {
+        let f = Matrix::from_rows(&[&[1.0, 10.0, 5.0], &[3.0, 30.0, 5.0], &[5.0, 50.0, 5.0]]);
+        Dataset::new(f, vec![0.0, 1.0, 0.0], 2)
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_var() {
+        let d = toy();
+        let s = Standardizer::fit(&d);
+        let t = s.transform(&d);
+        for j in 0..2 {
+            let col: Vec<f64> = (0..t.len()).map(|i| t.x(i)[j]).collect();
+            assert!(vecops::mean(&col).abs() < 1e-12);
+            assert!((vecops::variance(&col) - 1.0).abs() < 1e-9);
+        }
+        // Constant feature maps to zero, not NaN.
+        for i in 0..t.len() {
+            assert_eq!(t.x(i)[2], 0.0);
+        }
+        // Labels preserved.
+        assert_eq!(t.labels(), d.labels());
+    }
+
+    #[test]
+    fn standardizer_train_stats_applied_to_test() {
+        let train = toy();
+        let s = Standardizer::fit(&train);
+        let test = Dataset::new(Matrix::from_rows(&[&[3.0, 30.0, 5.0]]), vec![1.0], 2);
+        let t = s.transform(&test);
+        // (3 − mean(1,3,5)) / std = 0.
+        assert!(t.x(0)[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_norm_makes_rows_unit() {
+        let d = toy();
+        let t = unit_norm_rows(&d);
+        for i in 0..t.len() {
+            assert!((vecops::norm(t.x(i)) - 1.0).abs() < 1e-12);
+        }
+        // Zero rows stay zero.
+        let z = Dataset::new(Matrix::zeros(1, 3), vec![0.0], 2);
+        let tz = unit_norm_rows(&z);
+        assert_eq!(tz.x(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_in_unit_interval() {
+        let d = toy();
+        let t = min_max_scale(&d, &d);
+        for i in 0..t.len() {
+            assert!(t.x(i)[..2].iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert_eq!(t.x(i)[2], 0.0); // constant feature
+        }
+        assert_eq!(t.x(0)[0], 0.0);
+        assert_eq!(t.x(2)[0], 1.0);
+        // Out-of-range test values clamp.
+        let test = Dataset::new(Matrix::from_rows(&[&[100.0, -5.0, 5.0]]), vec![0.0], 2);
+        let tt = min_max_scale(&d, &test);
+        assert_eq!(tt.x(0)[0], 1.0);
+        assert_eq!(tt.x(0)[1], 0.0);
+    }
+
+    #[test]
+    fn fit_shards_equals_fit_concat() {
+        let d = toy();
+        let a = d.subset(&[0]);
+        let b = d.subset(&[1, 2]);
+        let s1 = Standardizer::fit_shards(&[a.clone(), b.clone()]);
+        let s2 = Standardizer::fit(&Dataset::concat(&[&a, &b]));
+        assert_eq!(s1, s2);
+    }
+}

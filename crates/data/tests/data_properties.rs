@@ -1,0 +1,112 @@
+//! Property-based tests of the dataset substrates.
+
+use fedprox_data::images::{generate as gen_images, ImageConfig, ImageStyle};
+use fedprox_data::partition::{power_law_sizes, PartitionSpec, Partitioner};
+use fedprox_data::split::train_test_split;
+use fedprox_data::stats::{gini, label_distribution, tv_distance};
+use fedprox_data::synthetic::{generate as gen_synth, SyntheticConfig};
+use fedprox_data::Dataset;
+use fedprox_tensor::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn synthetic_shards_valid(seed in any::<u64>(), n1 in 1usize..80, n2 in 1usize..80) {
+        let cfg = SyntheticConfig { seed, ..Default::default() };
+        let shards = gen_synth(&cfg, &[n1, n2]);
+        prop_assert_eq!(shards.len(), 2);
+        prop_assert_eq!(shards[0].len(), n1);
+        prop_assert_eq!(shards[1].len(), n2);
+        for s in &shards {
+            for i in 0..s.len() {
+                prop_assert!(s.x(i).iter().all(|v| v.is_finite()));
+                prop_assert!(s.class_of(i) < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn image_samples_always_in_unit_cube(seed in any::<u64>(), n in 1usize..30) {
+        for style in [ImageStyle::MnistLike, ImageStyle::FashionLike] {
+            let cfg = ImageConfig { style, ..ImageConfig::mnist(seed) };
+            let d = gen_images(&cfg, n);
+            prop_assert_eq!(d.len(), n);
+            for i in 0..n {
+                prop_assert!(d.x(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_exactly(n in 2usize..200, frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut f = Matrix::zeros(n, 1);
+        for i in 0..n {
+            f.row_mut(i)[0] = i as f64;
+        }
+        let d = Dataset::new(f, vec![0.0; n], 1);
+        let (tr, te) = train_test_split(&d, frac, seed);
+        prop_assert_eq!(tr.len() + te.len(), n);
+        // No sample lost or duplicated.
+        let mut ids: Vec<i64> = tr
+            .features()
+            .as_slice()
+            .iter()
+            .chain(te.features().as_slice())
+            .map(|&v| v as i64)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn iid_partition_preserves_label_distribution(seed in any::<u64>()) {
+        // Large iid shards should have label distributions close to global.
+        let per_class = 60;
+        let classes = 5;
+        let n = per_class * classes;
+        let mut f = Matrix::zeros(n, 1);
+        let labels: Vec<f64> = (0..n).map(|i| (i % classes) as f64).collect();
+        for i in 0..n {
+            f.row_mut(i)[0] = i as f64;
+        }
+        let d = Dataset::new(f, labels, classes);
+        let shards = Partitioner::new(
+            PartitionSpec::Iid { sizes: vec![100, 100, 100] },
+            seed,
+        )
+        .partition(&d);
+        let global = label_distribution(&d);
+        for s in &shards {
+            let tv = tv_distance(&label_distribution(s), &global);
+            prop_assert!(tv < 0.35, "iid shard too skewed: tv {tv}");
+        }
+    }
+
+    #[test]
+    fn gini_bounded(values in proptest::collection::vec(0usize..10_000, 1..40)) {
+        let g = gini(&values);
+        prop_assert!((-1e-9..=1.0).contains(&g), "gini {g}");
+    }
+
+    #[test]
+    fn power_law_deterministic(devices in 1usize..50, seed in any::<u64>()) {
+        let a = power_law_sizes(devices, 10, 500, 1.3, seed);
+        let b = power_law_sizes(devices, 10, 500, 1.3, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn idx_roundtrip_any_image_dataset(seed in any::<u64>(), n in 1usize..12) {
+        use fedprox_data::idx::{dataset_from_buffers, to_idx_buffers};
+        let d = gen_images(&ImageConfig::fashion(seed), n);
+        let (im, lab) = to_idx_buffers(&d, 28, 28);
+        let back = dataset_from_buffers(&im, &lab).unwrap();
+        prop_assert_eq!(back.len(), n);
+        for i in 0..n {
+            prop_assert_eq!(back.class_of(i), d.class_of(i));
+        }
+    }
+}

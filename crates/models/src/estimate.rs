@@ -1,0 +1,195 @@
+//! Empirical estimation of the problem constants of Assumption 1.
+//!
+//! Fig. 1 of the paper notes that L and λ "can be estimated by sampling
+//! real-world dataset". This module does exactly that:
+//!
+//! * **L** (per-sample smoothness): the largest observed Lipschitz ratio
+//!   `‖∇f_i(w) − ∇f_i(w′)‖ / ‖w − w′‖` over sampled points and samples,
+//! * **λ** (bounded non-convexity): the largest observed violation of
+//!   convexity of `F_n`, via the secant condition
+//!   `⟨∇F(w) − ∇F(w′), w − w′⟩ ≥ −λ ‖w − w′‖²`,
+//! * an *empirical* curvature scale (`typical_curvature`) — the mean
+//!   rather than max ratio — which is what the experiment harness feeds
+//!   into `η = 1/(βL)` (worst-case L makes steps needlessly small; see
+//!   the fig2 binary's discussion).
+
+use crate::LossModel;
+use fedprox_data::synthetic::device_rng;
+use fedprox_data::Dataset;
+use fedprox_tensor::vecops;
+use rand::Rng;
+
+/// Result of constant estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantEstimates {
+    /// Max observed per-sample Lipschitz ratio (→ L).
+    pub smoothness_max: f64,
+    /// Mean observed ratio (practical curvature scale).
+    pub smoothness_typical: f64,
+    /// Max observed non-convexity (→ λ; 0 for convex losses up to noise).
+    pub nonconvexity: f64,
+    /// Number of probe pairs used.
+    pub probes: usize,
+}
+
+/// Configuration of the probing procedure.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimateConfig {
+    /// Probe pairs to draw.
+    pub probes: usize,
+    /// Radius of the probe ball around the reference point.
+    pub radius: f64,
+    /// Samples per probe used for the per-sample Lipschitz ratio.
+    pub samples_per_probe: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EstimateConfig {
+    fn default() -> Self {
+        EstimateConfig { probes: 32, radius: 0.5, samples_per_probe: 4, seed: 0 }
+    }
+}
+
+/// Estimate L and λ by sampling gradient differences around `w_ref`.
+pub fn estimate_constants<M: LossModel>(
+    model: &M,
+    data: &Dataset,
+    w_ref: &[f64],
+    cfg: &EstimateConfig,
+) -> ConstantEstimates {
+    assert!(!data.is_empty(), "estimate_constants: empty dataset");
+    assert_eq!(w_ref.len(), model.dim());
+    let dim = model.dim();
+    let mut rng = device_rng(cfg.seed, 0xE57);
+
+    let mut max_ratio = 0.0f64;
+    let mut sum_ratio = 0.0f64;
+    let mut count = 0usize;
+    let mut nonconvexity = 0.0f64;
+
+    let mut w1 = vec![0.0; dim];
+    let mut w2 = vec![0.0; dim];
+    let mut g1 = vec![0.0; dim];
+    let mut g2 = vec![0.0; dim];
+
+    for _ in 0..cfg.probes {
+        // Two random points in the ball around w_ref.
+        for (a, (b, &r)) in w1.iter_mut().zip(w2.iter_mut().zip(w_ref)) {
+            *a = r + rng.gen_range(-cfg.radius..=cfg.radius);
+            *b = r + rng.gen_range(-cfg.radius..=cfg.radius);
+        }
+        let dw = vecops::dist(&w1, &w2);
+        if dw < 1e-12 {
+            continue;
+        }
+
+        // Per-sample Lipschitz ratios → L.
+        for _ in 0..cfg.samples_per_probe {
+            let i = rng.gen_range(0..data.len());
+            g1.fill(0.0);
+            g2.fill(0.0);
+            model.sample_grad_accum(&w1, data, i, 1.0, &mut g1);
+            model.sample_grad_accum(&w2, data, i, 1.0, &mut g2);
+            let ratio = vecops::dist(&g1, &g2) / dw;
+            if ratio.is_finite() {
+                max_ratio = max_ratio.max(ratio);
+                sum_ratio += ratio;
+                count += 1;
+            }
+        }
+
+        // Full-batch secant condition → λ.
+        model.full_grad(&w1, data, &mut g1);
+        model.full_grad(&w2, data, &mut g2);
+        let mut diff_g = vec![0.0; dim];
+        vecops::sub_into(&g1, &g2, &mut diff_g);
+        let mut diff_w = vec![0.0; dim];
+        vecops::sub_into(&w1, &w2, &mut diff_w);
+        let secant = vecops::dot(&diff_g, &diff_w) / (dw * dw);
+        if secant < 0.0 {
+            nonconvexity = nonconvexity.max(-secant);
+        }
+    }
+
+    ConstantEstimates {
+        smoothness_max: max_ratio,
+        smoothness_typical: if count > 0 { sum_ratio / count as f64 } else { 0.0 },
+        nonconvexity,
+        probes: cfg.probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearRegression, Mlp, MultinomialLogistic};
+    use fedprox_tensor::Matrix;
+
+    fn data(n: usize, dim: usize, classes: usize) -> Dataset {
+        let mut f = Matrix::zeros(n, dim);
+        let mut y = Vec::with_capacity(n);
+        let mut state = 0x1234u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        for i in 0..n {
+            for j in 0..dim {
+                f.row_mut(i)[j] = next();
+            }
+            y.push((i % classes.max(1)) as f64);
+        }
+        Dataset::new(f, y, classes)
+    }
+
+    #[test]
+    fn linreg_smoothness_matches_max_row_norm_sq() {
+        // For ½(xᵀw − y)², the per-sample Hessian is x xᵀ: L_i = ‖x_i‖².
+        let d = data(30, 4, 0);
+        let model = LinearRegression::new(4);
+        let w = vec![0.0; 4];
+        let est = estimate_constants(&model, &d, &w, &EstimateConfig::default());
+        let want: f64 =
+            (0..d.len()).map(|i| vecops::norm_sq(d.x(i))).fold(0.0, f64::max);
+        // The sampled max is a lower bound on the true max and should be
+        // within the right ballpark.
+        assert!(est.smoothness_max <= want + 1e-9);
+        assert!(est.smoothness_max > 0.3 * want, "{} vs {want}", est.smoothness_max);
+        // Least squares is convex: λ ≈ 0.
+        assert!(est.nonconvexity < 1e-9, "lambda {}", est.nonconvexity);
+    }
+
+    #[test]
+    fn logistic_is_convex_and_bounded_curvature() {
+        let d = data(20, 3, 4);
+        let model = MultinomialLogistic::new(3, 4);
+        let w = model.init_params(1);
+        let est = estimate_constants(&model, &d, &w, &EstimateConfig::default());
+        assert!(est.nonconvexity < 1e-6, "lambda {}", est.nonconvexity);
+        assert!(est.smoothness_max > 0.0);
+        assert!(est.smoothness_typical <= est.smoothness_max);
+    }
+
+    #[test]
+    fn mlp_exhibits_nonconvexity() {
+        let d = data(16, 3, 2);
+        let model = Mlp::new(3, 8, 2);
+        let w = model.init_params(3);
+        let cfg = EstimateConfig { probes: 64, radius: 1.5, ..Default::default() };
+        let est = estimate_constants(&model, &d, &w, &cfg);
+        assert!(est.nonconvexity > 1e-6, "MLP should show negative curvature somewhere");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = data(10, 3, 2);
+        let model = MultinomialLogistic::new(3, 2);
+        let w = model.init_params(0);
+        let a = estimate_constants(&model, &d, &w, &EstimateConfig::default());
+        let b = estimate_constants(&model, &d, &w, &EstimateConfig::default());
+        assert_eq!(a, b);
+    }
+}

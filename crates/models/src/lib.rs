@@ -1,0 +1,307 @@
+//! Loss models with hand-written gradients.
+//!
+//! The paper's experiments use a **multinomial logistic regression** for
+//! the convex task and a **two-layer CNN** (McMahan et al.'s architecture)
+//! for the non-convex task; its System Model section also names linear
+//! regression and SVM losses as examples. All of them are implemented here
+//! against the [`LossModel`] trait, which exposes exactly what Algorithm 1
+//! consumes: per-sample losses `f_i(w)` and gradients `∇f_i(w)` over a
+//! flat parameter vector `w ∈ R^l`.
+//!
+//! Gradients are verified against central finite differences in each
+//! model's tests (`gradcheck`).
+
+#![warn(missing_docs)]
+
+pub mod cnn;
+pub mod estimate;
+pub mod gradcheck;
+pub mod linreg;
+pub mod logistic;
+pub mod mlp;
+pub mod svm;
+
+use fedprox_data::Dataset;
+use rayon::prelude::*;
+
+pub use cnn::{Cnn, CnnSpec};
+pub use linreg::LinearRegression;
+pub use logistic::MultinomialLogistic;
+pub use mlp::Mlp;
+pub use svm::SmoothedSvm;
+
+/// Default seed used by examples/tests when initialising model parameters.
+pub const MODEL_SEED: u64 = 0xF3D;
+
+/// Batch size above which batch gradients fan out across rayon.
+const BATCH_PAR_THRESHOLD: usize = 32;
+
+/// Fixed chunk size for parallel batch reductions (fixed so the
+/// combination order — and therefore the floating-point result — does not
+/// depend on thread scheduling).
+const BATCH_CHUNK: usize = 32;
+
+/// A differentiable finite-sum loss `F_n(w) = (1/D_n) Σ_i f_i(w)` over a
+/// [`Dataset`], exposed per sample as Algorithm 1 requires.
+///
+/// Implementations must be `Send + Sync`: devices evaluate gradients in
+/// parallel during a federated round.
+pub trait LossModel: Send + Sync {
+    /// Length of the flat parameter vector `l`.
+    fn dim(&self) -> usize;
+
+    /// Initialise a parameter vector from `seed` (deterministic).
+    fn init_params(&self, seed: u64) -> Vec<f64>;
+
+    /// Loss of sample `i`: `f_i(w)`.
+    fn sample_loss(&self, w: &[f64], data: &Dataset, i: usize) -> f64;
+
+    /// Gradient of sample `i` **accumulated** into `out` scaled by
+    /// `scale`: `out += scale · ∇f_i(w)`. Accumulation lets batch and
+    /// full gradients avoid temporary buffers.
+    fn sample_grad_accum(&self, w: &[f64], data: &Dataset, i: usize, scale: f64, out: &mut [f64]);
+
+    /// Prediction for a raw feature vector: class index (as `f64`) for
+    /// classifiers, value for regressors.
+    fn predict(&self, w: &[f64], x: &[f64]) -> f64;
+
+    /// Mean loss over the samples at `indices`.
+    ///
+    /// Parallel reductions use **fixed-size chunks combined in order**:
+    /// floating-point addition is not associative, and rayon's adaptive
+    /// `fold`/`reduce` splitting would make results depend on thread
+    /// scheduling. Deterministic chunking keeps the sequential, parallel,
+    /// and networked training backends bit-identical.
+    fn batch_loss(&self, w: &[f64], data: &Dataset, indices: &[usize]) -> f64 {
+        if indices.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = if indices.len() >= BATCH_PAR_THRESHOLD {
+            let partials: Vec<f64> = indices
+                .par_chunks(BATCH_CHUNK)
+                .map(|chunk| chunk.iter().map(|&i| self.sample_loss(w, data, i)).sum())
+                .collect();
+            partials.iter().sum()
+        } else {
+            indices.iter().map(|&i| self.sample_loss(w, data, i)).sum()
+        };
+        sum / indices.len() as f64
+    }
+
+    /// Mean gradient over the samples at `indices`, written into `out`
+    /// (overwritten). Parallel over fixed chunks for large batches; the
+    /// per-chunk partial gradients are summed in chunk order (see
+    /// [`Self::batch_loss`] on why the order is pinned).
+    fn batch_grad(&self, w: &[f64], data: &Dataset, indices: &[usize], out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim(), "batch_grad: out length");
+        out.fill(0.0);
+        if indices.is_empty() {
+            return;
+        }
+        let scale = 1.0 / indices.len() as f64;
+        if indices.len() >= BATCH_PAR_THRESHOLD {
+            let partials: Vec<Vec<f64>> = indices
+                .par_chunks(BATCH_CHUNK)
+                .map(|chunk| {
+                    let mut acc = vec![0.0; self.dim()];
+                    for &i in chunk {
+                        self.sample_grad_accum(w, data, i, scale, &mut acc);
+                    }
+                    acc
+                })
+                .collect();
+            for p in &partials {
+                fedprox_tensor::vecops::add_assign(out, p);
+            }
+        } else {
+            for &i in indices {
+                self.sample_grad_accum(w, data, i, scale, out);
+            }
+        }
+    }
+
+    /// Mean loss over the whole dataset: `F_n(w)`.
+    fn full_loss(&self, w: &[f64], data: &Dataset) -> f64 {
+        let idx: Vec<usize> = (0..data.len()).collect();
+        self.batch_loss(w, data, &idx)
+    }
+
+    /// Full gradient `∇F_n(w)` into `out`.
+    fn full_grad(&self, w: &[f64], data: &Dataset, out: &mut [f64]) {
+        let idx: Vec<usize> = (0..data.len()).collect();
+        self.batch_grad(w, data, &idx, out);
+    }
+
+    /// Classification accuracy over `data` (fraction of samples whose
+    /// [`Self::predict`] matches the label). For regressors this compares
+    /// rounded predictions and is rarely meaningful.
+    fn accuracy(&self, w: &[f64], data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct: usize = if data.len() >= BATCH_PAR_THRESHOLD {
+            (0..data.len())
+                .into_par_iter()
+                .filter(|&i| self.predict(w, data.x(i)) == data.y(i))
+                .count()
+        } else {
+            (0..data.len()).filter(|&i| self.predict(w, data.x(i)) == data.y(i)).count()
+        };
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// Boxed models (e.g. `Box<dyn LossModel>` from a config file) are
+/// themselves models.
+impl<M: LossModel + ?Sized> LossModel for Box<M> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn init_params(&self, seed: u64) -> Vec<f64> {
+        (**self).init_params(seed)
+    }
+    fn sample_loss(&self, w: &[f64], data: &Dataset, i: usize) -> f64 {
+        (**self).sample_loss(w, data, i)
+    }
+    fn sample_grad_accum(&self, w: &[f64], data: &Dataset, i: usize, scale: f64, out: &mut [f64]) {
+        (**self).sample_grad_accum(w, data, i, scale, out)
+    }
+    fn batch_grad(&self, w: &[f64], data: &Dataset, indices: &[usize], out: &mut [f64]) {
+        (**self).batch_grad(w, data, indices, out)
+    }
+    fn batch_loss(&self, w: &[f64], data: &Dataset, indices: &[usize]) -> f64 {
+        (**self).batch_loss(w, data, indices)
+    }
+    fn predict(&self, w: &[f64], x: &[f64]) -> f64 {
+        (**self).predict(w, x)
+    }
+}
+
+/// Blanket impl so `&M` satisfies [`LossModel`] call sites that take
+/// generics.
+impl<M: LossModel + ?Sized> LossModel for &M {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn init_params(&self, seed: u64) -> Vec<f64> {
+        (**self).init_params(seed)
+    }
+    fn sample_loss(&self, w: &[f64], data: &Dataset, i: usize) -> f64 {
+        (**self).sample_loss(w, data, i)
+    }
+    fn sample_grad_accum(&self, w: &[f64], data: &Dataset, i: usize, scale: f64, out: &mut [f64]) {
+        (**self).sample_grad_accum(w, data, i, scale, out)
+    }
+    fn predict(&self, w: &[f64], x: &[f64]) -> f64 {
+        (**self).predict(w, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedprox_tensor::Matrix;
+
+    /// Trivial quadratic model for exercising the provided methods:
+    /// f_i(w) = ½‖w − x_i‖².
+    struct Quad {
+        dim: usize,
+    }
+
+    impl LossModel for Quad {
+        fn dim(&self) -> usize {
+            self.dim
+        }
+        fn init_params(&self, _seed: u64) -> Vec<f64> {
+            vec![0.0; self.dim]
+        }
+        fn sample_loss(&self, w: &[f64], data: &Dataset, i: usize) -> f64 {
+            fedprox_tensor::vecops::dist_sq(w, data.x(i)) / 2.0
+        }
+        fn sample_grad_accum(
+            &self,
+            w: &[f64],
+            data: &Dataset,
+            i: usize,
+            scale: f64,
+            out: &mut [f64],
+        ) {
+            for ((o, &wv), &xv) in out.iter_mut().zip(w).zip(data.x(i)) {
+                *o += scale * (wv - xv);
+            }
+        }
+        fn predict(&self, _w: &[f64], _x: &[f64]) -> f64 {
+            0.0
+        }
+    }
+
+    fn toy_data(n: usize, dim: usize) -> Dataset {
+        let mut f = Matrix::zeros(n, dim);
+        for i in 0..n {
+            for j in 0..dim {
+                f.row_mut(i)[j] = (i * dim + j) as f64 * 0.1;
+            }
+        }
+        Dataset::new(f, vec![0.0; n], 1)
+    }
+
+    #[test]
+    fn batch_grad_is_mean_of_sample_grads() {
+        let m = Quad { dim: 3 };
+        let d = toy_data(5, 3);
+        let w = vec![1.0, -1.0, 0.5];
+        let idx = [0, 2, 4];
+        let mut got = vec![0.0; 3];
+        m.batch_grad(&w, &d, &idx, &mut got);
+        let mut want = vec![0.0; 3];
+        for &i in &idx {
+            m.sample_grad_accum(&w, &d, i, 1.0 / 3.0, &mut want);
+        }
+        for (g, wv) in got.iter().zip(&want) {
+            assert!((g - wv).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let m = Quad { dim: 4 };
+        let d = toy_data(200, 4);
+        let w = vec![0.3; 4];
+        let big: Vec<usize> = (0..200).collect();
+        let mut par = vec![0.0; 4];
+        m.batch_grad(&w, &d, &big, &mut par);
+        let mut seq = vec![0.0; 4];
+        for &i in &big {
+            m.sample_grad_accum(&w, &d, i, 1.0 / 200.0, &mut seq);
+        }
+        for (a, b) in par.iter().zip(&seq) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        // Loss too.
+        let lp = m.batch_loss(&w, &d, &big);
+        let ls: f64 =
+            big.iter().map(|&i| m.sample_loss(&w, &d, i)).sum::<f64>() / big.len() as f64;
+        assert!((lp - ls).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_batch_is_zero() {
+        let m = Quad { dim: 2 };
+        let d = toy_data(3, 2);
+        let mut g = vec![9.0; 2];
+        m.batch_grad(&[0.0, 0.0], &d, &[], &mut g);
+        assert_eq!(g, vec![0.0, 0.0]);
+        assert_eq!(m.batch_loss(&[0.0, 0.0], &d, &[]), 0.0);
+    }
+
+    #[test]
+    fn full_grad_zero_at_minimizer() {
+        let m = Quad { dim: 2 };
+        let d = toy_data(4, 2);
+        // Minimizer of Σ½‖w−x_i‖² is the mean of x_i.
+        let mean = fedprox_data::stats::feature_mean(&d);
+        let mut g = vec![0.0; 2];
+        m.full_grad(&mean, &d, &mut g);
+        assert!(fedprox_tensor::vecops::norm(&g) < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Linear regression with squared loss — the paper's first example loss:
+//! `f_i(w) = ½ (x_iᵀ w − y_i)²` (System Model, Section 3).
+
+use crate::LossModel;
+use fedprox_data::Dataset;
+use fedprox_tensor::vecops;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Linear regression model. Parameters are the `dim`-vector `w` plus an
+/// intercept when `intercept` is set (stored last).
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    features: usize,
+    intercept: bool,
+    /// L2 penalty coefficient applied as `+ l2/2 · ‖w‖²` per sample.
+    pub l2: f64,
+}
+
+impl LinearRegression {
+    /// Plain least squares over `features` inputs, no intercept.
+    pub fn new(features: usize) -> Self {
+        LinearRegression { features, intercept: false, l2: 0.0 }
+    }
+
+    /// With an intercept term.
+    pub fn with_intercept(features: usize) -> Self {
+        LinearRegression { features, intercept: true, l2: 0.0 }
+    }
+
+    /// Add ridge regularisation.
+    pub fn with_l2(mut self, l2: f64) -> Self {
+        assert!(l2 >= 0.0);
+        self.l2 = l2;
+        self
+    }
+
+    fn raw_prediction(&self, w: &[f64], x: &[f64]) -> f64 {
+        let p = vecops::dot(&w[..self.features], x);
+        if self.intercept {
+            p + w[self.features]
+        } else {
+            p
+        }
+    }
+}
+
+impl LossModel for LinearRegression {
+    fn dim(&self) -> usize {
+        self.features + usize::from(self.intercept)
+    }
+
+    fn init_params(&self, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = vec![0.0; self.dim()];
+        fedprox_tensor::init::uniform(&mut rng, &mut w, 0.01);
+        w
+    }
+
+    fn sample_loss(&self, w: &[f64], data: &Dataset, i: usize) -> f64 {
+        let r = self.raw_prediction(w, data.x(i)) - data.y(i);
+        let reg = if self.l2 > 0.0 { self.l2 / 2.0 * vecops::norm_sq(w) } else { 0.0 };
+        r * r / 2.0 + reg
+    }
+
+    fn sample_grad_accum(&self, w: &[f64], data: &Dataset, i: usize, scale: f64, out: &mut [f64]) {
+        let x = data.x(i);
+        let r = self.raw_prediction(w, x) - data.y(i);
+        vecops::axpy(scale * r, x, &mut out[..self.features]);
+        if self.intercept {
+            out[self.features] += scale * r;
+        }
+        if self.l2 > 0.0 {
+            vecops::axpy(scale * self.l2, w, out);
+        }
+    }
+
+    fn predict(&self, w: &[f64], x: &[f64]) -> f64 {
+        self.raw_prediction(w, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::assert_grad_ok;
+    use fedprox_tensor::Matrix;
+
+    fn toy() -> Dataset {
+        // y = 2x0 - x1 + 0.5
+        let xs = [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [2.0, -1.0], [0.5, 0.25]];
+        let mut f = Matrix::zeros(5, 2);
+        let mut y = Vec::new();
+        for (i, x) in xs.iter().enumerate() {
+            f.row_mut(i).copy_from_slice(x);
+            y.push(2.0 * x[0] - x[1] + 0.5);
+        }
+        Dataset::new(f, y, 0)
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let d = toy();
+        for model in [
+            LinearRegression::new(2),
+            LinearRegression::with_intercept(2),
+            LinearRegression::with_intercept(2).with_l2(0.1),
+        ] {
+            let w = model.init_params(1);
+            assert_grad_ok(&model, &w, &d, &[0, 1, 2, 3, 4], 1e-5);
+        }
+    }
+
+    #[test]
+    fn zero_loss_at_true_model() {
+        let d = toy();
+        let model = LinearRegression::with_intercept(2);
+        let w = vec![2.0, -1.0, 0.5];
+        assert!(model.full_loss(&w, &d) < 1e-20);
+        let mut g = vec![0.0; 3];
+        model.full_grad(&w, &d, &mut g);
+        assert!(vecops::norm(&g) < 1e-10);
+    }
+
+    #[test]
+    fn gd_converges_to_true_model() {
+        let d = toy();
+        let model = LinearRegression::with_intercept(2);
+        let mut w = model.init_params(3);
+        let mut g = vec![0.0; 3];
+        for _ in 0..3000 {
+            model.full_grad(&w, &d, &mut g);
+            vecops::axpy(-0.1, &g, &mut w);
+        }
+        assert!((w[0] - 2.0).abs() < 1e-3, "w={w:?}");
+        assert!((w[1] + 1.0).abs() < 1e-3);
+        assert!((w[2] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn l2_pulls_weights_toward_zero() {
+        let d = toy();
+        let plain = LinearRegression::with_intercept(2);
+        let ridge = LinearRegression::with_intercept(2).with_l2(1.0);
+        let train = |m: &LinearRegression| {
+            let mut w = m.init_params(3);
+            let mut g = vec![0.0; 3];
+            for _ in 0..3000 {
+                m.full_grad(&w, &d, &mut g);
+                vecops::axpy(-0.05, &g, &mut w);
+            }
+            w
+        };
+        let wp = train(&plain);
+        let wr = train(&ridge);
+        assert!(vecops::norm(&wr) < vecops::norm(&wp));
+    }
+
+    #[test]
+    fn dims() {
+        assert_eq!(LinearRegression::new(4).dim(), 4);
+        assert_eq!(LinearRegression::with_intercept(4).dim(), 5);
+    }
+}

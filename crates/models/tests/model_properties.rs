@@ -1,0 +1,121 @@
+//! Property-based tests shared by all loss models: gradient consistency
+//! with finite differences at random points, batch linearity, and
+//! prediction sanity.
+
+use fedprox_data::Dataset;
+use fedprox_models::gradcheck::check_batch_grad;
+use fedprox_models::{LinearRegression, LossModel, Mlp, MultinomialLogistic, SmoothedSvm};
+use fedprox_tensor::{vecops, Matrix};
+use proptest::prelude::*;
+
+fn class_data(n: usize, dim: usize, classes: usize, seed: u64) -> Dataset {
+    let mut f = Matrix::zeros(n, dim);
+    let mut y = Vec::with_capacity(n);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    for i in 0..n {
+        for j in 0..dim {
+            f.row_mut(i)[j] = next();
+        }
+        y.push((i % classes) as f64);
+    }
+    Dataset::new(f, y, classes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn logistic_gradcheck_random_points(seed in any::<u64>()) {
+        let data = class_data(8, 4, 3, seed);
+        let model = MultinomialLogistic::new(4, 3).with_l2(0.05);
+        let w = model.init_params(seed);
+        let r = check_batch_grad(&model, &w, &data, &[0, 2, 5], 1e-6, 1);
+        prop_assert!(r.max_rel_err < 1e-4, "rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn linreg_gradcheck_random_points(seed in any::<u64>()) {
+        let data = class_data(6, 5, 2, seed); // labels 0/1 used as targets
+        let model = LinearRegression::with_intercept(5).with_l2(0.01);
+        let w = model.init_params(seed);
+        let r = check_batch_grad(&model, &w, &data, &[0, 1, 2, 3], 1e-6, 1);
+        prop_assert!(r.max_rel_err < 1e-5, "rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn svm_gradcheck_random_points(seed in any::<u64>()) {
+        let data = class_data(6, 4, 2, seed);
+        let model = SmoothedSvm::new(4, 0.4).with_l2(0.02);
+        // Random small w avoids landing exactly on the smoothing joints.
+        let mut w = model.init_params(seed);
+        for (i, v) in w.iter_mut().enumerate() {
+            *v += 0.01 * (i as f64 + 1.0);
+        }
+        let r = check_batch_grad(&model, &w, &data, &[0, 1, 4, 5], 1e-6, 1);
+        prop_assert!(r.max_rel_err < 1e-4, "rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn mlp_gradcheck_random_points(seed in any::<u64>()) {
+        let data = class_data(5, 3, 2, seed);
+        let model = Mlp::new(3, 6, 2);
+        let mut w = model.init_params(seed);
+        // Nudge away from ReLU kinks.
+        for (i, v) in w.iter_mut().enumerate() {
+            *v += 0.03 + 1e-3 * (i as f64).sin();
+        }
+        let r = check_batch_grad(&model, &w, &data, &[0, 1, 2, 3, 4], 1e-6, 1);
+        prop_assert!(r.max_rel_err < 1e-3, "rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn batch_grad_is_convex_combination_of_sample_grads(
+        seed in any::<u64>(),
+        pick in proptest::collection::vec(0usize..8, 1..6),
+    ) {
+        let data = class_data(8, 4, 3, seed);
+        let model = MultinomialLogistic::new(4, 3);
+        let w = model.init_params(seed ^ 1);
+        let mut batch = vec![0.0; model.dim()];
+        model.batch_grad(&w, &data, &pick, &mut batch);
+        let mut manual = vec![0.0; model.dim()];
+        for &i in &pick {
+            model.sample_grad_accum(&w, &data, i, 1.0 / pick.len() as f64, &mut manual);
+        }
+        prop_assert!(vecops::dist(&batch, &manual) < 1e-12);
+    }
+
+    #[test]
+    fn predictions_are_valid_classes(seed in any::<u64>()) {
+        let data = class_data(10, 4, 5, seed);
+        let model = MultinomialLogistic::new(4, 5);
+        let w = model.init_params(seed);
+        for i in 0..data.len() {
+            let p = model.predict(&w, data.x(i));
+            prop_assert!((0.0..5.0).contains(&p) && p.fract() == 0.0);
+        }
+        let acc = model.accuracy(&w, &data);
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn loss_decreases_along_negative_gradient(seed in any::<u64>()) {
+        // First-order sanity: a tiny step along −∇F reduces F.
+        let data = class_data(12, 4, 3, seed);
+        let model = MultinomialLogistic::new(4, 3);
+        let w = model.init_params(seed ^ 2);
+        let mut g = vec![0.0; model.dim()];
+        model.full_grad(&w, &data, &mut g);
+        let gnorm = vecops::norm(&g);
+        prop_assume!(gnorm > 1e-8);
+        let mut w2 = w.clone();
+        vecops::axpy(-1e-5 / gnorm, &g, &mut w2);
+        prop_assert!(model.full_loss(&w2, &data) <= model.full_loss(&w, &data) + 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Virtual clock for synchronous federated rounds.
+//!
+//! Algorithm 1 aggregates *synchronously* (line 12 waits for all devices),
+//! so the simulated duration of round `s` is the **maximum** over devices
+//! of `download + compute + upload`; total training time is the sum over
+//! rounds. With homogeneous constant delays this reduces exactly to the
+//! paper's eq. (19): `T · (d_com + d_cmp · τ)`.
+
+/// Per-device timing of one round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceRoundTiming {
+    /// Server → device transfer time.
+    pub download: f64,
+    /// Local computation time.
+    pub compute: f64,
+    /// Device → server transfer time.
+    pub upload: f64,
+}
+
+impl DeviceRoundTiming {
+    /// Total wall time this device contributes to the round.
+    pub fn total(&self) -> f64 {
+        self.download + self.compute + self.upload
+    }
+}
+
+/// Accumulates simulated time and traffic across rounds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VirtualClock {
+    now: f64,
+    rounds: u64,
+    bytes_down: u64,
+    bytes_up: u64,
+    /// Sum over rounds of the *straggler margin*: round duration minus the
+    /// mean device duration — how much synchronity costs.
+    straggler_waste: f64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance by one synchronous round. Returns the round's duration.
+    pub fn advance_round(&mut self, timings: &[DeviceRoundTiming]) -> f64 {
+        assert!(!timings.is_empty(), "advance_round: no devices");
+        let mut max = 0.0f64;
+        let mut sum = 0.0f64;
+        for t in timings {
+            let tot = t.total();
+            debug_assert!(tot >= 0.0 && tot.is_finite());
+            max = max.max(tot);
+            sum += tot;
+        }
+        self.now += max;
+        self.rounds += 1;
+        self.straggler_waste += max - sum / timings.len() as f64;
+        max
+    }
+
+    /// Record traffic (bytes pushed server→devices and devices→server).
+    pub fn record_traffic(&mut self, down: u64, up: u64) {
+        self.bytes_down += down;
+        self.bytes_up += up;
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Rounds completed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total server→device bytes.
+    pub fn bytes_down(&self) -> u64 {
+        self.bytes_down
+    }
+
+    /// Total device→server bytes.
+    pub fn bytes_up(&self) -> u64 {
+        self.bytes_up
+    }
+
+    /// Accumulated synchronisation waste (see struct docs).
+    pub fn straggler_waste(&self) -> f64 {
+        self.straggler_waste
+    }
+}
+
+/// The paper's closed-form training time, eq. (19):
+/// `𝒯 = T (d_com + d_cmp τ)`.
+pub fn paper_training_time(rounds: u64, d_com: f64, d_cmp: f64, tau: usize) -> f64 {
+    rounds as f64 * (d_com + d_cmp * tau as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_duration_is_max_over_devices() {
+        let mut clock = VirtualClock::new();
+        let dur = clock.advance_round(&[
+            DeviceRoundTiming { download: 0.1, compute: 0.5, upload: 0.1 },
+            DeviceRoundTiming { download: 0.1, compute: 2.0, upload: 0.1 },
+            DeviceRoundTiming { download: 0.2, compute: 0.3, upload: 0.2 },
+        ]);
+        assert!((dur - 2.2).abs() < 1e-12);
+        assert!((clock.now() - 2.2).abs() < 1e-12);
+        assert_eq!(clock.rounds(), 1);
+    }
+
+    #[test]
+    fn homogeneous_rounds_match_eq19() {
+        // constant d_com split half down / half up, d_cmp per iteration.
+        let (d_com, d_cmp, tau, t) = (0.2, 0.01, 20usize, 50u64);
+        let mut clock = VirtualClock::new();
+        for _ in 0..t {
+            let timing = DeviceRoundTiming {
+                download: d_com / 2.0,
+                compute: d_cmp * tau as f64,
+                upload: d_com / 2.0,
+            };
+            clock.advance_round(&[timing; 10]);
+        }
+        let want = paper_training_time(t, d_com, d_cmp, tau);
+        assert!((clock.now() - want).abs() < 1e-9, "{} vs {want}", clock.now());
+    }
+
+    #[test]
+    fn straggler_waste_zero_when_homogeneous() {
+        let mut clock = VirtualClock::new();
+        let t = DeviceRoundTiming { download: 0.1, compute: 1.0, upload: 0.1 };
+        clock.advance_round(&[t; 5]);
+        assert!(clock.straggler_waste().abs() < 1e-12);
+        // One straggler doubles the round: waste appears.
+        let mut slow = t;
+        slow.compute = 2.0;
+        clock.advance_round(&[t, t, slow]);
+        assert!(clock.straggler_waste() > 0.3);
+    }
+
+    #[test]
+    fn traffic_accumulates() {
+        let mut clock = VirtualClock::new();
+        clock.record_traffic(100, 50);
+        clock.record_traffic(10, 5);
+        assert_eq!(clock.bytes_down(), 110);
+        assert_eq!(clock.bytes_up(), 55);
+    }
+
+    #[test]
+    #[should_panic(expected = "no devices")]
+    fn empty_round_panics() {
+        VirtualClock::new().advance_round(&[]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Compact binary wire codec.
+//!
+//! Hand-rolled (one tag byte, little-endian fixed-width fields, raw `f64`
+//! arrays) rather than JSON: the experiments count real traffic, and a
+//! 135k-parameter CNN model is ~1 MB per message — textual encodings
+//! would triple it and distort the communication-cost model.
+
+use crate::message::Message;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const TAG_GLOBAL: u8 = 1;
+const TAG_LOCAL: u8 = 2;
+const TAG_SHUTDOWN: u8 = 3;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Buffer ended before the advertised payload.
+    Truncated,
+    /// Unknown message tag byte.
+    BadTag(u8),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "codec: truncated message"),
+            CodecError::BadTag(t) => write!(f, "codec: unknown tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_params(buf: &mut BytesMut, params: &[f64]) {
+    buf.put_u64_le(params.len() as u64);
+    for &p in params {
+        buf.put_f64_le(p);
+    }
+}
+
+fn get_params(buf: &mut &[u8]) -> Result<Vec<f64>, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let n = buf.get_u64_le() as usize;
+    if buf.remaining() < n * 8 {
+        return Err(CodecError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(buf.get_f64_le());
+    }
+    Ok(out)
+}
+
+/// Encode a message to its wire form.
+pub fn encode(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::new();
+    match msg {
+        Message::GlobalModel { round, params } => {
+            buf.put_u8(TAG_GLOBAL);
+            buf.put_u32_le(*round);
+            put_params(&mut buf, params);
+        }
+        Message::LocalModel { device, round, params, weight, grad_evals, compute_time } => {
+            buf.put_u8(TAG_LOCAL);
+            buf.put_u32_le(*device);
+            buf.put_u32_le(*round);
+            buf.put_f64_le(*weight);
+            buf.put_u64_le(*grad_evals);
+            buf.put_f64_le(*compute_time);
+            put_params(&mut buf, params);
+        }
+        Message::Shutdown => {
+            buf.put_u8(TAG_SHUTDOWN);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a wire buffer back into a [`Message`].
+pub fn decode(mut buf: &[u8]) -> Result<Message, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    let tag = buf.get_u8();
+    match tag {
+        TAG_GLOBAL => {
+            if buf.remaining() < 4 {
+                return Err(CodecError::Truncated);
+            }
+            let round = buf.get_u32_le();
+            let params = get_params(&mut buf)?;
+            Ok(Message::GlobalModel { round, params })
+        }
+        TAG_LOCAL => {
+            if buf.remaining() < 4 + 4 + 8 + 8 + 8 {
+                return Err(CodecError::Truncated);
+            }
+            let device = buf.get_u32_le();
+            let round = buf.get_u32_le();
+            let weight = buf.get_f64_le();
+            let grad_evals = buf.get_u64_le();
+            let compute_time = buf.get_f64_le();
+            let params = get_params(&mut buf)?;
+            Ok(Message::LocalModel { device, round, params, weight, grad_evals, compute_time })
+        }
+        TAG_SHUTDOWN => Ok(Message::Shutdown),
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+/// Size in bytes of the encoded form without materialising it.
+pub fn encoded_len(msg: &Message) -> usize {
+    match msg {
+        Message::GlobalModel { params, .. } => 1 + 4 + 8 + 8 * params.len(),
+        Message::LocalModel { params, .. } => 1 + 4 + 4 + 8 + 8 + 8 + 8 + 8 * params.len(),
+        Message::Shutdown => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let b = encode(&msg);
+        assert_eq!(b.len(), encoded_len(&msg), "encoded_len mismatch");
+        let back = decode(&b).expect("decode");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn roundtrip_global() {
+        roundtrip(Message::GlobalModel { round: 42, params: vec![1.5, -2.25, 0.0, f64::MIN] });
+    }
+
+    #[test]
+    fn roundtrip_local() {
+        roundtrip(Message::LocalModel {
+            device: 7,
+            round: 9,
+            params: vec![std::f64::consts::PI; 33],
+            weight: 0.125,
+            grad_evals: 1234,
+            compute_time: 0.75,
+        });
+    }
+
+    #[test]
+    fn roundtrip_shutdown() {
+        roundtrip(Message::Shutdown);
+    }
+
+    #[test]
+    fn roundtrip_empty_params() {
+        roundtrip(Message::GlobalModel { round: 0, params: vec![] });
+    }
+
+    #[test]
+    fn truncated_fails() {
+        let b = encode(&Message::GlobalModel { round: 1, params: vec![1.0, 2.0] });
+        for cut in [0, 1, 4, 12, b.len() - 1] {
+            assert!(decode(&b[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn bad_tag_fails() {
+        assert_eq!(decode(&[99]), Err(CodecError::BadTag(99)));
+    }
+
+    #[test]
+    fn nan_survives() {
+        let b = encode(&Message::GlobalModel { round: 1, params: vec![f64::NAN] });
+        match decode(&b).unwrap() {
+            Message::GlobalModel { params, .. } => assert!(params[0].is_nan()),
+            _ => panic!("wrong variant"),
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Lossy model-update compression for the uplink.
+//!
+//! The paper's communication-cost motivation (and its reference to
+//! Konečný et al.'s "strategies for improving communication efficiency")
+//! makes compression the natural companion substrate: devices send
+//! *updates*, and updates tolerate sparsification/quantisation. Provided
+//! schemes:
+//!
+//! * [`Compressor::TopK`] — keep the `k` largest-magnitude coordinates
+//!   (index + value pairs on the wire),
+//! * [`Compressor::Uniform`] — b-bit uniform quantisation over the
+//!   value range (deterministic, round-to-nearest),
+//! * [`Compressor::None`] — identity (raw f64s).
+//!
+//! Every scheme round-trips through a compact wire form with exact byte
+//! accounting, so the communication experiments can price them.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// A compression scheme for flat parameter vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Compressor {
+    /// Identity: 8 bytes per coordinate.
+    None,
+    /// Keep the `k` largest-|v| coordinates; the rest decode to zero.
+    TopK {
+        /// How many coordinates to keep.
+        k: usize,
+    },
+    /// Uniform quantisation to `bits` bits per coordinate over the
+    /// vector's `[min, max]` range (plus a 16-byte header).
+    Uniform {
+        /// Bits per coordinate (1..=16).
+        bits: u8,
+    },
+}
+
+/// A compressed vector plus everything needed to reconstruct it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compressed {
+    /// Wire bytes.
+    pub payload: Vec<u8>,
+    /// Original length (needed by Top-K to re-densify).
+    pub dim: u32,
+    /// Which scheme produced it.
+    pub scheme: u8,
+}
+
+const SCHEME_NONE: u8 = 0;
+const SCHEME_TOPK: u8 = 1;
+const SCHEME_UNIFORM: u8 = 2;
+
+impl Compressor {
+    /// Compress `v`.
+    pub fn compress(&self, v: &[f64]) -> Compressed {
+        match *self {
+            Compressor::None => {
+                let mut buf = BytesMut::with_capacity(v.len() * 8);
+                for &x in v {
+                    buf.put_f64_le(x);
+                }
+                Compressed { payload: buf.to_vec(), dim: v.len() as u32, scheme: SCHEME_NONE }
+            }
+            Compressor::TopK { k } => {
+                let k = k.min(v.len());
+                // Indices of the k largest magnitudes.
+                let mut idx: Vec<u32> = (0..v.len() as u32).collect();
+                idx.select_nth_unstable_by(k.saturating_sub(1).min(v.len().saturating_sub(1)), |&a, &b| {
+                    v[b as usize]
+                        .abs()
+                        .partial_cmp(&v[a as usize].abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let mut kept: Vec<u32> = idx[..k].to_vec();
+                kept.sort_unstable();
+                let mut buf = BytesMut::with_capacity(4 + k * 12);
+                buf.put_u32_le(k as u32);
+                for &i in &kept {
+                    buf.put_u32_le(i);
+                    buf.put_f64_le(v[i as usize]);
+                }
+                Compressed { payload: buf.to_vec(), dim: v.len() as u32, scheme: SCHEME_TOPK }
+            }
+            Compressor::Uniform { bits } => {
+                assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+                let levels = (1u32 << bits) - 1;
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &x in v {
+                    lo = lo.min(x);
+                    hi = hi.max(x);
+                }
+                if v.is_empty() {
+                    lo = 0.0;
+                    hi = 0.0;
+                }
+                let span = if hi > lo { hi - lo } else { 1.0 };
+                let mut buf = BytesMut::with_capacity(17 + v.len() * 2);
+                buf.put_f64_le(lo);
+                buf.put_f64_le(hi);
+                buf.put_u8(bits);
+                // Pack codes bit-by-bit.
+                let mut acc: u64 = 0;
+                let mut nbits: u32 = 0;
+                for &x in v {
+                    let q = (((x - lo) / span) * levels as f64).round() as u64;
+                    acc |= q << nbits;
+                    nbits += bits as u32;
+                    while nbits >= 8 {
+                        buf.put_u8((acc & 0xFF) as u8);
+                        acc >>= 8;
+                        nbits -= 8;
+                    }
+                }
+                if nbits > 0 {
+                    buf.put_u8((acc & 0xFF) as u8);
+                }
+                Compressed { payload: buf.to_vec(), dim: v.len() as u32, scheme: SCHEME_UNIFORM }
+            }
+        }
+    }
+
+    /// Decompress back to a dense vector.
+    pub fn decompress(c: &Compressed) -> Vec<f64> {
+        let dim = c.dim as usize;
+        let mut buf: &[u8] = &c.payload;
+        match c.scheme {
+            SCHEME_NONE => {
+                let mut out = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    out.push(buf.get_f64_le());
+                }
+                out
+            }
+            SCHEME_TOPK => {
+                let k = buf.get_u32_le() as usize;
+                let mut out = vec![0.0; dim];
+                for _ in 0..k {
+                    let i = buf.get_u32_le() as usize;
+                    let v = buf.get_f64_le();
+                    out[i] = v;
+                }
+                out
+            }
+            SCHEME_UNIFORM => {
+                let lo = buf.get_f64_le();
+                let hi = buf.get_f64_le();
+                let bits = buf.get_u8();
+                let levels = (1u32 << bits) - 1;
+                let span = if hi > lo { hi - lo } else { 1.0 };
+                let mut out = Vec::with_capacity(dim);
+                let mut acc: u64 = 0;
+                let mut nbits: u32 = 0;
+                for _ in 0..dim {
+                    while nbits < bits as u32 {
+                        acc |= (buf.get_u8() as u64) << nbits;
+                        nbits += 8;
+                    }
+                    let q = acc & ((1u64 << bits) - 1);
+                    acc >>= bits;
+                    nbits -= bits as u32;
+                    out.push(lo + q as f64 / levels as f64 * span);
+                }
+                out
+            }
+            other => panic!("unknown compression scheme {other}"),
+        }
+    }
+
+    /// Bytes on the wire for a `dim`-vector under this scheme (payload
+    /// only, excluding framing).
+    pub fn wire_bytes(&self, dim: usize) -> usize {
+        match *self {
+            Compressor::None => dim * 8,
+            Compressor::TopK { k } => 4 + k.min(dim) * 12,
+            Compressor::Uniform { bits } => 17 + (dim * bits as usize).div_ceil(8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64 * 0.71).sin() * 3.0) + if i % 17 == 0 { 10.0 } else { 0.0 }).collect()
+    }
+
+    #[test]
+    fn none_roundtrips_exactly() {
+        let v = sample(100);
+        let c = Compressor::None.compress(&v);
+        assert_eq!(c.payload.len(), Compressor::None.wire_bytes(100));
+        let back = Compressor::decompress(&c);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn topk_keeps_largest_magnitudes() {
+        let v = vec![0.1, -5.0, 0.2, 3.0, -0.05];
+        let c = Compressor::TopK { k: 2 }.compress(&v);
+        let back = Compressor::decompress(&c);
+        assert_eq!(back, vec![0.0, -5.0, 0.0, 3.0, 0.0]);
+        assert_eq!(c.payload.len(), Compressor::TopK { k: 2 }.wire_bytes(5));
+    }
+
+    #[test]
+    fn topk_k_larger_than_dim_is_identity_support() {
+        let v = vec![1.0, 2.0];
+        let c = Compressor::TopK { k: 10 }.compress(&v);
+        assert_eq!(Compressor::decompress(&c), v);
+    }
+
+    #[test]
+    fn topk_compression_ratio() {
+        // 1% of a CNN-sized vector: ~66x smaller than raw.
+        let dim = 135_000;
+        let scheme = Compressor::TopK { k: dim / 100 };
+        let ratio = (dim * 8) as f64 / scheme.wire_bytes(dim) as f64;
+        assert!(ratio > 40.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn uniform_quantisation_error_bounded() {
+        let v = sample(500);
+        for bits in [4u8, 8, 12, 16] {
+            let scheme = Compressor::Uniform { bits };
+            let c = scheme.compress(&v);
+            assert_eq!(c.payload.len(), scheme.wire_bytes(500));
+            let back = Compressor::decompress(&c);
+            let span = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - v.iter().cloned().fold(f64::INFINITY, f64::min);
+            let step = span / ((1u32 << bits) - 1) as f64;
+            for (a, b) in v.iter().zip(&back) {
+                assert!(
+                    (a - b).abs() <= step / 2.0 + 1e-12,
+                    "bits={bits}: err {} > half-step {}",
+                    (a - b).abs(),
+                    step / 2.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_bits_lower_error() {
+        let v = sample(300);
+        let err = |bits: u8| -> f64 {
+            let back = Compressor::decompress(&Compressor::Uniform { bits }.compress(&v));
+            v.iter().zip(&back).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+        };
+        assert!(err(4) > err(8));
+        assert!(err(8) > err(12));
+    }
+
+    #[test]
+    fn uniform_handles_constant_and_empty_vectors() {
+        let v = vec![2.5; 20];
+        let c = Compressor::Uniform { bits: 8 }.compress(&v);
+        let back = Compressor::decompress(&c);
+        for b in back {
+            assert!((b - 2.5).abs() < 1e-12);
+        }
+        let e = Compressor::Uniform { bits: 8 }.compress(&[]);
+        assert_eq!(Compressor::decompress(&e), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn quantised_wire_size_beats_raw() {
+        let dim = 7850; // logistic model
+        let q8 = Compressor::Uniform { bits: 8 }.wire_bytes(dim);
+        assert!(q8 < dim * 8 / 7, "8-bit should be ~8x smaller, got {q8}");
+    }
+}

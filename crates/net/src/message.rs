@@ -1,0 +1,53 @@
+//! Wire messages exchanged between the server and devices.
+
+/// A protocol message. Parameters travel as `f64` vectors — exactly the
+/// local/global models of Algorithm 1 (lines 11–12).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Server → device: the current global model `w̄^{(s−1)}`.
+    GlobalModel {
+        /// Global iteration index `s`.
+        round: u32,
+        /// Flat model parameters.
+        params: Vec<f64>,
+    },
+    /// Device → server: the local model `w_n^{(s)}` plus accounting.
+    LocalModel {
+        /// Sending device id.
+        device: u32,
+        /// Global iteration index `s`.
+        round: u32,
+        /// Flat model parameters.
+        params: Vec<f64>,
+        /// Aggregation weight `D_n / D`.
+        weight: f64,
+        /// Per-sample gradient evaluations spent this round.
+        grad_evals: u64,
+        /// Simulated local compute time in seconds.
+        compute_time: f64,
+    },
+    /// Server → device: stop and join.
+    Shutdown,
+}
+
+impl Message {
+    /// Round number carried by the message, if any.
+    pub fn round(&self) -> Option<u32> {
+        match self {
+            Message::GlobalModel { round, .. } | Message::LocalModel { round, .. } => Some(*round),
+            Message::Shutdown => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_accessor() {
+        let g = Message::GlobalModel { round: 3, params: vec![] };
+        assert_eq!(g.round(), Some(3));
+        assert_eq!(Message::Shutdown.round(), None);
+    }
+}

@@ -1,0 +1,456 @@
+//! Thread-per-device actor runtime.
+//!
+//! One OS thread per device, crossbeam channels for transport, every
+//! model crossing a channel in encoded wire form (so byte counts are
+//! real). The server thread drives synchronous rounds: broadcast the
+//! global model, wait for all local models, aggregate weighted by
+//! `D_n / D` (Algorithm 1 line 12), advance the virtual clock.
+//!
+//! Failure injection: links may drop messages with probability
+//! `drop_prob` — a drop costs one extra latency sample and is counted as
+//! a retransmission (the payload always arrives eventually, as a
+//! reliable transport would ensure); one device may be designated a
+//! straggler with a compute-time multiplier.
+
+use crate::clock::{DeviceRoundTiming, VirtualClock};
+use crate::codec;
+use crate::delay::LinkSpec;
+use crate::message::Message;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a device hands back after its local update.
+#[derive(Debug, Clone)]
+pub struct DeviceReply {
+    /// Local model `w_n^{(s)}`.
+    pub params: Vec<f64>,
+    /// Aggregation weight `D_n / D`.
+    pub weight: f64,
+    /// Per-sample gradient evaluations spent this round.
+    pub grad_evals: u64,
+    /// Simulated compute time in seconds (before straggler scaling).
+    pub compute_time: f64,
+}
+
+/// A device's local-update logic, driven by the runtime.
+pub trait DeviceWorker: Send {
+    /// Perform the local update for `round` starting from `global`.
+    fn update(&mut self, round: u32, global: &[f64]) -> DeviceReply;
+}
+
+impl<W: DeviceWorker + ?Sized> DeviceWorker for Box<W> {
+    fn update(&mut self, round: u32, global: &[f64]) -> DeviceReply {
+        (**self).update(round, global)
+    }
+}
+
+/// Adapter turning a closure into a [`DeviceWorker`].
+pub struct FnWorker<F>(pub F);
+
+impl<F> DeviceWorker for FnWorker<F>
+where
+    F: FnMut(u32, &[f64]) -> DeviceReply + Send,
+{
+    fn update(&mut self, round: u32, global: &[f64]) -> DeviceReply {
+        (self.0)(round, global)
+    }
+}
+
+/// Runtime options.
+#[derive(Debug, Clone)]
+pub struct NetOptions {
+    /// Server → device link.
+    pub downlink: LinkSpec,
+    /// Device → server link.
+    pub uplink: LinkSpec,
+    /// Probability that any single transmission attempt is dropped.
+    pub drop_prob: f64,
+    /// Optional straggler: `(device index, compute multiplier)`.
+    pub straggler: Option<(usize, f64)>,
+    /// Optional per-round multiplicative compute jitter applied to every
+    /// device's reported compute time (e.g. a LogNormal with μ = 0 models
+    /// CPU contention on real handsets). Sampled per (device, round).
+    pub compute_jitter: Option<crate::delay::DelayModel>,
+    /// Seed for the delay/drop randomness.
+    pub seed: u64,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            downlink: LinkSpec::constant(0.05),
+            uplink: LinkSpec::constant(0.05),
+            drop_prob: 0.0,
+            straggler: None,
+            compute_jitter: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a networked run.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// Final global model.
+    pub final_model: Vec<f64>,
+    /// Virtual clock at the end (time, traffic, waste).
+    pub clock: VirtualClock,
+    /// Total retransmitted messages.
+    pub retransmissions: u64,
+    /// Duration of each completed round.
+    pub round_durations: Vec<f64>,
+    /// Rounds actually executed (callback may stop early).
+    pub rounds_run: u32,
+}
+
+/// The actor runtime.
+#[derive(Debug, Default)]
+pub struct NetworkRuntime;
+
+impl NetworkRuntime {
+    /// Run `rounds` synchronous rounds over `workers`, starting from
+    /// `initial`. `on_round(round, global)` fires after each aggregation;
+    /// returning `false` stops the run early (used by divergence guards
+    /// and time-budget experiments).
+    pub fn run<W: DeviceWorker>(
+        &self,
+        workers: Vec<W>,
+        initial: Vec<f64>,
+        rounds: u32,
+        opts: &NetOptions,
+        mut on_round: impl FnMut(u32, &[f64]) -> bool,
+    ) -> NetReport {
+        let n = workers.len();
+        assert!(n > 0, "network runtime needs at least one device");
+        let dim = initial.len();
+
+        // Per-device command channels and one shared reply channel.
+        let mut to_device: Vec<Sender<Bytes>> = Vec::with_capacity(n);
+        let mut device_rx: Vec<Receiver<Bytes>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            to_device.push(tx);
+            device_rx.push(rx);
+        }
+        let (reply_tx, reply_rx) = unbounded::<Bytes>();
+
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x6E75);
+        let mut clock = VirtualClock::new();
+        let mut retransmissions = 0u64;
+        let mut round_durations = Vec::new();
+        let mut global = initial;
+        let mut rounds_run = 0;
+
+        crossbeam::scope(|scope| {
+            // Device actors.
+            for (id, (mut worker, rx)) in
+                workers.into_iter().zip(device_rx).enumerate()
+            {
+                let reply_tx = reply_tx.clone();
+                scope.spawn(move |_| {
+                    while let Ok(frame) = rx.recv() {
+                        match codec::decode(&frame).expect("device: bad frame") {
+                            Message::GlobalModel { round, params } => {
+                                let reply = worker.update(round, &params);
+                                let msg = Message::LocalModel {
+                                    device: id as u32,
+                                    round,
+                                    params: reply.params,
+                                    weight: reply.weight,
+                                    grad_evals: reply.grad_evals,
+                                    compute_time: reply.compute_time,
+                                };
+                                reply_tx.send(codec::encode(&msg)).expect("reply channel");
+                            }
+                            Message::Shutdown => break,
+                            Message::LocalModel { .. } => {
+                                unreachable!("device received a LocalModel")
+                            }
+                        }
+                    }
+                });
+            }
+            drop(reply_tx);
+
+            // Server loop.
+            'rounds: for round in 0..rounds {
+                let broadcast =
+                    codec::encode(&Message::GlobalModel { round, params: global.clone() });
+                let down_len = broadcast.len();
+
+                // Simulate downlink per device (retransmit on drop).
+                let mut downloads = vec![0.0f64; n];
+                for (d, dl) in downloads.iter_mut().enumerate() {
+                    let (delay, re) =
+                        simulate_transfer(&opts.downlink, down_len, opts.drop_prob, &mut rng);
+                    *dl = delay;
+                    retransmissions += re;
+                    clock.record_traffic((re + 1) * down_len as u64, 0);
+                    to_device[d].send(broadcast.clone()).expect("send to device");
+                }
+
+                // Collect all local models.
+                let mut timings = vec![
+                    DeviceRoundTiming { download: 0.0, compute: 0.0, upload: 0.0 };
+                    n
+                ];
+                // Collect into per-device slots first, then aggregate in
+                // device-id order — floating-point addition is not
+                // associative, and the sequential/parallel backends sum in
+                // id order, so this keeps all three backends bit-identical.
+                let mut slots: Vec<Option<(Vec<f64>, f64)>> = vec![None; n];
+                for _ in 0..n {
+                    let frame = reply_rx.recv().expect("collect local model");
+                    let up_len = frame.len();
+                    match codec::decode(&frame).expect("server: bad frame") {
+                        Message::LocalModel {
+                            device, params, weight, compute_time, round: r, ..
+                        } => {
+                            assert_eq!(r, round, "stale round from device {device}");
+                            let d = device as usize;
+                            let (up_delay, re) = simulate_transfer(
+                                &opts.uplink,
+                                up_len,
+                                opts.drop_prob,
+                                &mut rng,
+                            );
+                            retransmissions += re;
+                            clock.record_traffic(0, (re + 1) * up_len as u64);
+                            let mut compute = compute_time;
+                            if let Some((straggler, mult)) = opts.straggler {
+                                if d == straggler {
+                                    compute *= mult;
+                                }
+                            }
+                            if let Some(jitter) = &opts.compute_jitter {
+                                compute *= jitter.sample(&mut rng);
+                            }
+                            timings[d] = DeviceRoundTiming {
+                                download: downloads[d],
+                                compute,
+                                upload: up_delay,
+                            };
+                            slots[d] = Some((params, weight));
+                        }
+                        other => unreachable!("server received {other:?}"),
+                    }
+                }
+                let mut agg = vec![0.0f64; dim];
+                let mut weight_sum = 0.0;
+                for slot in &slots {
+                    let (params, weight) = slot.as_ref().expect("missing device reply");
+                    for (a, p) in agg.iter_mut().zip(params) {
+                        *a += weight * p;
+                    }
+                    weight_sum += weight;
+                }
+                assert!(weight_sum > 0.0, "aggregation weights sum to zero");
+                for a in agg.iter_mut() {
+                    *a /= weight_sum;
+                }
+                global = agg;
+                round_durations.push(clock.advance_round(&timings));
+                rounds_run = round + 1;
+                if !on_round(round, &global) {
+                    break 'rounds;
+                }
+            }
+
+            // Shut the actors down.
+            let bye = codec::encode(&Message::Shutdown);
+            for tx in &to_device {
+                let _ = tx.send(bye.clone());
+            }
+        })
+        .expect("actor scope");
+
+        NetReport { final_model: global, clock, retransmissions, round_durations, rounds_run }
+    }
+}
+
+/// One logical transfer over `link`: retries until a send succeeds, each
+/// attempt costing a fresh delay sample. Returns `(total delay, retries)`.
+fn simulate_transfer(
+    link: &LinkSpec,
+    bytes: usize,
+    drop_prob: f64,
+    rng: &mut StdRng,
+) -> (f64, u64) {
+    let mut total = link.transfer_time(bytes, rng);
+    let mut retries = 0u64;
+    while drop_prob > 0.0 && rng.gen_range(0.0..1.0) < drop_prob {
+        retries += 1;
+        total += link.transfer_time(bytes, rng);
+        if retries > 1000 {
+            panic!("drop probability too close to 1");
+        }
+    }
+    (total, retries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::DelayModel;
+
+    /// Worker that averages toward a target point.
+    fn toward(target: Vec<f64>, weight: f64) -> Box<dyn DeviceWorker> {
+        Box::new(FnWorker(move |_round: u32, global: &[f64]| {
+            let params: Vec<f64> =
+                global.iter().zip(&target).map(|(g, t)| g + 0.5 * (t - g)).collect();
+            DeviceReply { params, weight, grad_evals: 10, compute_time: 0.01 }
+        }))
+    }
+
+    #[test]
+    fn converges_to_weighted_consensus() {
+        let workers: Vec<Box<dyn DeviceWorker>> = vec![
+            toward(vec![1.0, 1.0], 0.5),
+            toward(vec![3.0, -1.0], 0.5),
+        ];
+        let report = NetworkRuntime.run(
+            workers,
+            vec![0.0, 0.0],
+            60,
+            &NetOptions::default(),
+            |_, _| true,
+        );
+        // Fixed point: average of the two targets.
+        assert!((report.final_model[0] - 2.0).abs() < 1e-6, "{:?}", report.final_model);
+        assert!((report.final_model[1] - 0.0).abs() < 1e-6);
+        assert_eq!(report.rounds_run, 60);
+        assert_eq!(report.clock.rounds(), 60);
+    }
+
+    #[test]
+    fn virtual_time_matches_constant_delays() {
+        let opts = NetOptions {
+            downlink: LinkSpec::constant(0.1),
+            uplink: LinkSpec::constant(0.2),
+            ..Default::default()
+        };
+        let workers: Vec<Box<dyn DeviceWorker>> =
+            vec![toward(vec![0.0], 1.0), toward(vec![0.0], 1.0)];
+        let report = NetworkRuntime.run(workers, vec![5.0], 10, &opts, |_, _| true);
+        // Each round: 0.1 + 0.01 + 0.2 = 0.31.
+        assert!((report.clock.now() - 3.1).abs() < 1e-9, "{}", report.clock.now());
+        assert!(report.round_durations.iter().all(|&d| (d - 0.31).abs() < 1e-12));
+    }
+
+    #[test]
+    fn traffic_counted_in_real_bytes() {
+        let dim = 7;
+        let workers: Vec<Box<dyn DeviceWorker>> = vec![toward(vec![0.0; dim], 1.0)];
+        let report = NetworkRuntime.run(workers, vec![1.0; dim], 3, &NetOptions::default(), |_, _| true);
+        let down_msg = codec::encoded_len(&Message::GlobalModel { round: 0, params: vec![0.0; dim] });
+        let up_msg = codec::encoded_len(&Message::LocalModel {
+            device: 0,
+            round: 0,
+            params: vec![0.0; dim],
+            weight: 1.0,
+            grad_evals: 0,
+            compute_time: 0.0,
+        });
+        assert_eq!(report.clock.bytes_down(), 3 * down_msg as u64);
+        assert_eq!(report.clock.bytes_up(), 3 * up_msg as u64);
+    }
+
+    #[test]
+    fn early_stop_via_callback() {
+        let workers: Vec<Box<dyn DeviceWorker>> = vec![toward(vec![0.0], 1.0)];
+        let report =
+            NetworkRuntime.run(workers, vec![8.0], 100, &NetOptions::default(), |round, _| {
+                round < 4
+            });
+        assert_eq!(report.rounds_run, 5);
+    }
+
+    #[test]
+    fn drops_cause_retransmissions_but_not_loss() {
+        let opts = NetOptions { drop_prob: 0.3, seed: 42, ..Default::default() };
+        let workers: Vec<Box<dyn DeviceWorker>> =
+            vec![toward(vec![1.0], 0.7), toward(vec![1.0], 0.3)];
+        let report = NetworkRuntime.run(workers, vec![0.0], 40, &opts, |_, _| true);
+        assert!(report.retransmissions > 0, "expected some drops at p=0.3");
+        // The run still converges: payloads are never lost.
+        assert!((report.final_model[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn straggler_dominates_round_duration() {
+        let opts = NetOptions {
+            straggler: Some((1, 50.0)),
+            downlink: LinkSpec::constant(0.0),
+            uplink: LinkSpec::constant(0.0),
+            ..Default::default()
+        };
+        let workers: Vec<Box<dyn DeviceWorker>> =
+            vec![toward(vec![0.0], 0.5), toward(vec![0.0], 0.5)];
+        let report = NetworkRuntime.run(workers, vec![1.0], 5, &opts, |_, _| true);
+        // compute 0.01 × 50 = 0.5 per round.
+        assert!((report.clock.now() - 2.5).abs() < 1e-9);
+        assert!(report.clock.straggler_waste() > 1.0);
+    }
+
+    #[test]
+    fn compute_jitter_varies_round_durations_deterministically() {
+        let mk = |seed: u64| NetOptions {
+            downlink: LinkSpec::constant(0.0),
+            uplink: LinkSpec::constant(0.0),
+            compute_jitter: Some(DelayModel::LogNormal { mu: 0.0, sigma: 0.5 }),
+            seed,
+            ..Default::default()
+        };
+        let run = |seed: u64| {
+            let workers: Vec<Box<dyn DeviceWorker>> =
+                vec![toward(vec![0.0], 0.5), toward(vec![0.0], 0.5)];
+            NetworkRuntime.run(workers, vec![1.0], 10, &mk(seed), |_, _| true)
+        };
+        let a = run(3);
+        let b = run(3);
+        assert_eq!(a.round_durations, b.round_durations, "jitter must be seeded");
+        // Jitter makes durations vary across rounds.
+        let mean = a.round_durations.iter().sum::<f64>() / a.round_durations.len() as f64;
+        assert!(a.round_durations.iter().any(|&d| (d - mean).abs() > 1e-6));
+        // Math is untouched.
+        assert!((a.final_model[0] - run(99).final_model[0]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn heterogeneous_weights_respected() {
+        // Device A (weight 0.9) pins to 10, device B (0.1) pins to 0:
+        // aggregation should sit near 9 after convergence.
+        let pin = |target: f64, weight: f64| -> Box<dyn DeviceWorker> {
+            Box::new(FnWorker(move |_r: u32, _g: &[f64]| DeviceReply {
+                params: vec![target],
+                weight,
+                grad_evals: 1,
+                compute_time: 0.0,
+            }))
+        };
+        let workers: Vec<Box<dyn DeviceWorker>> = vec![pin(10.0, 0.9), pin(0.0, 0.1)];
+        let report = NetworkRuntime.run(workers, vec![0.0], 2, &NetOptions::default(), |_, _| true);
+        assert!((report.final_model[0] - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_delays_produce_variable_rounds() {
+        let opts = NetOptions {
+            downlink: LinkSpec {
+                latency: DelayModel::LogNormal { mu: -3.0, sigma: 1.0 },
+                bytes_per_sec: f64::INFINITY,
+            },
+            seed: 9,
+            ..Default::default()
+        };
+        let workers: Vec<Box<dyn DeviceWorker>> = (0..4)
+            .map(|_| toward(vec![0.0], 0.25))
+            .collect();
+        let report = NetworkRuntime.run(workers, vec![1.0], 20, &opts, |_, _| true);
+        let durs = &report.round_durations;
+        let mean = durs.iter().sum::<f64>() / durs.len() as f64;
+        assert!(durs.iter().any(|&d| (d - mean).abs() > 1e-6), "rounds identical");
+    }
+}

@@ -1,0 +1,25 @@
+//! Optimization substrate for FedProxVR.
+//!
+//! Implements exactly the machinery of the paper's Algorithm 1:
+//!
+//! * [`prox`] — proximal operators, including the closed-form
+//!   prox of the quadratic penalty `h_s(w) = μ/2 ‖w − w̄‖²` (eq. (10)) and
+//!   a generic iterative prox used to cross-validate it,
+//! * [`estimator`] — the stochastic gradient estimators of eq. (8):
+//!   SARAH (8a), SVRG (8b), plus plain SGD and full GD as baselines,
+//! * [`solver`] — the inner loop (lines 3–10): τ proximal steps with a
+//!   chosen estimator, returning the uniformly-random iterate of line 10,
+//! * [`step`] — step-size schedules (the paper's fixed `η = 1/(βL)` and a
+//!   diminishing schedule for comparison).
+
+#![warn(missing_docs)]
+
+pub mod estimator;
+pub mod prox;
+pub mod solver;
+pub mod step;
+
+pub use estimator::{Estimator, EstimatorKind};
+pub use prox::{ElasticNetProx, IterativeProx, L1Prox, Proximal, QuadraticProx, SparseQuadraticProx, ZeroProx};
+pub use solver::{LocalOutcome, LocalSolver, LocalSolverConfig};
+pub use step::StepSize;

@@ -1,0 +1,80 @@
+//! Step-size schedules.
+//!
+//! The paper fixes `η = 1/(βL)` (Section 4.2, footnote 1: "a fixed step
+//! size is more practical than diminishing step size"); a diminishing
+//! schedule is provided for the ablation bench that justifies that choice.
+
+use serde::{Deserialize, Serialize};
+
+/// Step-size schedule evaluated per local iteration `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StepSize {
+    /// The paper's fixed `η = 1/(βL)`.
+    FixedBeta {
+        /// Step-size parameter β (> 0).
+        beta: f64,
+        /// Smoothness constant L of the per-sample losses.
+        smoothness: f64,
+    },
+    /// A fixed constant `η`.
+    Constant(f64),
+    /// Diminishing `η_t = c / (t + 1)` (ablation only).
+    Diminishing {
+        /// Numerator constant c.
+        c: f64,
+    },
+}
+
+impl StepSize {
+    /// The step to use at local iteration `t` (0-based).
+    pub fn at(&self, t: usize) -> f64 {
+        match *self {
+            StepSize::FixedBeta { beta, smoothness } => {
+                debug_assert!(beta > 0.0 && smoothness > 0.0);
+                1.0 / (beta * smoothness)
+            }
+            StepSize::Constant(eta) => eta,
+            StepSize::Diminishing { c } => c / (t as f64 + 1.0),
+        }
+    }
+
+    /// Convenience constructor for the paper's schedule.
+    pub fn paper(beta: f64, smoothness: f64) -> Self {
+        assert!(beta > 0.0, "beta must be positive");
+        assert!(smoothness > 0.0, "L must be positive");
+        StepSize::FixedBeta { beta, smoothness }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_beta_is_inverse_beta_l() {
+        let s = StepSize::paper(5.0, 2.0);
+        assert!((s.at(0) - 0.1).abs() < 1e-15);
+        assert_eq!(s.at(0), s.at(100));
+    }
+
+    #[test]
+    fn constant_ignores_t() {
+        let s = StepSize::Constant(0.3);
+        assert_eq!(s.at(0), 0.3);
+        assert_eq!(s.at(9), 0.3);
+    }
+
+    #[test]
+    fn diminishing_decreases() {
+        let s = StepSize::Diminishing { c: 1.0 };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(1), 0.5);
+        assert!(s.at(10) < s.at(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be positive")]
+    fn paper_rejects_bad_beta() {
+        let _ = StepSize::paper(0.0, 1.0);
+    }
+}

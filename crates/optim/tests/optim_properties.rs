@@ -1,0 +1,153 @@
+//! Property-based tests of the optimization substrate.
+
+use fedprox_data::Dataset;
+use fedprox_models::{LinearRegression, LossModel};
+use fedprox_optim::estimator::{Estimator, EstimatorKind};
+use fedprox_optim::solver::{IterateChoice, LocalSolver, LocalSolverConfig};
+use fedprox_optim::{Proximal, QuadraticProx, StepSize, ZeroProx};
+use fedprox_tensor::{vecops, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(n: usize, seed: u64) -> Dataset {
+    let mut f = Matrix::zeros(n, 3);
+    let mut y = Vec::with_capacity(n);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    for i in 0..n {
+        let row = [next(), next(), next()];
+        f.row_mut(i).copy_from_slice(&row);
+        y.push(row[0] - 2.0 * row[1] + 0.5 * row[2]);
+    }
+    Dataset::new(f, y, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn svrg_direction_unbiased_over_all_singletons(
+        seed in any::<u64>(),
+        shift in -0.5f64..0.5,
+    ) {
+        // E_i[v] at any w equals the full gradient when batches are
+        // uniform singletons.
+        let data = dataset(15, seed);
+        let model = LinearRegression::new(3);
+        let w0 = vec![0.1, -0.1, 0.2];
+        let wt = vec![0.1 + shift, -0.1 - shift, 0.2];
+        let mut mean = vec![0.0; 3];
+        for i in 0..15 {
+            let mut est = Estimator::begin(EstimatorKind::Svrg, &model, &data, &w0);
+            est.step(&model, &data, &[i], &wt);
+            vecops::axpy(1.0 / 15.0, est.direction(), &mut mean);
+        }
+        let mut full = vec![0.0; 3];
+        model.full_grad(&wt, &data, &mut full);
+        prop_assert!(vecops::dist(&mean, &full) < 1e-10);
+    }
+
+    #[test]
+    fn solver_with_full_gd_and_zero_prox_is_plain_gd(
+        seed in any::<u64>(),
+        eta in 0.001f64..0.1,
+        tau in 0usize..8,
+    ) {
+        // FullGd + ZeroProx + Last must match hand-rolled gradient descent.
+        let data = dataset(10, seed);
+        let model = LinearRegression::new(3);
+        let w0 = vec![0.5, 0.5, -0.5];
+        let cfg = LocalSolverConfig {
+            kind: EstimatorKind::FullGd,
+            step: StepSize::Constant(eta),
+            tau,
+            batch_size: 2,
+            choice: IterateChoice::Last,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = LocalSolver.solve(&model, &data, &ZeroProx, &w0, &cfg, &mut rng);
+        let mut w = w0.clone();
+        let mut g = vec![0.0; 3];
+        for _ in 0..=tau {
+            model.full_grad(&w, &data, &mut g);
+            vecops::axpy(-eta, &g, &mut w);
+        }
+        prop_assert!(vecops::dist(&out.w, &w) < 1e-12);
+    }
+
+    #[test]
+    fn prox_step_never_moves_past_anchor_pull(
+        mu in 0.0f64..100.0,
+        eta in 0.001f64..1.0,
+        x_off in -5.0f64..5.0,
+    ) {
+        // The prox output lies between the gradient-step point and the
+        // anchor on the line segment (convex combination).
+        let anchor = vec![1.0, 2.0];
+        let x = vec![1.0 + x_off, 2.0 - x_off];
+        let p = QuadraticProx::new(mu, anchor.clone());
+        let mut out = vec![0.0; 2];
+        p.prox(eta, &x, &mut out);
+        for i in 0..2 {
+            let lo = x[i].min(anchor[i]) - 1e-12;
+            let hi = x[i].max(anchor[i]) + 1e-12;
+            prop_assert!(out[i] >= lo && out[i] <= hi);
+        }
+    }
+
+    #[test]
+    fn local_solver_deterministic_in_seed(
+        seed in any::<u64>(),
+        tau in 1usize..10,
+    ) {
+        let data = dataset(12, 42);
+        let model = LinearRegression::new(3);
+        let w0 = vec![0.3; 3];
+        let prox = QuadraticProx::new(0.2, w0.clone());
+        let cfg = LocalSolverConfig {
+            kind: EstimatorKind::Sarah,
+            step: StepSize::Constant(0.05),
+            tau,
+            batch_size: 3,
+            choice: IterateChoice::UniformRandom,
+        };
+        let run = |s: u64| {
+            let mut rng = StdRng::seed_from_u64(s);
+            LocalSolver.solve(&model, &data, &prox, &w0, &cfg, &mut rng)
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(a.w, b.w);
+        prop_assert_eq!(a.chosen_t, b.chosen_t);
+    }
+
+    #[test]
+    fn grad_eval_cost_model(
+        tau in 1usize..12,
+        batch in 1usize..6,
+    ) {
+        // SGD: B per step (incl. anchor); VR: D + 2B per inner step.
+        let n = 20;
+        let data = dataset(n, 7);
+        let model = LinearRegression::new(3);
+        let w0 = vec![0.0; 3];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mk = |kind| LocalSolverConfig {
+            kind,
+            step: StepSize::Constant(0.01),
+            tau,
+            batch_size: batch,
+            choice: IterateChoice::Last,
+        };
+        let sgd = LocalSolver.solve(&model, &data, &ZeroProx, &w0, &mk(EstimatorKind::Sgd), &mut rng);
+        prop_assert_eq!(sgd.grad_evals, (tau + 1) * batch);
+        let svrg = LocalSolver.solve(&model, &data, &ZeroProx, &w0, &mk(EstimatorKind::Svrg), &mut rng);
+        prop_assert_eq!(svrg.grad_evals, n + tau * 2 * batch);
+    }
+}

@@ -1,0 +1,512 @@
+//! im2col-based 2-D convolution and max-pooling with backward passes.
+//!
+//! Layout convention: feature maps are flat `[channels, height, width]`
+//! buffers in row-major order (`c * h * w + y * w + x`), matching what the
+//! CNN model in `fedprox-models` stores per sample. Convolutions use
+//! stride 1 and symmetric zero padding, which covers the paper's CNN
+//! (two 5x5 "same" convolutions each followed by 2x2 max-pooling).
+
+use crate::matrix::Matrix;
+
+/// Static description of a stride-1 convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Square kernel edge length.
+    pub kernel: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Symmetric zero padding on each side.
+    pub pad: usize,
+}
+
+impl Conv2dSpec {
+    /// A "same" convolution (output spatial size equals input) for an odd
+    /// kernel.
+    pub fn same(in_ch: usize, out_ch: usize, kernel: usize, height: usize, width: usize) -> Self {
+        assert!(!kernel.is_multiple_of(2), "same-padding requires an odd kernel");
+        Conv2dSpec { in_ch, out_ch, kernel, height, width, pad: kernel / 2 }
+    }
+
+    /// Output height.
+    pub fn out_height(&self) -> usize {
+        self.height + 2 * self.pad + 1 - self.kernel
+    }
+
+    /// Output width.
+    pub fn out_width(&self) -> usize {
+        self.width + 2 * self.pad + 1 - self.kernel
+    }
+
+    /// Number of weight parameters (`out_ch * in_ch * k * k`).
+    pub fn weight_len(&self) -> usize {
+        self.out_ch * self.in_ch * self.kernel * self.kernel
+    }
+
+    /// Length of an input buffer.
+    pub fn input_len(&self) -> usize {
+        self.in_ch * self.height * self.width
+    }
+
+    /// Length of an output buffer.
+    pub fn output_len(&self) -> usize {
+        self.out_ch * self.out_height() * self.out_width()
+    }
+
+    /// Rows of the im2col matrix (= number of output pixels).
+    pub fn col_rows(&self) -> usize {
+        self.out_height() * self.out_width()
+    }
+
+    /// Columns of the im2col matrix (= receptive-field size).
+    pub fn col_cols(&self) -> usize {
+        self.in_ch * self.kernel * self.kernel
+    }
+}
+
+/// Unfold `input` (`[in_ch, h, w]`) into the im2col matrix: one row per
+/// output pixel, one column per (channel, ky, kx) of the receptive field.
+/// Out-of-bounds taps read zero.
+pub fn im2col(spec: &Conv2dSpec, input: &[f64], cols: &mut Matrix) {
+    assert_eq!(input.len(), spec.input_len(), "im2col: input length");
+    assert_eq!(cols.shape(), (spec.col_rows(), spec.col_cols()), "im2col: cols shape");
+    let (oh, ow) = (spec.out_height(), spec.out_width());
+    let (h, w, k, pad) = (spec.height, spec.width, spec.kernel, spec.pad);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = cols.row_mut(oy * ow + ox);
+            let mut idx = 0;
+            for c in 0..spec.in_ch {
+                let chan = &input[c * h * w..(c + 1) * h * w];
+                for ky in 0..k {
+                    let iy = (oy + ky) as isize - pad as isize;
+                    for kx in 0..k {
+                        let ix = (ox + kx) as isize - pad as isize;
+                        row[idx] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            chan[iy as usize * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fold an im2col-shaped gradient back onto the input (`col2im`),
+/// accumulating overlapping taps. Inverse-adjoint of [`im2col`].
+pub fn col2im(spec: &Conv2dSpec, cols: &Matrix, input_grad: &mut [f64]) {
+    assert_eq!(input_grad.len(), spec.input_len(), "col2im: input length");
+    assert_eq!(cols.shape(), (spec.col_rows(), spec.col_cols()), "col2im: cols shape");
+    input_grad.fill(0.0);
+    let (oh, ow) = (spec.out_height(), spec.out_width());
+    let (h, w, k, pad) = (spec.height, spec.width, spec.kernel, spec.pad);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = cols.row(oy * ow + ox);
+            let mut idx = 0;
+            for c in 0..spec.in_ch {
+                let base = c * h * w;
+                for ky in 0..k {
+                    let iy = (oy + ky) as isize - pad as isize;
+                    for kx in 0..k {
+                        let ix = (ox + kx) as isize - pad as isize;
+                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            input_grad[base + iy as usize * w + ix as usize] += row[idx];
+                        }
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scratch buffers reused across convolution calls to avoid per-sample
+/// allocation in the training hot loop.
+#[derive(Debug, Clone)]
+pub struct ConvScratch {
+    /// im2col matrix for the forward pass (kept for backward).
+    pub cols: Matrix,
+    /// Gradient with the same shape as `cols`.
+    pub cols_grad: Matrix,
+}
+
+impl ConvScratch {
+    /// Allocate scratch sized for `spec`.
+    pub fn new(spec: &Conv2dSpec) -> Self {
+        ConvScratch {
+            cols: Matrix::zeros(spec.col_rows(), spec.col_cols()),
+            cols_grad: Matrix::zeros(spec.col_rows(), spec.col_cols()),
+        }
+    }
+}
+
+/// Forward convolution: `output[o, y, x] = Σ weight[o, ·]·cols[yx, ·] + bias[o]`.
+///
+/// `weight` is `[out_ch, in_ch*k*k]` flattened, `bias` has `out_ch`
+/// entries, `output` is `[out_ch, oh, ow]` flattened. `scratch.cols` holds
+/// the im2col matrix afterwards (needed by the backward pass).
+pub fn conv2d_forward(
+    spec: &Conv2dSpec,
+    input: &[f64],
+    weight: &[f64],
+    bias: &[f64],
+    output: &mut [f64],
+    scratch: &mut ConvScratch,
+) {
+    assert_eq!(weight.len(), spec.weight_len(), "conv2d: weight length");
+    assert_eq!(bias.len(), spec.out_ch, "conv2d: bias length");
+    assert_eq!(output.len(), spec.output_len(), "conv2d: output length");
+    im2col(spec, input, &mut scratch.cols);
+    let npix = spec.col_rows();
+    let fields = spec.col_cols();
+    // output[o, p] = Σ_f weight[o, f] * cols[p, f] + bias[o], computed
+    // directly on the flat buffers to keep the per-sample hot loop
+    // allocation-free.
+    for o in 0..spec.out_ch {
+        let w_row = &weight[o * fields..(o + 1) * fields];
+        let b = bias[o];
+        let dst = &mut output[o * npix..(o + 1) * npix];
+        for (p, d) in dst.iter_mut().enumerate() {
+            *d = crate::vecops::dot(w_row, scratch.cols.row(p)) + b;
+        }
+    }
+}
+
+/// Backward convolution. Given `grad_output` (`[out_ch, oh, ow]`),
+/// accumulates `grad_weight` / `grad_bias` (+=) and writes `grad_input`
+/// (overwrite). `scratch.cols` must still hold the forward im2col matrix.
+pub fn conv2d_backward(
+    spec: &Conv2dSpec,
+    grad_output: &[f64],
+    weight: &[f64],
+    grad_weight: &mut [f64],
+    grad_bias: &mut [f64],
+    grad_input: &mut [f64],
+    scratch: &mut ConvScratch,
+) {
+    let npix = spec.col_rows();
+    assert_eq!(grad_output.len(), spec.output_len(), "conv2d_backward: grad_output");
+    assert_eq!(grad_weight.len(), spec.weight_len(), "conv2d_backward: grad_weight");
+    assert_eq!(grad_bias.len(), spec.out_ch, "conv2d_backward: grad_bias");
+    assert_eq!(grad_input.len(), spec.input_len(), "conv2d_backward: grad_input");
+
+    // grad_bias[o] += Σ_p grad_output[o, p]
+    for o in 0..spec.out_ch {
+        grad_bias[o] += grad_output[o * npix..(o + 1) * npix].iter().sum::<f64>();
+    }
+
+    let fields = spec.col_cols();
+
+    // grad_weight[o, f] += Σ_p grad_output[o, p] * cols[p, f]
+    for o in 0..spec.out_ch {
+        let go_row = &grad_output[o * npix..(o + 1) * npix];
+        let gw_row = &mut grad_weight[o * fields..(o + 1) * fields];
+        for (p, &g) in go_row.iter().enumerate() {
+            crate::vecops::axpy(g, scratch.cols.row(p), gw_row);
+        }
+    }
+
+    // cols_grad[p, f] = Σ_o grad_output[o, p] * weight[o, f]
+    scratch.cols_grad.as_mut_slice().fill(0.0);
+    for o in 0..spec.out_ch {
+        let go_row = &grad_output[o * npix..(o + 1) * npix];
+        let w_row = &weight[o * fields..(o + 1) * fields];
+        for (p, &g) in go_row.iter().enumerate() {
+            if g != 0.0 {
+                crate::vecops::axpy(g, w_row, scratch.cols_grad.row_mut(p));
+            }
+        }
+    }
+    col2im(spec, &scratch.cols_grad, grad_input);
+}
+
+/// Static description of a non-overlapping 2-D max-pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool2dSpec {
+    /// Channels (pooling is per channel).
+    pub channels: usize,
+    /// Input height (must be divisible by `size`).
+    pub height: usize,
+    /// Input width (must be divisible by `size`).
+    pub width: usize,
+    /// Pool window edge (stride equals window: non-overlapping).
+    pub size: usize,
+}
+
+impl Pool2dSpec {
+    /// Output height.
+    pub fn out_height(&self) -> usize {
+        self.height / self.size
+    }
+    /// Output width.
+    pub fn out_width(&self) -> usize {
+        self.width / self.size
+    }
+    /// Input buffer length.
+    pub fn input_len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+    /// Output buffer length.
+    pub fn output_len(&self) -> usize {
+        self.channels * self.out_height() * self.out_width()
+    }
+}
+
+/// Max-pool forward. Records the argmax index of each window in `argmax`
+/// (same length as `output`) for the backward pass.
+pub fn maxpool2d_forward(
+    spec: &Pool2dSpec,
+    input: &[f64],
+    output: &mut [f64],
+    argmax: &mut [usize],
+) {
+    assert!(spec.height.is_multiple_of(spec.size), "maxpool: height not divisible");
+    assert!(spec.width.is_multiple_of(spec.size), "maxpool: width not divisible");
+    assert_eq!(input.len(), spec.input_len());
+    assert_eq!(output.len(), spec.output_len());
+    assert_eq!(argmax.len(), spec.output_len());
+    let (oh, ow, s, h, w) = (spec.out_height(), spec.out_width(), spec.size, spec.height, spec.width);
+    for c in 0..spec.channels {
+        let chan = &input[c * h * w..(c + 1) * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f64::NEG_INFINITY;
+                let mut best_idx = 0;
+                for py in 0..s {
+                    for px in 0..s {
+                        let idx = (oy * s + py) * w + (ox * s + px);
+                        if chan[idx] > best {
+                            best = chan[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                let o = c * oh * ow + oy * ow + ox;
+                output[o] = best;
+                argmax[o] = c * h * w + best_idx;
+            }
+        }
+    }
+}
+
+/// Max-pool backward: routes each output gradient to its recorded argmax.
+/// `grad_input` is overwritten.
+pub fn maxpool2d_backward(
+    spec: &Pool2dSpec,
+    grad_output: &[f64],
+    argmax: &[usize],
+    grad_input: &mut [f64],
+) {
+    assert_eq!(grad_output.len(), spec.output_len());
+    assert_eq!(argmax.len(), spec.output_len());
+    assert_eq!(grad_input.len(), spec.input_len());
+    grad_input.fill(0.0);
+    for (g, &idx) in grad_output.iter().zip(argmax) {
+        grad_input[idx] += g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_3x3() -> Conv2dSpec {
+        Conv2dSpec::same(1, 1, 3, 4, 4)
+    }
+
+    #[test]
+    fn same_spec_preserves_spatial_size() {
+        let s = Conv2dSpec::same(3, 8, 5, 28, 28);
+        assert_eq!(s.out_height(), 28);
+        assert_eq!(s.out_width(), 28);
+        assert_eq!(s.weight_len(), 8 * 3 * 25);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let spec = spec_3x3();
+        let input: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        // Kernel with 1 at the centre.
+        let mut weight = vec![0.0; 9];
+        weight[4] = 1.0;
+        let bias = [0.0];
+        let mut output = vec![0.0; 16];
+        let mut scratch = ConvScratch::new(&spec);
+        conv2d_forward(&spec, &input, &weight, &bias, &mut output, &mut scratch);
+        assert_eq!(output, input);
+    }
+
+    #[test]
+    fn bias_shifts_all_outputs() {
+        let spec = spec_3x3();
+        let input = vec![0.0; 16];
+        let weight = vec![0.0; 9];
+        let bias = [2.5];
+        let mut output = vec![0.0; 16];
+        let mut scratch = ConvScratch::new(&spec);
+        conv2d_forward(&spec, &input, &weight, &bias, &mut output, &mut scratch);
+        assert!(output.iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn conv_matches_naive_direct_convolution() {
+        let spec = Conv2dSpec { in_ch: 2, out_ch: 3, kernel: 3, height: 5, width: 6, pad: 1 };
+        let mut rng_state = 12345u64;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state as f64 / u64::MAX as f64) - 0.5
+        };
+        let input: Vec<f64> = (0..spec.input_len()).map(|_| next()).collect();
+        let weight: Vec<f64> = (0..spec.weight_len()).map(|_| next()).collect();
+        let bias: Vec<f64> = (0..spec.out_ch).map(|_| next()).collect();
+        let mut output = vec![0.0; spec.output_len()];
+        let mut scratch = ConvScratch::new(&spec);
+        conv2d_forward(&spec, &input, &weight, &bias, &mut output, &mut scratch);
+
+        // Naive direct convolution.
+        let (h, w, k, p) = (spec.height, spec.width, spec.kernel, spec.pad as isize);
+        for o in 0..spec.out_ch {
+            for oy in 0..spec.out_height() {
+                for ox in 0..spec.out_width() {
+                    let mut s = bias[o];
+                    for c in 0..spec.in_ch {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy as isize + ky as isize - p;
+                                let ix = ox as isize + kx as isize - p;
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                    let wi = o * spec.in_ch * k * k + c * k * k + ky * k + kx;
+                                    s += weight[wi] * input[c * h * w + iy as usize * w + ix as usize];
+                                }
+                            }
+                        }
+                    }
+                    let got = output[o * spec.out_height() * spec.out_width()
+                        + oy * spec.out_width()
+                        + ox];
+                    assert!((got - s).abs() < 1e-10, "mismatch at o={o} oy={oy} ox={ox}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv_backward_matches_finite_difference() {
+        let spec = Conv2dSpec { in_ch: 1, out_ch: 2, kernel: 3, height: 4, width: 4, pad: 1 };
+        let mut state = 999u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let input: Vec<f64> = (0..spec.input_len()).map(|_| next()).collect();
+        let weight: Vec<f64> = (0..spec.weight_len()).map(|_| next()).collect();
+        let bias: Vec<f64> = (0..spec.out_ch).map(|_| next()).collect();
+        // Loss = sum of squares of conv output / 2.
+        let loss = |input: &[f64], weight: &[f64], bias: &[f64]| -> f64 {
+            let mut out = vec![0.0; spec.output_len()];
+            let mut s = ConvScratch::new(&spec);
+            conv2d_forward(&spec, input, weight, bias, &mut out, &mut s);
+            out.iter().map(|v| v * v).sum::<f64>() / 2.0
+        };
+        let mut out = vec![0.0; spec.output_len()];
+        let mut scratch = ConvScratch::new(&spec);
+        conv2d_forward(&spec, &input, &weight, &bias, &mut out, &mut scratch);
+        let grad_output = out.clone(); // d(½Σo²)/do = o
+        let mut gw = vec![0.0; spec.weight_len()];
+        let mut gb = vec![0.0; spec.out_ch];
+        let mut gi = vec![0.0; spec.input_len()];
+        conv2d_backward(&spec, &grad_output, &weight, &mut gw, &mut gb, &mut gi, &mut scratch);
+
+        let h = 1e-6;
+        for i in (0..spec.weight_len()).step_by(5) {
+            let mut wp = weight.clone();
+            let mut wm = weight.clone();
+            wp[i] += h;
+            wm[i] -= h;
+            let fd = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * h);
+            assert!((fd - gw[i]).abs() < 1e-4, "grad_weight[{i}]: fd={fd} an={}", gw[i]);
+        }
+        for i in 0..spec.out_ch {
+            let mut bp = bias.clone();
+            let mut bm = bias.clone();
+            bp[i] += h;
+            bm[i] -= h;
+            let fd = (loss(&input, &weight, &bp) - loss(&input, &weight, &bm)) / (2.0 * h);
+            assert!((fd - gb[i]).abs() < 1e-4, "grad_bias[{i}]");
+        }
+        for i in (0..spec.input_len()).step_by(3) {
+            let mut ip = input.clone();
+            let mut im = input.clone();
+            ip[i] += h;
+            im[i] -= h;
+            let fd = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * h);
+            assert!((fd - gi[i]).abs() < 1e-4, "grad_input[{i}]: fd={fd} an={}", gi[i]);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), C> == <x, col2im(C)> — the two operators are adjoint.
+        let spec = Conv2dSpec { in_ch: 2, out_ch: 1, kernel: 3, height: 4, width: 5, pad: 1 };
+        let x: Vec<f64> = (0..spec.input_len()).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut cols = Matrix::zeros(spec.col_rows(), spec.col_cols());
+        im2col(&spec, &x, &mut cols);
+        let c_data: Vec<f64> =
+            (0..spec.col_rows() * spec.col_cols()).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let c = Matrix::from_vec(spec.col_rows(), spec.col_cols(), c_data);
+        let lhs = crate::vecops::dot(cols.as_slice(), c.as_slice());
+        let mut back = vec![0.0; spec.input_len()];
+        col2im(&spec, &c, &mut back);
+        let rhs = crate::vecops::dot(&x, &back);
+        assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let spec = Pool2dSpec { channels: 1, height: 4, width: 4, size: 2 };
+        #[rustfmt::skip]
+        let input = vec![
+            1.0, 2.0,   5.0, 6.0,
+            3.0, 4.0,   8.0, 7.0,
+
+            0.0, -1.0,  9.0, 1.0,
+            -2.0, -3.0, 2.0, 3.0,
+        ];
+        let mut out = vec![0.0; 4];
+        let mut arg = vec![0usize; 4];
+        maxpool2d_forward(&spec, &input, &mut out, &mut arg);
+        assert_eq!(out, vec![4.0, 8.0, 0.0, 9.0]);
+        let go = vec![1.0, 2.0, 3.0, 4.0];
+        let mut gi = vec![0.0; 16];
+        maxpool2d_backward(&spec, &go, &arg, &mut gi);
+        assert_eq!(gi[5], 1.0); // position of 4.0
+        assert_eq!(gi[6], 2.0); // position of 8.0
+        assert_eq!(gi[8], 3.0); // position of 0.0
+        assert_eq!(gi[10], 4.0); // position of 9.0
+        assert_eq!(gi.iter().filter(|&&v| v != 0.0).count(), 4);
+    }
+
+    #[test]
+    fn maxpool_multichannel() {
+        let spec = Pool2dSpec { channels: 2, height: 2, width: 2, size: 2 };
+        let input = vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0];
+        let mut out = vec![0.0; 2];
+        let mut arg = vec![0usize; 2];
+        maxpool2d_forward(&spec, &input, &mut out, &mut arg);
+        assert_eq!(out, vec![4.0, 8.0]);
+        assert_eq!(arg, vec![3, 4]);
+    }
+}

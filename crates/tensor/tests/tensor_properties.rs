@@ -1,0 +1,104 @@
+//! Property-based tests of the tensor algebra.
+
+use fedprox_tensor::{activations, vecops, Matrix};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_identity_left_right(a in matrix(4, 6)) {
+        let il = Matrix::identity(4);
+        let ir = Matrix::identity(6);
+        prop_assert_eq!(il.matmul(&a), a.clone());
+        prop_assert_eq!(a.matmul(&ir), a);
+    }
+
+    #[test]
+    fn matmul_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(3, 4), b in matrix(4, 2), c in matrix(4, 2)) {
+        let mut bc = b.clone();
+        bc.axpy(1.0, &c);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.axpy(1.0, &a.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(a in matrix(3, 5), b in matrix(5, 2)) {
+        // (AB)ᵀ = BᵀAᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(a in proptest::collection::vec(-50.0f64..50.0, 8),
+                          b in proptest::collection::vec(-50.0f64..50.0, 8)) {
+        let d = vecops::dot(&a, &b).abs();
+        prop_assert!(d <= vecops::norm(&a) * vecops::norm(&b) + 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality(a in proptest::collection::vec(-50.0f64..50.0, 8),
+                           b in proptest::collection::vec(-50.0f64..50.0, 8)) {
+        let mut sum = vec![0.0; 8];
+        vecops::add_into(&a, &b, &mut sum);
+        prop_assert!(vecops::norm(&sum) <= vecops::norm(&a) + vecops::norm(&b) + 1e-9);
+    }
+
+    #[test]
+    fn softmax_is_probability_vector(logits in proptest::collection::vec(-30.0f64..30.0, 1..12)) {
+        let mut p = logits.clone();
+        activations::softmax_inplace(&mut p);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Order-preserving.
+        for i in 0..logits.len() {
+            for j in 0..logits.len() {
+                if logits[i] > logits[j] {
+                    prop_assert!(p[i] >= p[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative(logits in proptest::collection::vec(-20.0f64..20.0, 2..10),
+                                 pick in any::<prop::sample::Index>()) {
+        let target = pick.index(logits.len());
+        let ce = activations::cross_entropy_from_logits(&logits, target);
+        prop_assert!(ce >= -1e-12);
+    }
+
+    #[test]
+    fn lerp_between_endpoints(a in proptest::collection::vec(-5.0f64..5.0, 4),
+                              b in proptest::collection::vec(-5.0f64..5.0, 4),
+                              t in 0.0f64..1.0) {
+        let mut out = vec![0.0; 4];
+        vecops::lerp_into(&a, &b, t, &mut out);
+        for i in 0..4 {
+            let lo = a[i].min(b[i]);
+            let hi = a[i].max(b[i]);
+            prop_assert!(out[i] >= lo - 1e-12 && out[i] <= hi + 1e-12);
+        }
+    }
+}

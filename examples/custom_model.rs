@@ -1,0 +1,107 @@
+//! Bring your own model: anything implementing [`LossModel`] can be
+//! trained federatedly. Here — a robust (Huber-loss) regression model not
+//! shipped by `fedprox-models`, trained with FedProxVR on devices whose
+//! data contains device-specific outliers.
+//!
+//! ```sh
+//! cargo run --release --example custom_model
+//! ```
+
+use fedprox::data::Dataset;
+use fedprox::models::LossModel;
+use fedprox::prelude::*;
+use fedprox::tensor::{vecops, Matrix};
+
+/// Linear model with Huber loss: quadratic near zero, linear in the
+/// tails — L-smooth (L = max‖x‖²), satisfying the paper's Assumption 1.
+struct HuberRegression {
+    features: usize,
+    delta: f64,
+}
+
+impl LossModel for HuberRegression {
+    fn dim(&self) -> usize {
+        self.features
+    }
+
+    fn init_params(&self, _seed: u64) -> Vec<f64> {
+        vec![0.0; self.features]
+    }
+
+    fn sample_loss(&self, w: &[f64], data: &Dataset, i: usize) -> f64 {
+        let r = vecops::dot(w, data.x(i)) - data.y(i);
+        if r.abs() <= self.delta {
+            r * r / 2.0
+        } else {
+            self.delta * (r.abs() - self.delta / 2.0)
+        }
+    }
+
+    fn sample_grad_accum(&self, w: &[f64], data: &Dataset, i: usize, scale: f64, out: &mut [f64]) {
+        let r = vecops::dot(w, data.x(i)) - data.y(i);
+        let d = r.clamp(-self.delta, self.delta); // Huber derivative
+        vecops::axpy(scale * d, data.x(i), out);
+    }
+
+    fn predict(&self, w: &[f64], x: &[f64]) -> f64 {
+        vecops::dot(w, x)
+    }
+}
+
+fn main() {
+    // True model y = 3 x0 − 2 x1; each device's data adds its own outlier
+    // regime (heterogeneity!).
+    let true_w = [3.0, -2.0];
+    let devices: Vec<Device> = (0..6)
+        .map(|id| {
+            let n = 80;
+            let mut f = Matrix::zeros(n, 2);
+            let mut y = Vec::with_capacity(n);
+            for i in 0..n {
+                let x0 = ((i + id * 13) as f64 * 0.41).sin();
+                let x1 = ((i + id * 7) as f64 * 0.77).cos();
+                f.row_mut(i).copy_from_slice(&[x0, x1]);
+                let clean = true_w[0] * x0 + true_w[1] * x1;
+                // 10% outliers, direction depending on the device.
+                let outlier = if i % 10 == 0 {
+                    if id % 2 == 0 {
+                        8.0
+                    } else {
+                        -8.0
+                    }
+                } else {
+                    0.0
+                };
+                y.push(clean + outlier);
+            }
+            Device::new(id, Dataset::new(f, y, 0))
+        })
+        .collect();
+    let test = devices[0].data.clone();
+
+    let model = HuberRegression { features: 2, delta: 1.0 };
+    let cfg = FedConfig::new(Algorithm::FedProxVr(EstimatorKind::Sarah))
+        .with_beta(4.0)
+        .with_smoothness(1.0)
+        .with_tau(15)
+        .with_mu(0.2)
+        .with_batch_size(8)
+        .with_rounds(60)
+        .with_eval_every(20)
+        .with_runner(RunnerKind::Parallel)
+        .with_seed(3);
+    let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+
+    println!("custom Huber model under FedProxVR(SARAH):");
+    for r in &h.records {
+        println!("  round {:>3}: train loss {:.4}", r.round, r.train_loss);
+    }
+
+    // Recover the fitted weights by re-running one local solve chain —
+    // or simply report the loss trend; the point is the trait is enough.
+    println!(
+        "\nloss fell from {:.3} to {:.3}; outliers bounded by the Huber tails",
+        h.records.first().unwrap().train_loss,
+        h.final_loss().unwrap()
+    );
+}

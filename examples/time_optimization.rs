@@ -1,0 +1,95 @@
+//! Training-time optimization (Section 4.3 of the paper): given a
+//! deployment's compute/communication cost ratio γ = d_cmp/d_com, find
+//! the (β, μ) that minimise total training time, then *validate* the
+//! choice by running the networked simulation with those parameters and
+//! comparing simulated wall-clock times.
+//!
+//! ```sh
+//! cargo run --release --example time_optimization
+//! ```
+
+use fedprox::core::config::{NetRunnerOptions, RunnerKind};
+use fedprox::core::paramopt;
+use fedprox::core::theory::TheoryParams;
+use fedprox::data::split::split_federation;
+use fedprox::data::synthetic::{generate, SyntheticConfig};
+use fedprox::models::MultinomialLogistic;
+use fedprox::net::{LinkSpec, NetOptions};
+use fedprox::prelude::*;
+
+fn main() {
+    // Deployment model: communication is 100x the per-iteration compute.
+    let d_com = 0.5; // seconds per model exchange
+    let d_cmp = 0.005; // seconds per local iteration
+    let gamma = d_cmp / d_com;
+
+    // 1. Solve problem (23) for this gamma.
+    let constants =
+        TheoryParams { smoothness: 1.0, lambda: 0.5, mu: f64::NAN, sigma_bar_sq: 1.0 };
+    let opt = paramopt::solve(&constants, gamma).expect("feasible optimum");
+    println!("gamma = {gamma:.4}");
+    println!(
+        "optimal parameters: beta* = {:.2}, mu* = {:.2}, theta* = {:.3}, tau* = {:.0}, Theta* = {:.4}",
+        opt.beta, opt.mu, opt.theta, opt.tau, opt.capital_theta
+    );
+
+    // 2. Validate in the networked simulation: the optimal tau against a
+    //    deliberately communication-wasteful tau (fewer local steps →
+    //    more rounds for the same accuracy target).
+    let sizes = [150, 100, 120, 90, 130, 80];
+    let shards = generate(
+        &SyntheticConfig { alpha: 1.0, beta: 1.0, seed: 7, ..Default::default() },
+        &sizes,
+    );
+    let (train, test) = split_federation(&shards, 7);
+    let devices: Vec<Device> =
+        train.into_iter().enumerate().map(|(i, s)| Device::new(i, s)).collect();
+    let model = MultinomialLogistic::new(60, 10);
+
+    let target_accuracy = 0.70;
+    // The theory's tau* assumes the full convergence horizon; for this
+    // small validation we cap it.
+    let tau_opt = (opt.tau as usize).min(40);
+    for (label, tau) in [("optimized tau", tau_opt), ("tau = 2 (chatty)", 2)] {
+        let net = NetOptions {
+            downlink: LinkSpec::constant(d_com / 2.0),
+            uplink: LinkSpec::constant(d_com / 2.0),
+            ..Default::default()
+        };
+        let cfg = FedConfig::new(Algorithm::FedProxVr(EstimatorKind::Svrg))
+            .with_beta(5.0)
+            .with_smoothness(3.0)
+            .with_tau(tau)
+            .with_mu(0.5)
+            .with_batch_size(8)
+            .with_rounds(120)
+            .with_eval_every(2)
+            .with_seed(7)
+            .with_runner(RunnerKind::Network(NetRunnerOptions {
+                net,
+                // Calibrate so one local iteration costs ~d_cmp.
+                sec_per_grad_eval: d_cmp / 16.0,
+            }));
+        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        let reached = h
+            .records
+            .iter()
+            .find(|r| r.test_accuracy >= target_accuracy)
+            .map(|r| (r.round, r.sim_time));
+        match reached {
+            Some((round, t)) => println!(
+                "{label:>18}: reached {:.0}% accuracy at round {round}, simulated {t:.1}s",
+                target_accuracy * 100.0
+            ),
+            None => println!(
+                "{label:>18}: did not reach {:.0}% in budget (final acc {:.1}%, {:.1}s)",
+                target_accuracy * 100.0,
+                h.best_accuracy() * 100.0,
+                h.total_sim_time
+            ),
+        }
+    }
+    println!("\nWith expensive communication (small gamma), running more local");
+    println!("iterations per round reaches the target in less simulated time —");
+    println!("the trade-off Fig. 1 of the paper quantifies.");
+}

@@ -1,0 +1,136 @@
+//! Ablations of the paper's design choices (DESIGN.md §4):
+//! fixed vs diminishing step size (footnote 1), last vs uniform-random
+//! iterate (Algorithm 1 line 10), and partial participation.
+
+use fedprox::data::split::split_federation;
+use fedprox::data::synthetic::{generate, SyntheticConfig};
+use fedprox::data::Dataset;
+use fedprox::models::MultinomialLogistic;
+use fedprox::optim::solver::IterateChoice;
+use fedprox::optim::StepSize;
+use fedprox::prelude::*;
+
+fn federation(seed: u64) -> (Vec<Device>, Dataset) {
+    let shards = generate(
+        &SyntheticConfig { seed, ..Default::default() },
+        &[100, 140, 80, 120],
+    );
+    let (train, test) = split_federation(&shards, seed);
+    (train.into_iter().enumerate().map(|(i, s)| Device::new(i, s)).collect(), test)
+}
+
+fn base() -> FedConfig {
+    FedConfig::new(Algorithm::FedProxVr(EstimatorKind::Svrg))
+        .with_beta(5.0)
+        .with_smoothness(3.0)
+        .with_tau(10)
+        .with_mu(0.5)
+        .with_batch_size(8)
+        .with_rounds(25)
+        .with_eval_every(25)
+        .with_runner(RunnerKind::Parallel)
+        .with_seed(21)
+}
+
+#[test]
+fn fixed_step_beats_diminishing_at_equal_budget() {
+    // Footnote 1: "using a fixed step size is more practical than
+    // diminishing step size". With η_t = η₀/(t+1), later local steps are
+    // tiny, wasting most of τ.
+    let (devices, test) = federation(1);
+    let model = MultinomialLogistic::new(60, 10);
+    let fixed = FederatedTrainer::new(&model, &devices, &test, base()).run();
+    let diminishing = FederatedTrainer::new(
+        &model,
+        &devices,
+        &test,
+        base().with_step_override(StepSize::Diminishing { c: 1.0 / 15.0 }),
+    )
+    .run();
+    assert!(
+        fixed.final_loss().unwrap() < diminishing.final_loss().unwrap(),
+        "fixed {} vs diminishing {}",
+        fixed.final_loss().unwrap(),
+        diminishing.final_loss().unwrap()
+    );
+}
+
+#[test]
+fn last_iterate_converges_faster_than_uniform_random() {
+    // The theory needs the uniform-random iterate; practice prefers the
+    // last (the default). Confirm the expected ordering.
+    let (devices, test) = federation(2);
+    let model = MultinomialLogistic::new(60, 10);
+    let last = FederatedTrainer::new(&model, &devices, &test, base()).run();
+    let random = FederatedTrainer::new(
+        &model,
+        &devices,
+        &test,
+        base().with_iterate_choice(IterateChoice::UniformRandom),
+    )
+    .run();
+    assert!(
+        last.final_loss().unwrap() < random.final_loss().unwrap(),
+        "last {} vs uniform-random {}",
+        last.final_loss().unwrap(),
+        random.final_loss().unwrap()
+    );
+    // Both still make progress.
+    assert!(random.final_loss().unwrap() < random.records[0].train_loss);
+}
+
+#[test]
+fn partial_participation_trades_progress_for_compute() {
+    let (devices, test) = federation(3);
+    let model = MultinomialLogistic::new(60, 10);
+    let full = FederatedTrainer::new(&model, &devices, &test, base()).run();
+    let half = FederatedTrainer::new(
+        &model,
+        &devices,
+        &test,
+        base().with_participation(0.5),
+    )
+    .run();
+    // Half the devices per round ⇒ roughly half the gradient work.
+    let full_work = full.records.last().unwrap().grad_evals;
+    let half_work = half.records.last().unwrap().grad_evals;
+    assert!(
+        (half_work as f64) < 0.75 * full_work as f64,
+        "half {half_work} vs full {full_work}"
+    );
+    // Still learns.
+    assert!(half.final_loss().unwrap() < half.records[0].train_loss * 0.8);
+}
+
+#[test]
+fn closed_form_prox_equals_iterative_inside_training() {
+    // End-to-end cross-validation of eq. (10): one proximal local solve
+    // using the closed form matches a numerically-solved prox.
+    use fedprox::optim::estimator::EstimatorKind as EK;
+    use fedprox::optim::solver::{LocalSolver, LocalSolverConfig};
+    use fedprox::optim::{IterativeProx, QuadraticProx};
+    use rand::SeedableRng;
+
+    let (devices, _) = federation(4);
+    let model = MultinomialLogistic::new(60, 10);
+    let w0 = {
+        use fedprox::models::LossModel;
+        model.init_params(1)
+    };
+    let cfg = LocalSolverConfig {
+        kind: EK::Svrg,
+        step: StepSize::Constant(0.02),
+        tau: 5,
+        batch_size: 8,
+        choice: fedprox::optim::solver::IterateChoice::Last,
+    };
+    let closed = QuadraticProx::new(0.5, w0.clone());
+    let iterative = IterativeProx::new(QuadraticProx::new(0.5, w0.clone()), 4000, 0.02);
+    let mut rng1 = rand::rngs::StdRng::seed_from_u64(9);
+    let mut rng2 = rand::rngs::StdRng::seed_from_u64(9);
+    let a = LocalSolver.solve(&model, &devices[0].data, &closed, &w0, &cfg, &mut rng1);
+    let b = LocalSolver.solve(&model, &devices[0].data, &iterative, &w0, &cfg, &mut rng2);
+    let rel = fedprox::tensor::vecops::dist(&a.w, &b.w)
+        / fedprox::tensor::vecops::norm(&a.w).max(1e-9);
+    assert!(rel < 1e-4, "closed vs iterative prox diverged: rel {rel}");
+}

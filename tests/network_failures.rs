@@ -1,0 +1,166 @@
+//! Failure-injection tests for the networked backend: message drops,
+//! stragglers, and bandwidth-limited links must change *timing*, never
+//! *math*.
+
+use fedprox::core::config::NetRunnerOptions;
+use fedprox::data::split::split_federation;
+use fedprox::data::synthetic::{generate, SyntheticConfig};
+use fedprox::data::Dataset;
+use fedprox::models::MultinomialLogistic;
+use fedprox::net::{DelayModel, LinkSpec, NetOptions};
+use fedprox::prelude::*;
+
+fn federation(seed: u64) -> (Vec<Device>, Dataset) {
+    let shards = generate(&SyntheticConfig { seed, ..Default::default() }, &[60, 80, 50]);
+    let (train, test) = split_federation(&shards, seed);
+    (train.into_iter().enumerate().map(|(i, s)| Device::new(i, s)).collect(), test)
+}
+
+fn cfg(runner: RunnerKind) -> FedConfig {
+    FedConfig::new(Algorithm::FedProxVr(EstimatorKind::Svrg))
+        .with_beta(5.0)
+        .with_smoothness(3.0)
+        .with_tau(6)
+        .with_mu(0.5)
+        .with_batch_size(8)
+        .with_rounds(5)
+        .with_seed(77)
+        .with_runner(runner)
+}
+
+#[test]
+fn message_drops_do_not_change_the_trajectory() {
+    let (devices, test) = federation(1);
+    let model = MultinomialLogistic::new(60, 10);
+    let clean = FederatedTrainer::new(
+        &model,
+        &devices,
+        &test,
+        cfg(RunnerKind::Network(NetRunnerOptions::default())),
+    )
+    .run();
+    let lossy_opts = NetRunnerOptions {
+        net: NetOptions { drop_prob: 0.4, seed: 3, ..Default::default() },
+        ..Default::default()
+    };
+    let lossy = FederatedTrainer::new(
+        &model,
+        &devices,
+        &test,
+        cfg(RunnerKind::Network(lossy_opts)),
+    )
+    .run();
+    // Identical math...
+    for (a, b) in clean.records.iter().zip(&lossy.records) {
+        assert_eq!(a.train_loss, b.train_loss);
+    }
+    // ...but retransmissions make the lossy run slower in simulated time.
+    assert!(lossy.total_sim_time > clean.total_sim_time);
+}
+
+#[test]
+fn straggler_slows_time_not_accuracy() {
+    let (devices, test) = federation(2);
+    let model = MultinomialLogistic::new(60, 10);
+    // Compute must dominate link latency for the straggler to matter:
+    // use a visible per-gradient cost in both runs.
+    let base_opts = NetRunnerOptions { sec_per_grad_eval: 1e-3, ..Default::default() };
+    let base = FederatedTrainer::new(
+        &model,
+        &devices,
+        &test,
+        cfg(RunnerKind::Network(base_opts)),
+    )
+    .run();
+    let straggler_opts = NetRunnerOptions {
+        net: NetOptions { straggler: Some((1, 25.0)), ..Default::default() },
+        sec_per_grad_eval: 1e-3,
+    };
+    let slow = FederatedTrainer::new(
+        &model,
+        &devices,
+        &test,
+        cfg(RunnerKind::Network(straggler_opts)),
+    )
+    .run();
+    assert_eq!(
+        base.records.last().unwrap().test_accuracy,
+        slow.records.last().unwrap().test_accuracy
+    );
+    assert!(slow.total_sim_time > 2.0 * base.total_sim_time);
+}
+
+#[test]
+fn bandwidth_limits_scale_time_with_model_size() {
+    let (devices, test) = federation(3);
+    let model = MultinomialLogistic::new(60, 10);
+    let narrow = NetRunnerOptions {
+        net: NetOptions {
+            downlink: LinkSpec {
+                latency: DelayModel::Constant(0.001),
+                bytes_per_sec: 50_000.0,
+            },
+            uplink: LinkSpec {
+                latency: DelayModel::Constant(0.001),
+                bytes_per_sec: 50_000.0,
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let h = FederatedTrainer::new(
+        &model,
+        &devices,
+        &test,
+        cfg(RunnerKind::Network(narrow)),
+    )
+    .run();
+    // Model = 610 params ≈ 4.9 KB ⇒ ~0.1 s per direction per round at
+    // 50 kB/s; five rounds of down+up must exceed 0.9 s of pure transfer.
+    assert!(h.total_sim_time > 0.9, "sim time {}", h.total_sim_time);
+    assert!(h.records.last().unwrap().bytes > 5 * 2 * 4_000);
+}
+
+#[test]
+fn lognormal_jitter_changes_time_deterministically_per_seed() {
+    let (devices, test) = federation(4);
+    let model = MultinomialLogistic::new(60, 10);
+    let jittery = |seed: u64| NetRunnerOptions {
+        net: NetOptions {
+            downlink: LinkSpec {
+                latency: DelayModel::LogNormal { mu: -3.0, sigma: 1.0 },
+                bytes_per_sec: f64::INFINITY,
+            },
+            seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let a = FederatedTrainer::new(
+        &model,
+        &devices,
+        &test,
+        cfg(RunnerKind::Network(jittery(5))),
+    )
+    .run();
+    let b = FederatedTrainer::new(
+        &model,
+        &devices,
+        &test,
+        cfg(RunnerKind::Network(jittery(5))),
+    )
+    .run();
+    let c = FederatedTrainer::new(
+        &model,
+        &devices,
+        &test,
+        cfg(RunnerKind::Network(jittery(6))),
+    )
+    .run();
+    assert_eq!(a.total_sim_time, b.total_sim_time);
+    assert_ne!(a.total_sim_time, c.total_sim_time);
+    // Math identical regardless of delay seed.
+    for (x, y) in a.records.iter().zip(&c.records) {
+        assert_eq!(x.train_loss, y.train_loss);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use fedprox::core::server;
+use fedprox::core::theory::{federated_factor, Lemma1, TheoryParams};
+use fedprox::data::partition::{power_law_sizes, PartitionSpec, Partitioner};
+use fedprox::data::Dataset;
+use fedprox::optim::{Proximal, QuadraticProx};
+use fedprox::tensor::{vecops, Matrix};
+use proptest::prelude::*;
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prox_is_nonexpansive(
+        x in vec_strategy(6),
+        y in vec_strategy(6),
+        anchor in vec_strategy(6),
+        mu in 0.0f64..50.0,
+        eta in 1e-3f64..2.0,
+    ) {
+        let p = QuadraticProx::new(mu, anchor);
+        let mut px = vec![0.0; 6];
+        let mut py = vec![0.0; 6];
+        p.prox(eta, &x, &mut px);
+        p.prox(eta, &y, &mut py);
+        prop_assert!(vecops::dist(&px, &py) <= vecops::dist(&x, &y) * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn prox_minimises_its_objective(
+        x in vec_strategy(4),
+        anchor in vec_strategy(4),
+        mu in 0.01f64..20.0,
+        eta in 1e-2f64..1.0,
+        probe in vec_strategy(4),
+    ) {
+        // prox(x) minimises h(w) + ‖w−x‖²/(2η); any probe point must be no
+        // better.
+        let p = QuadraticProx::new(mu, anchor);
+        let mut star = vec![0.0; 4];
+        p.prox(eta, &x, &mut star);
+        let obj = |w: &[f64]| p.value(w) + vecops::dist_sq(w, &x) / (2.0 * eta);
+        prop_assert!(obj(&star) <= obj(&probe) + 1e-9);
+    }
+
+    #[test]
+    fn aggregation_stays_in_coordinate_hull(
+        a in vec_strategy(5),
+        b in vec_strategy(5),
+        c in vec_strategy(5),
+        w1 in 0.01f64..1.0,
+        w2 in 0.01f64..1.0,
+        w3 in 0.01f64..1.0,
+    ) {
+        let mut out = vec![0.0; 5];
+        server::aggregate(&[(&a, w1), (&b, w2), (&c, w3)], &mut out);
+        for i in 0..5 {
+            let lo = a[i].min(b[i]).min(c[i]);
+            let hi = a[i].max(b[i]).max(c[i]);
+            prop_assert!(out[i] >= lo - 1e-9 && out[i] <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn power_law_sizes_always_in_bounds(
+        devices in 1usize..60,
+        lo in 1usize..50,
+        span in 1usize..3000,
+        alpha in 0.2f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let hi = lo + span;
+        let sizes = power_law_sizes(devices, lo, hi, alpha, seed);
+        prop_assert_eq!(sizes.len(), devices);
+        prop_assert!(sizes.iter().all(|&s| s >= lo && s <= hi));
+    }
+
+    #[test]
+    fn label_sharding_is_exact_and_bounded(
+        per_class in 5usize..40,
+        devices in 1usize..12,
+        labels_per in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let classes = 10usize;
+        let n = per_class * classes;
+        let mut f = Matrix::zeros(n, 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            f.row_mut(i)[0] = i as f64;
+            labels.push((i % classes) as f64);
+        }
+        let data = Dataset::new(f, labels, classes);
+        let sizes = vec![per_class; devices];
+        let shards = Partitioner::new(
+            PartitionSpec::LabelShards { sizes, labels_per_device: labels_per },
+            seed,
+        ).partition(&data);
+        for sh in &shards {
+            prop_assert_eq!(sh.len(), per_class);
+            prop_assert!(sh.distinct_labels().len() <= labels_per);
+        }
+    }
+
+    #[test]
+    fn tau_bounds_ordering_holds_everywhere(
+        beta in 3.1f64..200.0,
+        mu in 0.6f64..100.0,
+        theta in 0.01f64..0.99,
+    ) {
+        let p = TheoryParams { smoothness: 1.0, lambda: 0.5, mu, sigma_bar_sq: 1.0 };
+        // SVRG's upper bound never exceeds SARAH's (Remark 1(5)).
+        prop_assert!(Lemma1::tau_upper_svrg(beta) <= Lemma1::tau_upper_sarah(beta));
+        // The lower bound is positive and decreasing in θ.
+        let lo = Lemma1::tau_lower(&p, beta, theta).unwrap();
+        let lo_looser = Lemma1::tau_lower(&p, beta, (theta * 1.5).min(0.999)).unwrap();
+        prop_assert!(lo > 0.0);
+        prop_assert!(lo_looser <= lo * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn federated_factor_monotone_in_theta(
+        mu in 10.0f64..200.0,
+        sigma in 0.0f64..5.0,
+        t1 in 0.001f64..0.4,
+        bump in 0.0f64..0.5,
+    ) {
+        let p = TheoryParams { smoothness: 1.0, lambda: 0.5, mu, sigma_bar_sq: sigma };
+        let t2 = (t1 + bump).min(0.95);
+        // Larger θ can only shrink Θ (Remark 2).
+        prop_assert!(federated_factor(&p, t2) <= federated_factor(&p, t1) + 1e-12);
+    }
+
+    #[test]
+    fn codec_roundtrips_arbitrary_models(
+        params in proptest::collection::vec(any::<f64>(), 0..64),
+        round in any::<u32>(),
+        device in any::<u32>(),
+        weight in 0.0f64..1.0,
+    ) {
+        use fedprox::net::Message;
+        use fedprox::net::codec::{decode, encode};
+        let msg = Message::LocalModel {
+            device,
+            round,
+            params: params.clone(),
+            weight,
+            grad_evals: 123,
+            compute_time: 0.5,
+        };
+        let decoded = decode(&encode(&msg)).unwrap();
+        match decoded {
+            Message::LocalModel { params: p2, device: d2, round: r2, .. } => {
+                prop_assert_eq!(d2, device);
+                prop_assert_eq!(r2, round);
+                prop_assert_eq!(p2.len(), params.len());
+                for (a, b) in p2.iter().zip(&params) {
+                    prop_assert!(a.to_bits() == b.to_bits());
+                }
+            }
+            other => prop_assert!(false, "wrong variant {:?}", other),
+        }
+    }
+}
