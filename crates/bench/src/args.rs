@@ -32,6 +32,9 @@ impl Default for CommonArgs {
 /// Parse `--scale small|paper`, `--rounds N`, `--seed N`, `--out DIR`
 /// from an iterator of CLI arguments. Unknown flags abort with a usage
 /// message naming `program`.
+// Exiting with a usage message is the intended CLI behaviour here, not
+// a disguised panic path.
+#[allow(clippy::exit)]
 pub fn parse_args(program: &str, argv: impl Iterator<Item = String>) -> CommonArgs {
     let mut args = CommonArgs::default();
     let mut it = argv.peekable();

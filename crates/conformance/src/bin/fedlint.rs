@@ -1,0 +1,114 @@
+//! `fedlint` — static conformance checker for the FedProxVR workspace.
+//!
+//! Usage:
+//!
+//! ```text
+//! fedlint --workspace [--root DIR]   # check crates/*/src/**.rs
+//! fedlint FILE.rs [FILE.rs ...]      # check individual files (all rules
+//!                                    #  except lossy-cast)
+//! ```
+//!
+//! Exit status is 0 when the checked sources are clean, 1 when any
+//! violation (or malformed annotation) is found, 2 on usage/IO errors.
+
+use fedprox_conformance::{check_source, check_workspace, Report, Rule, RuleSet};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: fedlint --workspace [--root DIR]");
+    eprintln!("       fedlint FILE.rs [FILE.rs ...]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("fedlint: FedProxVR workspace conformance checker");
+                return usage();
+            }
+            other if other.starts_with('-') => return usage(),
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+
+    let report = if workspace {
+        let root = root.unwrap_or_else(find_workspace_root);
+        match check_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fedlint: cannot walk workspace at {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut merged = Report::default();
+        let rules = RuleSet::all().without(Rule::LossyCast);
+        for file in &files {
+            let source = match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("fedlint: cannot read {}: {e}", file.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let sub = check_source(&file.to_string_lossy(), &source, rules);
+            merged.violations.extend(sub.violations);
+            merged.allowed.extend(sub.allowed);
+            merged.bad_annotations.extend(sub.bad_annotations);
+        }
+        merged
+    };
+
+    for v in &report.bad_annotations {
+        println!("{v}");
+    }
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if report.is_clean() {
+        println!(
+            "fedlint: clean ({} annotated allowance{})",
+            report.allowed.len(),
+            if report.allowed.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "fedlint: {} violation(s), {} malformed annotation(s), {} allowed site(s)",
+            report.violations.len(),
+            report.bad_annotations.len(),
+            report.allowed.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Default root: walk up from the current directory to the first
+/// directory containing a `crates/` subdirectory, else use `.`.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Fixture tests: known-bad snippets per rule, asserting the exact rule
+//! id and 1-indexed line of every finding, plus the annotation escape
+//! hatch and the string-literal false-positive guard.
+
+use fedprox_conformance::{check_source, Rule, RuleSet};
+
+fn findings(source: &str, rules: RuleSet) -> Vec<(Rule, usize)> {
+    let report = check_source("fixture.rs", source, rules);
+    assert!(
+        report.bad_annotations.is_empty(),
+        "unexpected malformed annotations: {:?}",
+        report.bad_annotations
+    );
+    report.violations.iter().map(|v| (v.rule, v.line)).collect()
+}
+
+#[test]
+fn r1_no_panic_flags_every_shape() {
+    let src = "\
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect(\"msg\");
+    panic!(\"boom\");
+    todo!();
+    unimplemented!()
+}
+";
+    assert_eq!(
+        findings(src, RuleSet::none().with(Rule::NoPanic)),
+        vec![
+            (Rule::NoPanic, 2),
+            (Rule::NoPanic, 3),
+            (Rule::NoPanic, 4),
+            (Rule::NoPanic, 5),
+            (Rule::NoPanic, 6),
+        ]
+    );
+}
+
+#[test]
+fn r2_no_ambient_entropy() {
+    let src = "\
+fn f() {
+    let mut rng = rand::thread_rng();
+    let r2 = StdRng::from_entropy();
+    let t = std::time::SystemTime::now();
+}
+";
+    assert_eq!(
+        findings(src, RuleSet::none().with(Rule::NoAmbientEntropy)),
+        vec![
+            (Rule::NoAmbientEntropy, 2),
+            (Rule::NoAmbientEntropy, 3),
+            (Rule::NoAmbientEntropy, 4),
+        ]
+    );
+}
+
+#[test]
+fn r3_no_debug_print() {
+    let src = "\
+fn f(x: u32) {
+    println!(\"x = {x}\");
+    eprintln!(\"x = {x}\");
+    let y = dbg!(x);
+}
+";
+    assert_eq!(
+        findings(src, RuleSet::none().with(Rule::NoDebugPrint)),
+        vec![
+            (Rule::NoDebugPrint, 2),
+            (Rule::NoDebugPrint, 3),
+            (Rule::NoDebugPrint, 4),
+        ]
+    );
+}
+
+#[test]
+fn r4_unsafe_needs_safety_comment() {
+    let bad = "\
+fn f(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+";
+    assert_eq!(
+        findings(bad, RuleSet::none().with(Rule::SafetyComment)),
+        vec![(Rule::SafetyComment, 2)]
+    );
+
+    let good = "\
+fn f(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid and aligned.
+    unsafe { *p }
+}
+";
+    assert_eq!(findings(good, RuleSet::none().with(Rule::SafetyComment)), vec![]);
+}
+
+#[test]
+fn r5_lossy_casts_in_hot_paths() {
+    let src = "\
+fn f(x: f64, i: isize) -> f64 {
+    let a = x as f32;
+    let idx = i as usize;
+    a as f64
+}
+";
+    assert_eq!(
+        findings(src, RuleSet::none().with(Rule::LossyCast)),
+        vec![(Rule::LossyCast, 2), (Rule::LossyCast, 3)]
+    );
+}
+
+#[test]
+fn annotation_suppresses_and_is_counted() {
+    let src = "\
+fn f(x: Option<u32>) -> u32 {
+    // fedlint: allow(no-panic) — invariant: x is Some by construction
+    x.unwrap()
+}
+";
+    let report = check_source("fixture.rs", src, RuleSet::none().with(Rule::NoPanic));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.allowed.len(), 1);
+    assert_eq!(report.allowed[0].rule, Rule::NoPanic);
+    assert_eq!(report.allowed[0].line, 3);
+    assert_eq!(report.allowed[0].reason, "invariant: x is Some by construction");
+    assert!(report.is_clean());
+}
+
+#[test]
+fn annotation_on_same_line_works_and_double_dash_accepted() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // fedlint: allow(no-panic) -- fixture\n";
+    let report = check_source("fixture.rs", src, RuleSet::none().with(Rule::NoPanic));
+    assert!(report.violations.is_empty());
+    assert_eq!(report.allowed.len(), 1);
+}
+
+#[test]
+fn annotation_for_wrong_rule_does_not_suppress() {
+    let src = "\
+fn f(x: Option<u32>) -> u32 {
+    // fedlint: allow(no-debug-print) — wrong rule on purpose
+    x.unwrap()
+}
+";
+    let report = check_source("fixture.rs", src, RuleSet::none().with(Rule::NoPanic));
+    assert_eq!(
+        report.violations.iter().map(|v| (v.rule, v.line)).collect::<Vec<_>>(),
+        vec![(Rule::NoPanic, 3)]
+    );
+}
+
+#[test]
+fn malformed_annotation_is_itself_a_finding() {
+    // Missing the dash-separated reason.
+    let src = "\
+fn f(x: Option<u32>) -> u32 {
+    // fedlint: allow(no-panic)
+    x.unwrap()
+}
+";
+    let report = check_source("fixture.rs", src, RuleSet::none().with(Rule::NoPanic));
+    assert!(!report.bad_annotations.is_empty());
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn string_literals_and_comments_never_trigger() {
+    let src = "\
+fn f() -> String {
+    // This mentions unwrap() and panic! and println! in prose.
+    let a = \"x.unwrap()\";
+    let b = \"panic!(\\\"boom\\\")\";
+    let c = r#\"thread_rng() println!(\"hi\")\"#;
+    format!(\"{a}{b}{c}\")
+}
+";
+    let report = check_source("fixture.rs", src, RuleSet::all());
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn test_modules_are_exempt_from_no_panic() {
+    let src = "\
+pub fn lib_code(x: Option<u32>) -> Option<u32> {
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn uses_unwrap_freely() {
+        super::lib_code(Some(1)).unwrap();
+        assert!(true);
+    }
+}
+";
+    let report = check_source("fixture.rs", src, RuleSet::none().with(Rule::NoPanic));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn unwrap_or_and_friends_are_not_flagged() {
+    let src = "\
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap_or(0);
+    let b = x.unwrap_or_default();
+    let c = x.unwrap_or_else(|| 1);
+    a + b + c
+}
+";
+    let report = check_source("fixture.rs", src, RuleSet::none().with(Rule::NoPanic));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}

@@ -258,6 +258,11 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
                 true
             },
         );
+        // Transport errors are protocol/configuration bugs in the
+        // in-process simulation, never training dynamics; there is no
+        // meaningful History to hand back for them.
+        // fedlint: allow(no-panic) — NetError from the simulated transport is an unrecoverable bug; fail loudly rather than fabricate a History
+        let report = report.expect("networked backend transport failure");
 
         // Patch per-round simulated time and traffic into the records.
         let mut cumulative = Vec::with_capacity(report.round_durations.len());

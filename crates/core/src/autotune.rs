@@ -106,7 +106,7 @@ pub fn autotune<M: LossModel>(
     let probe_device = devices
         .iter()
         .max_by_key(|d| d.samples())
-        .expect("non-empty device list");
+        .unwrap_or(&devices[0]);
     let constants = estimate_constants(model, &probe_device.data, &w0, &req.probe);
     // The paper's theory wants an L that upper-bounds curvature, but the
     // *typical* scale is what makes η = 1/(βL) practical (see the fig2

@@ -101,6 +101,7 @@ impl Device {
                 // FSVRG: SVRG anchored at the *global* gradient the server
                 // distributed; no proximal term; last iterate.
                 let ag = global_grad
+                    // fedlint: allow(no-panic) — runner invariant: the server distributes the global gradient whenever needs_global_gradient() holds
                     .expect("FSVRG requires the server-distributed global gradient");
                 let scfg = LocalSolverConfig {
                     kind: EstimatorKind::Svrg,

@@ -71,7 +71,10 @@ impl History {
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("history serialization")
+        // History serialization is infallible (plain data, no maps with
+        // non-string keys); an empty string would only ever surface from
+        // a serde bug.
+        serde_json::to_string_pretty(self).unwrap_or_default()
     }
 
     /// Parse from JSON.

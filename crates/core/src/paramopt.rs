@@ -129,7 +129,7 @@ fn nelder_mead_2d(
         (x0, y0 + scale, f(x0, y0 + scale)),
     ];
     for _ in 0..iters {
-        simplex.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+        simplex.sort_by(|a, b| a.2.total_cmp(&b.2));
         let (bx, by, bf) = simplex[0];
         let (sx, sy, sf) = simplex[1];
         let (wx, wy, wf) = simplex[2];
@@ -170,7 +170,7 @@ fn nelder_mead_2d(
             break;
         }
     }
-    simplex.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+    simplex.sort_by(|a, b| a.2.total_cmp(&b.2));
     (simplex[0].0, simplex[0].1)
 }
 

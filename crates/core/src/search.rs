@@ -9,7 +9,6 @@ use crate::device::Device;
 use fedprox_data::synthetic::device_rng;
 use fedprox_data::Dataset;
 use fedprox_models::LossModel;
-use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -86,17 +85,24 @@ pub fn random_search<M: LossModel>(
     base: &FedConfig,
 ) -> SearchResult {
     assert!(n_trials >= 1, "need at least one trial");
+    assert!(
+        !space.taus.is_empty()
+            && !space.betas.is_empty()
+            && !space.mus.is_empty()
+            && !space.batches.is_empty(),
+        "search space must be non-empty"
+    );
     let mut rng = device_rng(seed, 0x5EA6C);
     let mut trials = Vec::with_capacity(n_trials);
     for t in 0..n_trials {
-        let tau = *space.taus.choose(&mut rng).expect("taus empty");
-        let beta = *space.betas.choose(&mut rng).expect("betas empty");
+        let tau = pick(&space.taus, &mut rng);
+        let beta = pick(&space.betas, &mut rng);
         let mu = if matches!(algorithm, Algorithm::FedAvg) {
             0.0
         } else {
-            *space.mus.choose(&mut rng).expect("mus empty")
+            pick(&space.mus, &mut rng)
         };
-        let batch = *space.batches.choose(&mut rng).expect("batches empty");
+        let batch = pick(&space.batches, &mut rng);
         let rounds = rng.gen_range(space.rounds.0..=space.rounds.1);
 
         let cfg = FedConfig {
@@ -124,11 +130,19 @@ pub fn random_search<M: LossModel>(
     let best = trials
         .iter()
         .filter(|t| !t.diverged)
-        .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).unwrap())
-        .or_else(|| trials.first())
-        .expect("at least one trial")
+        .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
+        // All trials diverged: report the first so the table row exists.
+        .unwrap_or(&trials[0])
         .clone();
     SearchResult { algorithm: algorithm.name().to_string(), best, trials }
+}
+
+
+/// Uniform pick from a non-empty slice. Consumes exactly one
+/// `gen_range(0..len)` draw — the same stream consumption as
+/// `SliceRandom::choose`, so search results stay seed-stable.
+fn pick<T: Copy, R: Rng>(xs: &[T], rng: &mut R) -> T {
+    xs[rng.gen_range(0..xs.len())]
 }
 
 #[cfg(test)]

@@ -50,7 +50,12 @@ impl DelayModel {
                 }
             }
             DelayModel::LogNormal { mu, sigma } => {
-                LogNormal::new(mu, sigma).expect("lognormal params").sample(rng)
+                debug_assert!(sigma >= 0.0);
+                match LogNormal::new(mu, sigma) {
+                    Ok(d) => d.sample(rng),
+                    // Degenerate σ: deterministic median e^μ.
+                    Err(_) => mu.exp(),
+                }
             }
         }
     }

@@ -14,12 +14,79 @@
 
 use crate::clock::{DeviceRoundTiming, VirtualClock};
 use crate::codec;
+use crate::codec::CodecError;
 use crate::delay::LinkSpec;
 use crate::message::Message;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Transport-layer failure of a networked run.
+///
+/// Every variant is a protocol or configuration bug in the simulation
+/// itself (frames never leave the process), so callers generally treat
+/// these as fatal — but the runtime reports them as values instead of
+/// panicking so the caller owns that decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A frame failed to decode.
+    Codec(CodecError),
+    /// An actor channel disconnected mid-round (a device thread died).
+    ChannelClosed(&'static str),
+    /// A device never delivered its local model for the round.
+    MissingReply {
+        /// Device index whose slot stayed empty.
+        device: usize,
+    },
+    /// A device answered for a different round than the one in flight.
+    StaleRound {
+        /// Device that answered.
+        device: u32,
+        /// Round carried by the reply.
+        got: u32,
+        /// Round the server was collecting.
+        expected: u32,
+    },
+    /// The server received a message kind only devices should see.
+    UnexpectedMessage,
+    /// Aggregation weights summed to zero.
+    ZeroAggregationWeight,
+    /// A transfer was dropped more than the retry limit allows
+    /// (`drop_prob` too close to 1).
+    RetryLimit,
+    /// A device worker panicked inside the actor scope.
+    WorkerPanic,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Codec(e) => write!(f, "net: {e}"),
+            NetError::ChannelClosed(which) => write!(f, "net: {which} disconnected"),
+            NetError::MissingReply { device } => {
+                write!(f, "net: missing reply from device {device}")
+            }
+            NetError::StaleRound { device, got, expected } => write!(
+                f,
+                "net: device {device} replied for round {got} while collecting round {expected}"
+            ),
+            NetError::UnexpectedMessage => write!(f, "net: server received a non-LocalModel message"),
+            NetError::ZeroAggregationWeight => write!(f, "net: aggregation weights sum to zero"),
+            NetError::RetryLimit => write!(f, "net: drop probability too close to 1"),
+            NetError::WorkerPanic => write!(f, "net: a device worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        NetError::Codec(e)
+    }
+}
 
 /// What a device hands back after its local update.
 #[derive(Debug, Clone)]
@@ -114,6 +181,10 @@ impl NetworkRuntime {
     /// `initial`. `on_round(round, global)` fires after each aggregation;
     /// returning `false` stops the run early (used by divergence guards
     /// and time-budget experiments).
+    ///
+    /// Errors are transport/protocol failures (see [`NetError`]); in the
+    /// in-process simulation they only arise from bugs or degenerate
+    /// options, never from ordinary training dynamics.
     pub fn run<W: DeviceWorker>(
         &self,
         workers: Vec<W>,
@@ -121,7 +192,7 @@ impl NetworkRuntime {
         rounds: u32,
         opts: &NetOptions,
         mut on_round: impl FnMut(u32, &[f64]) -> bool,
-    ) -> NetReport {
+    ) -> Result<NetReport, NetError> {
         let n = workers.len();
         assert!(n > 0, "network runtime needs at least one device");
         let dim = initial.len();
@@ -143,7 +214,7 @@ impl NetworkRuntime {
         let mut global = initial;
         let mut rounds_run = 0;
 
-        crossbeam::scope(|scope| {
+        let scope_outcome = crossbeam::scope(|scope| -> Result<(), NetError> {
             // Device actors.
             for (id, (mut worker, rx)) in
                 workers.into_iter().zip(device_rx).enumerate()
@@ -151,6 +222,12 @@ impl NetworkRuntime {
                 let reply_tx = reply_tx.clone();
                 scope.spawn(move |_| {
                     while let Ok(frame) = rx.recv() {
+                        // Frames come from `codec::encode` in this very
+                        // process, so a decode failure is a codec bug; a
+                        // device thread has no error channel back to the
+                        // caller, so it surfaces the bug by panicking
+                        // (the scope turns that into `WorkerPanic`).
+                        // fedlint: allow(no-panic) — device actors report codec bugs by panicking into the scope, which maps to NetError::WorkerPanic
                         match codec::decode(&frame).expect("device: bad frame") {
                             Message::GlobalModel { round, params } => {
                                 let reply = worker.update(round, &params);
@@ -162,7 +239,11 @@ impl NetworkRuntime {
                                     grad_evals: reply.grad_evals,
                                     compute_time: reply.compute_time,
                                 };
-                                reply_tx.send(codec::encode(&msg)).expect("reply channel");
+                                // The server hanging up early just means
+                                // this device's reply is no longer wanted.
+                                if reply_tx.send(codec::encode(&msg)).is_err() {
+                                    break;
+                                }
                             }
                             Message::Shutdown => break,
                             Message::LocalModel { .. } => {
@@ -174,99 +255,124 @@ impl NetworkRuntime {
             }
             drop(reply_tx);
 
-            // Server loop.
-            'rounds: for round in 0..rounds {
-                let broadcast =
-                    codec::encode(&Message::GlobalModel { round, params: global.clone() });
-                let down_len = broadcast.len();
+            // Server loop, as an immediately-run closure so that every
+            // early error still falls through to the shutdown broadcast
+            // below — otherwise device actors would block on `recv`
+            // forever and the scope would never join.
+            let served = (|| -> Result<(), NetError> {
+                'rounds: for round in 0..rounds {
+                    let broadcast =
+                        codec::encode(&Message::GlobalModel { round, params: global.clone() });
+                    let down_len = broadcast.len();
 
-                // Simulate downlink per device (retransmit on drop).
-                let mut downloads = vec![0.0f64; n];
-                for (d, dl) in downloads.iter_mut().enumerate() {
-                    let (delay, re) =
-                        simulate_transfer(&opts.downlink, down_len, opts.drop_prob, &mut rng);
-                    *dl = delay;
-                    retransmissions += re;
-                    clock.record_traffic((re + 1) * down_len as u64, 0);
-                    to_device[d].send(broadcast.clone()).expect("send to device");
-                }
+                    // Simulate downlink per device (retransmit on drop).
+                    let mut downloads = vec![0.0f64; n];
+                    for (d, dl) in downloads.iter_mut().enumerate() {
+                        let (delay, re) =
+                            simulate_transfer(&opts.downlink, down_len, opts.drop_prob, &mut rng)?;
+                        *dl = delay;
+                        retransmissions += re;
+                        clock.record_traffic((re + 1) * down_len as u64, 0);
+                        to_device[d]
+                            .send(broadcast.clone())
+                            .map_err(|_| NetError::ChannelClosed("device command channel"))?;
+                    }
 
-                // Collect all local models.
-                let mut timings = vec![
-                    DeviceRoundTiming { download: 0.0, compute: 0.0, upload: 0.0 };
-                    n
-                ];
-                // Collect into per-device slots first, then aggregate in
-                // device-id order — floating-point addition is not
-                // associative, and the sequential/parallel backends sum in
-                // id order, so this keeps all three backends bit-identical.
-                let mut slots: Vec<Option<(Vec<f64>, f64)>> = vec![None; n];
-                for _ in 0..n {
-                    let frame = reply_rx.recv().expect("collect local model");
-                    let up_len = frame.len();
-                    match codec::decode(&frame).expect("server: bad frame") {
-                        Message::LocalModel {
-                            device, params, weight, compute_time, round: r, ..
-                        } => {
-                            assert_eq!(r, round, "stale round from device {device}");
-                            let d = device as usize;
-                            let (up_delay, re) = simulate_transfer(
-                                &opts.uplink,
-                                up_len,
-                                opts.drop_prob,
-                                &mut rng,
-                            );
-                            retransmissions += re;
-                            clock.record_traffic(0, (re + 1) * up_len as u64);
-                            let mut compute = compute_time;
-                            if let Some((straggler, mult)) = opts.straggler {
-                                if d == straggler {
-                                    compute *= mult;
+                    // Collect all local models.
+                    let mut timings = vec![
+                        DeviceRoundTiming { download: 0.0, compute: 0.0, upload: 0.0 };
+                        n
+                    ];
+                    // Collect into per-device slots first, then aggregate in
+                    // device-id order — floating-point addition is not
+                    // associative, and the sequential/parallel backends sum in
+                    // id order, so this keeps all three backends bit-identical.
+                    let mut slots: Vec<Option<(Vec<f64>, f64)>> = vec![None; n];
+                    for _ in 0..n {
+                        let frame = reply_rx
+                            .recv()
+                            .map_err(|_| NetError::ChannelClosed("device reply channel"))?;
+                        let up_len = frame.len();
+                        match codec::decode(&frame)? {
+                            Message::LocalModel {
+                                device, params, weight, compute_time, round: r, ..
+                            } => {
+                                if r != round {
+                                    return Err(NetError::StaleRound {
+                                        device,
+                                        got: r,
+                                        expected: round,
+                                    });
                                 }
+                                let d = device as usize;
+                                let (up_delay, re) = simulate_transfer(
+                                    &opts.uplink,
+                                    up_len,
+                                    opts.drop_prob,
+                                    &mut rng,
+                                )?;
+                                retransmissions += re;
+                                clock.record_traffic(0, (re + 1) * up_len as u64);
+                                let mut compute = compute_time;
+                                if let Some((straggler, mult)) = opts.straggler {
+                                    if d == straggler {
+                                        compute *= mult;
+                                    }
+                                }
+                                if let Some(jitter) = &opts.compute_jitter {
+                                    compute *= jitter.sample(&mut rng);
+                                }
+                                timings[d] = DeviceRoundTiming {
+                                    download: downloads[d],
+                                    compute,
+                                    upload: up_delay,
+                                };
+                                slots[d] = Some((params, weight));
                             }
-                            if let Some(jitter) = &opts.compute_jitter {
-                                compute *= jitter.sample(&mut rng);
+                            Message::GlobalModel { .. } | Message::Shutdown => {
+                                return Err(NetError::UnexpectedMessage);
                             }
-                            timings[d] = DeviceRoundTiming {
-                                download: downloads[d],
-                                compute,
-                                upload: up_delay,
-                            };
-                            slots[d] = Some((params, weight));
                         }
-                        other => unreachable!("server received {other:?}"),
+                    }
+                    let mut agg = vec![0.0f64; dim];
+                    let mut weight_sum = 0.0;
+                    for (d, slot) in slots.iter().enumerate() {
+                        let (params, weight) =
+                            slot.as_ref().ok_or(NetError::MissingReply { device: d })?;
+                        for (a, p) in agg.iter_mut().zip(params) {
+                            *a += weight * p;
+                        }
+                        weight_sum += weight;
+                    }
+                    if weight_sum <= 0.0 {
+                        return Err(NetError::ZeroAggregationWeight);
+                    }
+                    for a in agg.iter_mut() {
+                        *a /= weight_sum;
+                    }
+                    global = agg;
+                    round_durations.push(clock.advance_round(&timings));
+                    rounds_run = round + 1;
+                    if !on_round(round, &global) {
+                        break 'rounds;
                     }
                 }
-                let mut agg = vec![0.0f64; dim];
-                let mut weight_sum = 0.0;
-                for slot in &slots {
-                    let (params, weight) = slot.as_ref().expect("missing device reply");
-                    for (a, p) in agg.iter_mut().zip(params) {
-                        *a += weight * p;
-                    }
-                    weight_sum += weight;
-                }
-                assert!(weight_sum > 0.0, "aggregation weights sum to zero");
-                for a in agg.iter_mut() {
-                    *a /= weight_sum;
-                }
-                global = agg;
-                round_durations.push(clock.advance_round(&timings));
-                rounds_run = round + 1;
-                if !on_round(round, &global) {
-                    break 'rounds;
-                }
-            }
+                Ok(())
+            })();
 
-            // Shut the actors down.
+            // Shut the actors down (on success and on error alike).
             let bye = codec::encode(&Message::Shutdown);
             for tx in &to_device {
                 let _ = tx.send(bye.clone());
             }
-        })
-        .expect("actor scope");
+            served
+        });
+        match scope_outcome {
+            Ok(served) => served?,
+            Err(_panic) => return Err(NetError::WorkerPanic),
+        }
 
-        NetReport { final_model: global, clock, retransmissions, round_durations, rounds_run }
+        Ok(NetReport { final_model: global, clock, retransmissions, round_durations, rounds_run })
     }
 }
 
@@ -277,17 +383,17 @@ fn simulate_transfer(
     bytes: usize,
     drop_prob: f64,
     rng: &mut StdRng,
-) -> (f64, u64) {
+) -> Result<(f64, u64), NetError> {
     let mut total = link.transfer_time(bytes, rng);
     let mut retries = 0u64;
     while drop_prob > 0.0 && rng.gen_range(0.0..1.0) < drop_prob {
         retries += 1;
         total += link.transfer_time(bytes, rng);
         if retries > 1000 {
-            panic!("drop probability too close to 1");
+            return Err(NetError::RetryLimit);
         }
     }
-    (total, retries)
+    Ok((total, retries))
 }
 
 #[cfg(test)]
@@ -316,7 +422,7 @@ mod tests {
             60,
             &NetOptions::default(),
             |_, _| true,
-        );
+        ).expect("runtime");
         // Fixed point: average of the two targets.
         assert!((report.final_model[0] - 2.0).abs() < 1e-6, "{:?}", report.final_model);
         assert!((report.final_model[1] - 0.0).abs() < 1e-6);
@@ -333,7 +439,7 @@ mod tests {
         };
         let workers: Vec<Box<dyn DeviceWorker>> =
             vec![toward(vec![0.0], 1.0), toward(vec![0.0], 1.0)];
-        let report = NetworkRuntime.run(workers, vec![5.0], 10, &opts, |_, _| true);
+        let report = NetworkRuntime.run(workers, vec![5.0], 10, &opts, |_, _| true).expect("runtime");
         // Each round: 0.1 + 0.01 + 0.2 = 0.31.
         assert!((report.clock.now() - 3.1).abs() < 1e-9, "{}", report.clock.now());
         assert!(report.round_durations.iter().all(|&d| (d - 0.31).abs() < 1e-12));
@@ -343,7 +449,9 @@ mod tests {
     fn traffic_counted_in_real_bytes() {
         let dim = 7;
         let workers: Vec<Box<dyn DeviceWorker>> = vec![toward(vec![0.0; dim], 1.0)];
-        let report = NetworkRuntime.run(workers, vec![1.0; dim], 3, &NetOptions::default(), |_, _| true);
+        let report = NetworkRuntime
+            .run(workers, vec![1.0; dim], 3, &NetOptions::default(), |_, _| true)
+            .expect("runtime");
         let down_msg = codec::encoded_len(&Message::GlobalModel { round: 0, params: vec![0.0; dim] });
         let up_msg = codec::encoded_len(&Message::LocalModel {
             device: 0,
@@ -361,9 +469,9 @@ mod tests {
     fn early_stop_via_callback() {
         let workers: Vec<Box<dyn DeviceWorker>> = vec![toward(vec![0.0], 1.0)];
         let report =
-            NetworkRuntime.run(workers, vec![8.0], 100, &NetOptions::default(), |round, _| {
-                round < 4
-            });
+            NetworkRuntime
+                .run(workers, vec![8.0], 100, &NetOptions::default(), |round, _| round < 4)
+                .expect("runtime");
         assert_eq!(report.rounds_run, 5);
     }
 
@@ -372,7 +480,7 @@ mod tests {
         let opts = NetOptions { drop_prob: 0.3, seed: 42, ..Default::default() };
         let workers: Vec<Box<dyn DeviceWorker>> =
             vec![toward(vec![1.0], 0.7), toward(vec![1.0], 0.3)];
-        let report = NetworkRuntime.run(workers, vec![0.0], 40, &opts, |_, _| true);
+        let report = NetworkRuntime.run(workers, vec![0.0], 40, &opts, |_, _| true).expect("runtime");
         assert!(report.retransmissions > 0, "expected some drops at p=0.3");
         // The run still converges: payloads are never lost.
         assert!((report.final_model[0] - 1.0).abs() < 1e-6);
@@ -388,7 +496,7 @@ mod tests {
         };
         let workers: Vec<Box<dyn DeviceWorker>> =
             vec![toward(vec![0.0], 0.5), toward(vec![0.0], 0.5)];
-        let report = NetworkRuntime.run(workers, vec![1.0], 5, &opts, |_, _| true);
+        let report = NetworkRuntime.run(workers, vec![1.0], 5, &opts, |_, _| true).expect("runtime");
         // compute 0.01 × 50 = 0.5 per round.
         assert!((report.clock.now() - 2.5).abs() < 1e-9);
         assert!(report.clock.straggler_waste() > 1.0);
@@ -406,7 +514,7 @@ mod tests {
         let run = |seed: u64| {
             let workers: Vec<Box<dyn DeviceWorker>> =
                 vec![toward(vec![0.0], 0.5), toward(vec![0.0], 0.5)];
-            NetworkRuntime.run(workers, vec![1.0], 10, &mk(seed), |_, _| true)
+            NetworkRuntime.run(workers, vec![1.0], 10, &mk(seed), |_, _| true).expect("runtime")
         };
         let a = run(3);
         let b = run(3);
@@ -431,7 +539,9 @@ mod tests {
             }))
         };
         let workers: Vec<Box<dyn DeviceWorker>> = vec![pin(10.0, 0.9), pin(0.0, 0.1)];
-        let report = NetworkRuntime.run(workers, vec![0.0], 2, &NetOptions::default(), |_, _| true);
+        let report = NetworkRuntime
+            .run(workers, vec![0.0], 2, &NetOptions::default(), |_, _| true)
+            .expect("runtime");
         assert!((report.final_model[0] - 9.0).abs() < 1e-12);
     }
 
@@ -448,7 +558,7 @@ mod tests {
         let workers: Vec<Box<dyn DeviceWorker>> = (0..4)
             .map(|_| toward(vec![0.0], 0.25))
             .collect();
-        let report = NetworkRuntime.run(workers, vec![1.0], 20, &opts, |_, _| true);
+        let report = NetworkRuntime.run(workers, vec![1.0], 20, &opts, |_, _| true).expect("runtime");
         let durs = &report.round_durations;
         let mean = durs.iter().sum::<f64>() / durs.len() as f64;
         assert!(durs.iter().any(|&d| (d - mean).abs() > 1e-6), "rounds identical");

@@ -94,6 +94,7 @@ impl Estimator {
         assert_eq!(w0.len(), dim, "estimator: w0 length");
         let mut anchor_grad = vec![0.0; dim];
         model.full_grad(w0, data, &mut anchor_grad);
+        fedprox_tensor::guard::check_finite("anchor full gradient (Algorithm 1 line 3)", &anchor_grad);
         let v = anchor_grad.clone();
         Estimator {
             kind,
@@ -145,6 +146,7 @@ impl Estimator {
         assert_eq!(w0.len(), dim, "estimator: w0 length");
         let mut v = vec![0.0; dim];
         model.batch_grad(w0, data, batch, &mut v);
+        fedprox_tensor::guard::check_finite("initial mini-batch gradient", &v);
         Estimator {
             kind: EstimatorKind::Sgd,
             dim,
@@ -207,6 +209,13 @@ impl Estimator {
                 self.grad_evals += 2 * batch.len();
             }
         }
+        let op = match self.kind {
+            EstimatorKind::Sgd => "SGD direction",
+            EstimatorKind::FullGd => "full-gradient direction",
+            EstimatorKind::Svrg => "SVRG direction (8a)",
+            EstimatorKind::Sarah => "SARAH direction (8b)",
+        };
+        fedprox_tensor::guard::check_finite(op, &self.v);
     }
 
     /// `‖v − ∇F_n(w_t)‖` — the estimator error, used by the variance

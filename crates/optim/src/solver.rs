@@ -148,9 +148,9 @@ impl LocalSolver {
 
         let w = match cfg.choice {
             IterateChoice::Last => w_t,
-            IterateChoice::UniformRandom => {
-                kept.expect("chosen iterate must have been recorded")
-            }
+            // `chosen_t` ∈ [1, τ+1] by construction, so `kept` is
+            // always recorded; the fallback is the last iterate.
+            IterateChoice::UniformRandom => kept.unwrap_or(w_t),
         };
         LocalOutcome { w, chosen_t, grad_evals: est.grad_evals() }
     }

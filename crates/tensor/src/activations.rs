@@ -43,6 +43,7 @@ pub fn softmax_inplace(x: &mut [f64]) {
     for v in x.iter_mut() {
         *v *= inv;
     }
+    crate::guard::check_finite("softmax", x);
 }
 
 /// Stable log-sum-exp of a slice.

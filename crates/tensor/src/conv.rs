@@ -88,6 +88,7 @@ pub fn im2col(spec: &Conv2dSpec, input: &[f64], cols: &mut Matrix) {
                     for kx in 0..k {
                         let ix = (ox + kx) as isize - pad as isize;
                         row[idx] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            // fedlint: allow(lossy-cast) — iy/ix proven non-negative and in-bounds by the guard above
                             chan[iy as usize * w + ix as usize]
                         } else {
                             0.0
@@ -119,6 +120,7 @@ pub fn col2im(spec: &Conv2dSpec, cols: &Matrix, input_grad: &mut [f64]) {
                     for kx in 0..k {
                         let ix = (ox + kx) as isize - pad as isize;
                         if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            // fedlint: allow(lossy-cast) — iy/ix proven non-negative and in-bounds by the guard above
                             input_grad[base + iy as usize * w + ix as usize] += row[idx];
                         }
                         idx += 1;
@@ -179,6 +181,7 @@ pub fn conv2d_forward(
             *d = crate::vecops::dot(w_row, scratch.cols.row(p)) + b;
         }
     }
+    crate::guard::check_finite("conv2d_forward (im2col)", output);
 }
 
 /// Backward convolution. Given `grad_output` (`[out_ch, oh, ow]`),

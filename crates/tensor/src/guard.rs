@@ -1,0 +1,91 @@
+//! Numeric guards: finite-checks on the outputs of tensor hot paths.
+//!
+//! Divergence in FedProxVR experiments is detected at the *round* level
+//! (the runner checks the aggregated model between rounds), but by then
+//! a NaN has lost its origin. The guard layer pins the offending op:
+//! each guarded kernel calls [`check_finite`] / [`check_finite_scalar`]
+//! on its output with an op label, so the first non-finite value aborts
+//! with "which op, which index, which value" context.
+//!
+//! Two modes:
+//!
+//! * default — active only under `debug_assertions` (tests and debug
+//!   builds), compiled out of release builds so production kernels stay
+//!   branch-free;
+//! * `--features check` — hard error in **every** profile, for hunting
+//!   numeric bugs at release speed.
+//!
+//! Intentional-divergence sweeps (e.g. the fig4 μ-effect binary) run in
+//! release without `check`, where the guards cost nothing; the guards
+//! exist to catch *unexpected* non-finites, not the divergence dynamics
+//! those experiments study.
+
+/// First non-finite entry of a slice, as `(index, value)`.
+#[inline]
+pub fn first_non_finite(xs: &[f64]) -> Option<(usize, f64)> {
+    xs.iter().copied().enumerate().find(|&(_, v)| !v.is_finite())
+}
+
+/// Whether the guards are active in this build.
+#[inline]
+pub const fn guards_active() -> bool {
+    cfg!(feature = "check") || cfg!(debug_assertions)
+}
+
+/// Abort with op context if `xs` contains a NaN or infinity. No-op in
+/// release builds unless the `check` feature is enabled.
+#[inline]
+#[track_caller]
+pub fn check_finite(op: &str, xs: &[f64]) {
+    if guards_active() {
+        if let Some((index, value)) = first_non_finite(xs) {
+            // fedlint: allow(no-panic) — the guard's contract is to abort with op context when enabled
+            panic!(
+                "numeric guard: {op} produced {value} at index {index} (len {})",
+                xs.len()
+            );
+        }
+    }
+}
+
+/// Scalar variant of [`check_finite`] for reduction outputs.
+#[inline]
+#[track_caller]
+pub fn check_finite_scalar(op: &str, value: f64) {
+    if guards_active() && !value.is_finite() {
+        // fedlint: allow(no-panic) — the guard's contract is to abort with op context when enabled
+        panic!("numeric guard: {op} produced {value}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_first_non_finite() {
+        assert_eq!(first_non_finite(&[1.0, 2.0]), None);
+        let (i, v) = first_non_finite(&[1.0, f64::NAN, f64::INFINITY]).unwrap();
+        assert_eq!(i, 1);
+        assert!(v.is_nan());
+        assert_eq!(first_non_finite(&[f64::NEG_INFINITY]), Some((0, f64::NEG_INFINITY)));
+    }
+
+    #[test]
+    fn passes_finite_data() {
+        check_finite("test op", &[0.0, -1.5, f64::MAX]);
+        check_finite_scalar("test op", f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn guard_panic_names_the_op() {
+        if !guards_active() {
+            return;
+        }
+        let err = std::panic::catch_unwind(|| check_finite("matmul", &[1.0, f64::NAN]))
+            .expect_err("guard must fire on NaN");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("numeric guard: matmul"), "{msg}");
+        assert!(msg.contains("index 1"), "{msg}");
+    }
+}

@@ -33,6 +33,7 @@
 pub mod activations;
 pub mod conv;
 pub mod error;
+pub mod guard;
 pub mod init;
 pub mod matrix;
 pub mod vecops;

@@ -149,6 +149,7 @@ impl Matrix {
     /// Matrix multiply; panics on shape mismatch (use [`Self::try_matmul`]
     /// for the checked variant).
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        // fedlint: allow(no-panic) — documented panicking wrapper; try_matmul is the checked API
         self.try_matmul(rhs).expect("matmul shape mismatch")
     }
 
@@ -227,6 +228,7 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
             kernel(r, out_row);
         }
     }
+    crate::guard::check_finite("matmul", &out.data);
 }
 
 /// `out ← aᵀ * b` without materialising `aᵀ`.
@@ -248,6 +250,7 @@ pub fn matmul_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
             }
         }
     }
+    crate::guard::check_finite("matmul_tn", &out.data);
 }
 
 /// `out ← a * bᵀ` without materialising `bᵀ`.
@@ -260,6 +263,7 @@ pub fn matmul_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
             out.data[r * b.rows + c] = crate::vecops::dot(a_row, b.row(c));
         }
     }
+    crate::guard::check_finite("matmul_nt", &out.data);
 }
 
 #[cfg(test)]

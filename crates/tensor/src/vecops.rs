@@ -26,7 +26,9 @@ fn assert_same_len(a: &[f64], b: &[f64], op: &str) {
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_same_len(a, b, "dot");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let s = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    crate::guard::check_finite_scalar("dot reduction", s);
+    s
 }
 
 /// Parallel dot product; falls back to [`dot`] below [`PAR_THRESHOLD`].
@@ -35,16 +37,21 @@ pub fn par_dot(a: &[f64], b: &[f64]) -> f64 {
     if a.len() < PAR_THRESHOLD {
         return dot(a, b);
     }
-    a.par_chunks(PAR_CHUNK)
+    let s = a
+        .par_chunks(PAR_CHUNK)
         .zip(b.par_chunks(PAR_CHUNK))
         .map(|(ca, cb)| dot(ca, cb))
-        .sum()
+        .sum();
+    crate::guard::check_finite_scalar("par_dot reduction", s);
+    s
 }
 
 /// Squared Euclidean norm `‖a‖²`.
 #[inline]
 pub fn norm_sq(a: &[f64]) -> f64 {
-    a.iter().map(|x| x * x).sum()
+    let s = a.iter().map(|x| x * x).sum();
+    crate::guard::check_finite_scalar("norm_sq reduction", s);
+    s
 }
 
 /// Euclidean norm `‖a‖`.
@@ -58,14 +65,18 @@ pub fn par_norm_sq(a: &[f64]) -> f64 {
     if a.len() < PAR_THRESHOLD {
         return norm_sq(a);
     }
-    a.par_chunks(PAR_CHUNK).map(norm_sq).sum()
+    let s = a.par_chunks(PAR_CHUNK).map(norm_sq).sum();
+    crate::guard::check_finite_scalar("par_norm_sq reduction", s);
+    s
 }
 
 /// Squared Euclidean distance `‖a − b‖²`.
 #[inline]
 pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
     assert_same_len(a, b, "dist_sq");
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    let s = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    crate::guard::check_finite_scalar("dist_sq reduction", s);
+    s
 }
 
 /// Euclidean distance `‖a − b‖`.
@@ -189,10 +200,11 @@ pub fn all_finite(a: &[f64]) -> bool {
 #[inline]
 pub fn mean(a: &[f64]) -> f64 {
     if a.is_empty() {
-        0.0
-    } else {
-        a.iter().sum::<f64>() / a.len() as f64
+        return 0.0;
     }
+    let m = a.iter().sum::<f64>() / a.len() as f64;
+    crate::guard::check_finite_scalar("mean reduction", m);
+    m
 }
 
 /// Population variance; 0 for slices with fewer than two elements.
@@ -202,7 +214,9 @@ pub fn variance(a: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(a);
-    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64
+    let v = a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64;
+    crate::guard::check_finite_scalar("variance reduction", v);
+    v
 }
 
 #[cfg(test)]

@@ -1,0 +1,77 @@
+//! Guard-layer proof (runs only under `--features check`): inject a NaN
+//! into real kernels and assert the numeric guard aborts with the
+//! offending-op context, end to end through the facade. With the feature
+//! off this file compiles to nothing, so plain `cargo test` stays guard-
+//! free in release and debug-asserted in debug.
+#![cfg(feature = "check")]
+
+use fedprox::tensor::{activations, guard, vecops, Matrix};
+use std::panic::catch_unwind;
+
+fn guard_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+    let payload = catch_unwind(f).expect_err("guard must fire");
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("guard panics carry a formatted String payload")
+}
+
+#[test]
+fn guards_are_compiled_in() {
+    assert!(guard::guards_active(), "check feature must force guards on");
+}
+
+#[test]
+fn matmul_guard_names_the_op() {
+    let a = Matrix::from_rows(&[&[1.0, f64::NAN], &[0.0, 1.0]]);
+    let b = Matrix::identity(2);
+    let msg = guard_message(move || {
+        let _ = a.matmul(&b);
+    });
+    assert!(msg.contains("numeric guard: matmul"), "{msg}");
+    assert!(msg.contains("NaN"), "{msg}");
+}
+
+#[test]
+fn softmax_guard_fires_on_nan_logits() {
+    let msg = guard_message(|| {
+        let mut logits = [0.0, f64::NAN, 1.0];
+        activations::softmax_inplace(&mut logits);
+    });
+    assert!(msg.contains("numeric guard: softmax"), "{msg}");
+}
+
+#[test]
+fn reduction_guard_fires_on_overflow_to_infinity() {
+    let msg = guard_message(|| {
+        let _ = vecops::dot(&[f64::MAX, f64::MAX], &[f64::MAX, f64::MAX]);
+    });
+    assert!(msg.contains("numeric guard: dot reduction"), "{msg}");
+    assert!(msg.contains("inf"), "{msg}");
+}
+
+#[test]
+fn estimator_guard_reports_svrg_direction() {
+    use fedprox::data::Dataset;
+    use fedprox::models::LinearRegression;
+    use fedprox::optim::estimator::{Estimator, EstimatorKind};
+
+    // Poison the *injected* anchor gradient (the FSVRG-style server-side
+    // anchor), keeping the data clean: every inner kernel stays finite,
+    // so the estimator's own direction check is the first guard to fire
+    // and must name eq. (8a).
+    let clean = Dataset::new(
+        Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]),
+        vec![1.0, -1.0],
+        0,
+    );
+    let model = LinearRegression::new(2);
+    let w0 = vec![0.1, -0.2];
+    let bad_anchor = vec![0.0, f64::NAN];
+    let mut est =
+        Estimator::begin_with_anchor_grad(EstimatorKind::Svrg, &model, &w0, &bad_anchor);
+    let msg = guard_message(move || {
+        est.step(&model, &clean, &[0], &[0.2, -0.1]);
+    });
+    assert!(msg.contains("numeric guard: SVRG direction (8a)"), "{msg}");
+}

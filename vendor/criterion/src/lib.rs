@@ -1,0 +1,218 @@
+//! Offline vendored shim for the `criterion` surface used by this
+//! workspace (see `vendor/README.md`).
+//!
+//! A deliberately small wall-clock harness: each benchmark is warmed up
+//! once, then timed over a short fixed budget, and the mean iteration
+//! time is printed. There is no statistical analysis, HTML report, or
+//! baseline comparison — the point is that `cargo bench` compiles, runs,
+//! and prints usable numbers offline.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration time budget used when timing a benchmark.
+const TIME_BUDGET: Duration = Duration::from_millis(200);
+/// Cap on timed iterations, so very fast benchmarks terminate promptly.
+const MAX_ITERS: u64 = 10_000;
+
+/// Top-level benchmark driver (shim).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string(), throughput: None }
+    }
+}
+
+/// Identifier combining a function name and a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the shim sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declare units processed per iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        let mean = run_one(&label, f);
+        self.report_throughput(mean);
+        self
+    }
+
+    /// Run a parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let mean = run_one(&label, |b| f(b, input));
+        self.report_throughput(mean);
+        self
+    }
+
+    /// End the group (no-op in the shim, kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report_throughput(&self, mean: Duration) {
+        let secs = mean.as_secs_f64();
+        if secs <= 0.0 {
+            return;
+        }
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let mibps = bytes as f64 / secs / (1024.0 * 1024.0);
+                println!("    thrpt: {mibps:.1} MiB/s");
+            }
+            Some(Throughput::Elements(elems)) => {
+                let eps = elems as f64 / secs;
+                println!("    thrpt: {eps:.0} elem/s");
+            }
+            None => {}
+        }
+    }
+}
+
+/// Timer handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine` within the shim's budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed warmup pass.
+        black_box(routine());
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < TIME_BUDGET && iters < MAX_ITERS {
+            black_box(routine());
+            iters += 1;
+        }
+        self.total = started.elapsed();
+        self.iters = iters.max(1);
+    }
+
+    fn mean(&self) -> Duration {
+        self.total / u32::try_from(self.iters.max(1)).unwrap_or(u32::MAX)
+    }
+}
+
+fn run_one<F>(label: &str, mut f: F) -> Duration
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let mean = bencher.mean();
+    println!("bench {label:<48} {:>12.3?}/iter ({} iters)", mean, bencher.iters);
+    mean
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("probe", |b| {
+            b.iter(|| black_box(2u64 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::new("f", 42), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline vendored shim for the subset of `rayon` used by this
+//! workspace (see `vendor/README.md`).
+//!
+//! Every `par_*` entry point returns the corresponding **sequential**
+//! standard-library iterator, so arbitrary adapter chains (`map`, `zip`,
+//! `enumerate`, `for_each`, `filter`, `count`, `sum`, `collect`) keep
+//! working unchanged. The workspace already pins all parallel reductions
+//! to fixed chunks combined in order precisely so that scheduling cannot
+//! affect results — under this shim the sequential and "parallel"
+//! backends are trivially bit-identical, and swapping the real rayon back
+//! in cannot change any numeric output.
+
+#![warn(missing_docs)]
+
+/// Import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    /// `par_iter`/`par_chunks` over shared slices (sequential shim).
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            assert!(chunk_size > 0, "par_chunks: chunk size must be positive");
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut`/`par_chunks_mut` over mutable slices (sequential
+    /// shim).
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            assert!(chunk_size > 0, "par_chunks_mut: chunk size must be positive");
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// `into_par_iter` for owned iterables (sequential shim).
+    pub trait IntoParallelIterator {
+        /// The iterator type produced.
+        type Iter;
+        /// Sequential stand-in for `rayon`'s `into_par_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of threads the shim "uses" (always 1; sequential).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let v = [1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate() {
+        let mut v = vec![0usize; 6];
+        v.par_chunks_mut(2).enumerate().for_each(|(i, c)| c.fill(i));
+        assert_eq!(v, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn into_par_iter_range_filter_count() {
+        let n = (0..100usize).into_par_iter().filter(|x| x % 3 == 0).count();
+        assert_eq!(n, 34);
+    }
+
+    #[test]
+    fn zip_of_par_chunks() {
+        let a = [1.0f64, 2.0, 3.0, 4.0];
+        let b = [10.0f64, 20.0, 30.0, 40.0];
+        let s: f64 = a
+            .par_chunks(2)
+            .zip(b.par_chunks(2))
+            .map(|(x, y)| x.iter().zip(y).map(|(p, q)| p * q).sum::<f64>())
+            .sum();
+        assert_eq!(s, 10.0 + 40.0 + 90.0 + 160.0);
+    }
+}

@@ -1,0 +1,402 @@
+//! Offline vendored shim for the `serde` surface used by this workspace
+//! (see `vendor/README.md`).
+//!
+//! Unlike upstream serde's visitor architecture, this shim routes
+//! everything through one in-memory JSON-like [`Value`]: `Serialize`
+//! lowers a type to a `Value`, `Deserialize` raises it back. The
+//! `serde_json` shim then only needs a text parser/printer for `Value`.
+//! The derive macros (re-exported from the `serde_derive` shim) generate
+//! impls of these simplified traits and support the attribute subset the
+//! workspace uses: `#[serde(default)]`, `#[serde(default = "path")]`,
+//! `#[serde(tag = "...")]`, and `#[serde(rename_all = "snake_case")]`.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value: the single data model all (de)serialization in
+/// this workspace flows through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (integer or float, see [`Number`]).
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object as an ordered key–value list (field order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the object fields if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|fields| obj_get(fields, key))
+    }
+
+    /// Short human label for error messages ("object", "number", ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Find `key` in an object's field list (first match wins).
+pub fn obj_get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A JSON number, preserving integer fidelity (u64 seeds survive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+}
+
+impl Number {
+    /// As f64 (lossy only beyond 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(v) => v as f64,
+            Number::I64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+
+    /// As u64 when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(v) => Some(v),
+            Number::I64(v) => u64::try_from(v).ok(),
+            Number::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// As i64 when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(v) => i64::try_from(v).ok(),
+            Number::I64(v) => Some(v),
+            Number::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+}
+
+/// Deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Build from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// "expected X for Y, found Z"-style error.
+    pub fn expected(what: &str, ty: &str, found: &Value) -> Self {
+        DeError { msg: format!("expected {what} for {ty}, found {}", found.kind()) }
+    }
+
+    /// Missing-field error.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        DeError { msg: format!("missing field `{field}` while deserializing {ty}") }
+    }
+
+    /// Unknown enum variant error.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        DeError { msg: format!("unknown variant `{variant}` for enum {ty}") }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower a value into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Raise a value back out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Convert a [`Value`] into `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", "bool", other)),
+        }
+    }
+}
+
+macro_rules! uint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| DeError::custom(concat!("number out of range for ", stringify!($t)))),
+                    other => Err(DeError::expected("number", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+uint_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! sint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U64(v as u64))
+                } else {
+                    Value::Number(Number::I64(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| DeError::custom(concat!("number out of range for ", stringify!($t)))),
+                    other => Err(DeError::expected("number", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+sint_impls!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        // serde_json compatibility: non-finite floats serialize as null.
+        if self.is_finite() {
+            Value::Number(Number::F64(*self))
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            // Lenient inverse of the non-finite → null mapping above.
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", "f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", "String", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", "Vec", other)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError::expected("2-element array", "tuple", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrips_at_full_precision() {
+        let seed = u64::MAX - 7;
+        let v = seed.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), seed);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(f64::INFINITY.to_value(), Value::Null);
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn option_none_is_null() {
+        let none: Option<f64> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::from_value(&Value::Number(Number::F64(2.5))).unwrap(),
+            Some(2.5)
+        );
+    }
+
+    #[test]
+    fn wrong_kind_errors_mention_both_sides() {
+        let err = bool::from_value(&Value::String("x".into())).unwrap_err();
+        assert!(err.to_string().contains("bool"));
+        assert!(err.to_string().contains("string"));
+    }
+}

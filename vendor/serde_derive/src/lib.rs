@@ -1,0 +1,597 @@
+//! Offline vendored shim for `serde_derive` (see `vendor/README.md`).
+//!
+//! Hand-rolled derive macros — no `syn`/`quote`, just `proc_macro`
+//! token walking — generating impls of the simplified `serde::Serialize`
+//! / `serde::Deserialize` traits of the vendored `serde` shim.
+//!
+//! Supported input shapes (everything this workspace derives on):
+//! * structs with named fields (any visibility),
+//! * enums with unit, tuple, and struct variants,
+//! * field attributes `#[serde(default)]` and `#[serde(default = "path")]`,
+//! * container attributes `#[serde(tag = "...")]` (internally tagged
+//!   enums) and `#[serde(rename_all = "snake_case")]`.
+//!
+//! Anything else (generics, tuple structs, other serde attributes) fails
+//! with a compile error naming the limitation, rather than silently
+//! producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    /// `None` = required; `Some(None)` = `#[serde(default)]`;
+    /// `Some(Some(path))` = `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum ItemKind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Token utilities
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consume attributes; returns accumulated `#[serde(...)]` arguments.
+    fn eat_attrs(&mut self) -> Result<Vec<(String, Option<String>)>, String> {
+        let mut serde_args = Vec::new();
+        while self.eat_punct('#') {
+            // Outer attribute: a bracket group follows.
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let mut inner = Cursor::new(g.stream());
+                    if inner.eat_ident("serde") {
+                        match inner.next() {
+                            Some(TokenTree::Group(args))
+                                if args.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                serde_args.extend(parse_serde_args(args.stream())?);
+                            }
+                            other => {
+                                return Err(format!("malformed #[serde] attribute: {other:?}"))
+                            }
+                        }
+                    }
+                    // Non-serde attrs (doc comments etc.) are skipped.
+                }
+                other => return Err(format!("expected [...] after #, found {other:?}")),
+            }
+        }
+        Ok(serde_args)
+    }
+
+    /// Consume a visibility marker (`pub`, `pub(crate)`, ...), if present.
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skip a type expression up to a top-level `,` (or end of stream).
+    /// Tracks `<`/`>` nesting; parens/brackets arrive as atomic groups.
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    ',' if angle == 0 => break,
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Parse `name`, `name = "literal"` pairs separated by commas.
+fn parse_serde_args(ts: TokenStream) -> Result<Vec<(String, Option<String>)>, String> {
+    let mut cur = Cursor::new(ts);
+    let mut out = Vec::new();
+    while !cur.at_end() {
+        let name = cur.expect_ident()?;
+        let mut value = None;
+        if cur.eat_punct('=') {
+            match cur.next() {
+                Some(TokenTree::Literal(lit)) => {
+                    let s = lit.to_string();
+                    let trimmed = s.trim_matches('"').to_string();
+                    value = Some(trimmed);
+                }
+                other => return Err(format!("expected literal after `=`, found {other:?}")),
+            }
+        }
+        out.push((name, value));
+        cur.eat_punct(',');
+    }
+    Ok(out)
+}
+
+fn field_default(args: &[(String, Option<String>)]) -> Result<Option<Option<String>>, String> {
+    let mut default = None;
+    for (name, value) in args {
+        match name.as_str() {
+            "default" => default = Some(value.clone()),
+            other => return Err(format!("unsupported field attribute #[serde({other})]")),
+        }
+    }
+    Ok(default)
+}
+
+/// Parse the named fields inside a brace group.
+fn parse_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let serde_args = cur.eat_attrs()?;
+        cur.eat_visibility();
+        let name = cur.expect_ident()?;
+        if !cur.eat_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        cur.skip_type();
+        cur.eat_punct(',');
+        fields.push(Field { name, default: field_default(&serde_args)? });
+    }
+    Ok(fields)
+}
+
+/// Count top-level comma-separated entries of a tuple-variant group.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut cur = Cursor::new(ts);
+    let mut count = 0;
+    while !cur.at_end() {
+        cur.skip_type();
+        count += 1;
+        cur.eat_punct(',');
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        let _ = cur.eat_attrs()?; // variant-level serde attrs unsupported but harmless to parse
+        let name = cur.expect_ident()?;
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.pos += 1;
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream())?;
+                cur.pos += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        cur.eat_punct(',');
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    let container_args = cur.eat_attrs()?;
+    cur.eat_visibility();
+
+    let is_enum = if cur.eat_ident("struct") {
+        false
+    } else if cur.eat_ident("enum") {
+        true
+    } else {
+        return Err("derive supports only `struct` and `enum` items".to_string());
+    };
+    let name = cur.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` not supported by the vendored derive"));
+        }
+    }
+    let body = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!("tuple struct `{name}` not supported by the vendored derive"));
+        }
+        other => return Err(format!("expected item body for `{name}`, found {other:?}")),
+    };
+
+    let mut tag = None;
+    let mut rename_all = None;
+    for (attr, value) in container_args {
+        match attr.as_str() {
+            "tag" => tag = value,
+            "rename_all" => {
+                if value.as_deref() != Some("snake_case") {
+                    return Err("only rename_all = \"snake_case\" is supported".to_string());
+                }
+                rename_all = value;
+            }
+            other => return Err(format!("unsupported container attribute #[serde({other})]")),
+        }
+    }
+
+    let kind = if is_enum {
+        ItemKind::Enum(parse_variants(body)?)
+    } else {
+        ItemKind::Struct(parse_fields(body)?)
+    };
+    Ok(Item { name, kind, tag, rename_all })
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn wire_name(item: &Item, variant: &str) -> String {
+    if item.rename_all.is_some() {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, then parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn gen_struct_fields_ser(fields: &[Field], accessor: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        out.push_str(&format!(
+            "fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value({a}{n})));\n",
+            n = f.name,
+            a = accessor,
+        ));
+    }
+    out
+}
+
+/// Generate the `name: <expr>` initializers for a braced constructor,
+/// reading each field from the object slice binding `obj`.
+fn gen_struct_fields_de(ty: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fallback = match &f.default {
+            None => format!(
+                "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{ty}\", \"{n}\"))",
+                n = f.name
+            ),
+            Some(None) => "::std::default::Default::default()".to_string(),
+            Some(Some(path)) => format!("{path}()"),
+        };
+        out.push_str(&format!(
+            "{n}: match ::serde::obj_get(obj, \"{n}\") {{\n\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+             ::std::option::Option::None => {fallback},\n\
+             }},\n",
+            n = f.name
+        ));
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> Result<String, String> {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            if item.tag.is_some() {
+                return Err("#[serde(tag)] on structs is not supported".to_string());
+            }
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {}\
+                 ::serde::Value::Object(fields)",
+                gen_struct_fields_ser(fields, "&self.")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = wire_name(item, &v.name);
+                let arm = match (&v.shape, &item.tag) {
+                    (VariantShape::Unit, None) => format!(
+                        "{name}::{v} => ::serde::Value::String(\"{wire}\".to_string()),\n",
+                        v = v.name
+                    ),
+                    (VariantShape::Unit, Some(tag)) => format!(
+                        "{name}::{v} => ::serde::Value::Object(vec![(\"{tag}\".to_string(), ::serde::Value::String(\"{wire}\".to_string()))]),\n",
+                        v = v.name
+                    ),
+                    (VariantShape::Tuple(1), None) => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(vec![(\"{wire}\".to_string(), ::serde::Serialize::to_value(f0))]),\n",
+                        v = v.name
+                    ),
+                    (VariantShape::Tuple(n), None) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![(\"{wire}\".to_string(), ::serde::Value::Array(vec![{items}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    (VariantShape::Tuple(_), Some(_)) => {
+                        return Err(format!(
+                            "internally tagged tuple variant `{}` is not supported",
+                            v.name
+                        ))
+                    }
+                    (VariantShape::Struct(fields), tag) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let push_fields = gen_struct_fields_ser(fields, "");
+                        match tag {
+                            None => format!(
+                                "{name}::{v} {{ {binds} }} => {{\n\
+                                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                                 {push_fields}\
+                                 ::serde::Value::Object(vec![(\"{wire}\".to_string(), ::serde::Value::Object(fields))])\n\
+                                 }}\n",
+                                v = v.name,
+                                binds = binds.join(", ")
+                            ),
+                            Some(tag) => format!(
+                                "{name}::{v} {{ {binds} }} => {{\n\
+                                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                                 fields.push((\"{tag}\".to_string(), ::serde::Value::String(\"{wire}\".to_string())));\n\
+                                 {push_fields}\
+                                 ::serde::Value::Object(fields)\n\
+                                 }}\n",
+                                v = v.name,
+                                binds = binds.join(", ")
+                            ),
+                        }
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    ))
+}
+
+fn gen_deserialize(item: &Item) -> Result<String, String> {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let inits = gen_struct_fields_de(name, fields);
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\", v))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            if let Some(tag) = &item.tag {
+                // Internally tagged: { "<tag>": "variant", ...fields }.
+                let mut arms = String::new();
+                for v in variants {
+                    let wire = wire_name(item, &v.name);
+                    let arm = match &v.shape {
+                        VariantShape::Unit => format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        ),
+                        VariantShape::Struct(fields) => {
+                            let inits = gen_struct_fields_de(name, fields);
+                            format!(
+                                "\"{wire}\" => ::std::result::Result::Ok({name}::{v} {{\n{inits}}}),\n",
+                                v = v.name
+                            )
+                        }
+                        VariantShape::Tuple(_) => {
+                            return Err(format!(
+                                "internally tagged tuple variant `{}` is not supported",
+                                v.name
+                            ))
+                        }
+                    };
+                    arms.push_str(&arm);
+                }
+                format!(
+                    "let obj = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\", v))?;\n\
+                     let tag = ::serde::obj_get(obj, \"{tag}\")\n\
+                         .and_then(::serde::Value::as_str)\n\
+                         .ok_or_else(|| ::serde::DeError::missing_field(\"{name}\", \"{tag}\"))?;\n\
+                     match tag {{\n\
+                     {arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", other)),\n\
+                     }}"
+                )
+            } else {
+                // Externally tagged: "Variant" or { "Variant": payload }.
+                let mut string_arms = String::new();
+                let mut object_arms = String::new();
+                for v in variants {
+                    let wire = wire_name(item, &v.name);
+                    match &v.shape {
+                        VariantShape::Unit => string_arms.push_str(&format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        )),
+                        VariantShape::Tuple(1) => object_arms.push_str(&format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),\n",
+                            v = v.name
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?")
+                                })
+                                .collect();
+                            object_arms.push_str(&format!(
+                                "\"{wire}\" => match inner {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {n} => ::std::result::Result::Ok({name}::{v}({gets})),\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::expected(\"{n}-element array\", \"{name}::{v}\", other)),\n\
+                                 }},\n",
+                                v = v.name,
+                                gets = gets.join(", ")
+                            ));
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits = gen_struct_fields_de(name, fields);
+                            object_arms.push_str(&format!(
+                                "\"{wire}\" => {{\n\
+                                 let obj = inner.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}::{v}\", inner))?;\n\
+                                 ::std::result::Result::Ok({name}::{v} {{\n{inits}}})\n\
+                                 }},\n",
+                                v = v.name
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                     {string_arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", other)),\n\
+                     }},\n\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                     let (key, inner) = &fields[0];\n\
+                     match key.as_str() {{\n\
+                     {object_arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", other)),\n\
+                     }}\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\"variant string or single-key object\", \"{name}\", other)),\n\
+                     }}"
+                )
+            }
+        }
+    };
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    ))
+}
+
+fn run(input: TokenStream, gen: fn(&Item) -> Result<String, String>) -> TokenStream {
+    let code = match parse_item(input).and_then(|item| gen(&item)) {
+        Ok(code) => code,
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"vendored serde_derive generated invalid code: {e:?}\");")
+            .parse()
+            .expect("fallback compile_error must parse")
+    })
+}
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    run(input, gen_serialize)
+}
+
+/// Derive the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    run(input, gen_deserialize)
+}
