@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# CI gate: build → test → clippy → fedlint. Any failing stage fails the run.
+# CI gate: build → test (default / check / telemetry) → clippy → fedlint →
+# fedtrace smoke. Any failing stage fails the run.
 set -eu
 
 echo "==> cargo build --release"
@@ -10,6 +11,9 @@ cargo test -q
 
 echo "==> cargo test -q --features check (numeric guards as hard errors)"
 cargo test -q --features check
+
+echo "==> cargo test -q --features telemetry (instrumentation compiled in)"
+cargo test -q --features telemetry
 
 # unwrap_used/expect_used stay warnings: fedlint (below) is the authority
 # on panic sites, with per-site justified `// fedlint: allow(...)` escapes
@@ -24,5 +28,9 @@ fi
 
 echo "==> fedlint --workspace"
 cargo run -q --release -p fedprox-conformance --bin fedlint -- --workspace
+
+echo "==> fedtrace smoke (summarize the checked-in fixture trace)"
+cargo run -q --release -p fedprox-telemetry --bin fedtrace -- \
+    crates/telemetry/tests/fixtures/sample_trace.jsonl >/dev/null
 
 echo "CI green."

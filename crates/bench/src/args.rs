@@ -21,17 +21,38 @@ pub struct CommonArgs {
     pub seed: u64,
     /// Directory for JSON output (created if missing); `None` = print only.
     pub out: Option<String>,
+    /// Write a fedtrace JSONL event trace to this path (requires the
+    /// `telemetry` feature; warns and stays off otherwise). Default off.
+    pub trace: Option<String>,
+    /// Run on the simulated-network backend instead of the in-process
+    /// parallel runner. Math is bit-identical (see
+    /// `tests/bit_identical_backends`-style guarantees); the networked
+    /// substrate additionally produces per-device timing, straggler-lag
+    /// and wire-byte telemetry. Default off.
+    pub net: bool,
 }
 
 impl Default for CommonArgs {
     fn default() -> Self {
-        CommonArgs { scale: Scale::Small, rounds: None, seed: 1, out: None }
+        CommonArgs { scale: Scale::Small, rounds: None, seed: 1, out: None, trace: None, net: false }
     }
 }
 
-/// Parse `--scale small|paper`, `--rounds N`, `--seed N`, `--out DIR`
-/// from an iterator of CLI arguments. Unknown flags abort with a usage
-/// message naming `program`.
+impl CommonArgs {
+    /// The runner these flags select: the rayon-parallel in-process
+    /// backend by default, the simulated network with `--net`.
+    pub fn runner(&self) -> fedprox_core::RunnerKind {
+        if self.net {
+            fedprox_core::RunnerKind::Network(fedprox_core::config::NetRunnerOptions::default())
+        } else {
+            fedprox_core::RunnerKind::Parallel
+        }
+    }
+}
+
+/// Parse `--scale small|paper`, `--rounds N`, `--seed N`, `--out DIR`,
+/// `--trace PATH` from an iterator of CLI arguments. Unknown flags abort
+/// with a usage message naming `program`.
 // Exiting with a usage message is the intended CLI behaviour here, not
 // a disguised panic path.
 #[allow(clippy::exit)]
@@ -69,9 +90,12 @@ pub fn parse_args(program: &str, argv: impl Iterator<Item = String>) -> CommonAr
                 })
             }
             "--out" => args.out = Some(value("--out")),
+            "--trace" => args.trace = Some(value("--trace")),
+            "--net" => args.net = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: {program} [--scale small|paper] [--rounds N] [--seed N] [--out DIR]"
+                    "usage: {program} [--scale small|paper] [--rounds N] [--seed N] [--out DIR] \
+                     [--trace PATH] [--net]"
                 );
                 std::process::exit(0);
             }
@@ -99,14 +123,23 @@ mod tests {
         assert_eq!(a.rounds, None);
         assert_eq!(a.seed, 1);
         assert!(a.out.is_none());
+        assert!(a.trace.is_none(), "--trace must default to off");
+        assert!(!a.net, "--net must default to off");
+        assert!(matches!(a.runner(), fedprox_core::RunnerKind::Parallel));
     }
 
     #[test]
     fn full_flags() {
-        let a = parse(&["--scale", "paper", "--rounds", "42", "--seed", "9", "--out", "/tmp/x"]);
+        let a = parse(&[
+            "--scale", "paper", "--rounds", "42", "--seed", "9", "--out", "/tmp/x", "--trace",
+            "/tmp/t.jsonl", "--net",
+        ]);
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.rounds, Some(42));
         assert_eq!(a.seed, 9);
         assert_eq!(a.out.as_deref(), Some("/tmp/x"));
+        assert_eq!(a.trace.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(a.net);
+        assert!(matches!(a.runner(), fedprox_core::RunnerKind::Network(_)));
     }
 }

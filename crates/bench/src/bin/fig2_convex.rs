@@ -4,14 +4,17 @@
 //! (β, τ) = (5, 10), (7, 20), and τ above its Lemma 1 upper bound.
 
 use fedprox_bench::plot::{write_svg, Metric, PlotOptions};
-use fedprox_bench::{fashion_federation, parse_args, print_histories, write_json, Scale};
+use fedprox_bench::{
+    fashion_federation, parse_args, print_histories, write_json, Scale, TraceSession,
+};
 use fedprox_core::theory::Lemma1;
-use fedprox_core::{Algorithm, FedConfig, FederatedTrainer, RunnerKind};
+use fedprox_core::{Algorithm, FedConfig, FederatedTrainer};
 use fedprox_models::MultinomialLogistic;
 use fedprox_optim::estimator::EstimatorKind;
 
 fn main() {
     let args = parse_args("fig2_convex", std::env::args().skip(1));
+    let trace = TraceSession::start(args.trace.as_deref());
     // Paper scale: 100 devices, shard sizes [37, 1350], B = 32, T ≈ 200
     // evaluated rounds. Small scale keeps the *batch-to-shard ratio* of
     // the paper (B ≈ 2–8% of a shard) — that ratio controls the gradient
@@ -62,7 +65,7 @@ fn main() {
                 .with_rounds(rounds)
                 .with_seed(args.seed)
                 .with_eval_every(eval_every)
-                .with_runner(RunnerKind::Parallel);
+                .with_runner(args.runner());
             let h = FederatedTrainer::new(&model, &fed.devices, &fed.test, cfg).run();
             results.push((alg.name().to_string(), h));
         }
@@ -90,4 +93,5 @@ fn main() {
             );
         }
     }
+    trace.finish();
 }

@@ -3,13 +3,16 @@
 //! 10 devices, under (β, τ) = (5, 10) and (7, 20).
 
 use fedprox_bench::plot::{write_svg, Metric, PlotOptions};
-use fedprox_bench::{mnist_federation, parse_args, print_histories, write_json, Scale};
-use fedprox_core::{Algorithm, FedConfig, FederatedTrainer, RunnerKind};
+use fedprox_bench::{
+    mnist_federation, parse_args, print_histories, write_json, Scale, TraceSession,
+};
+use fedprox_core::{Algorithm, FedConfig, FederatedTrainer};
 use fedprox_models::{Cnn, CnnSpec};
 use fedprox_optim::estimator::EstimatorKind;
 
 fn main() {
     let args = parse_args("fig3_nonconvex", std::env::args().skip(1));
+    let trace = TraceSession::start(args.trace.as_deref());
     // Paper scale: 10 devices, sizes [454, 3939], full 32/64-channel CNN.
     // Small: 6 devices, a scaled-down CNN (identical code paths).
     // Small scale keeps the paper's batch-to-shard ratio (see
@@ -54,7 +57,7 @@ fn main() {
                 .with_rounds(rounds)
                 .with_seed(args.seed)
                 .with_eval_every(eval_every)
-                .with_runner(RunnerKind::Parallel);
+                .with_runner(args.runner());
             let h = FederatedTrainer::new(&model, &fed.devices, &fed.test, cfg).run();
             results.push((alg.name().to_string(), h));
         }
@@ -82,4 +85,5 @@ fn main() {
             );
         }
     }
+    trace.finish();
 }

@@ -12,14 +12,17 @@
 //! in μ.
 
 use fedprox_bench::plot::{write_svg, Metric, PlotOptions};
-use fedprox_bench::{parse_args, print_histories, synthetic_federation, write_json, Scale};
-use fedprox_core::{Algorithm, FedConfig, FederatedTrainer, RunnerKind};
+use fedprox_bench::{
+    parse_args, print_histories, synthetic_federation, write_json, Scale, TraceSession,
+};
+use fedprox_core::{Algorithm, FedConfig, FederatedTrainer};
 use fedprox_models::MultinomialLogistic;
 use fedprox_optim::estimator::EstimatorKind;
 use fedprox_optim::solver::IterateChoice;
 
 fn main() {
     let args = parse_args("fig4_mu_effect", std::env::args().skip(1));
+    let trace = TraceSession::start(args.trace.as_deref());
     let (devices_n, lo, hi, rounds, eval_every) = match args.scale {
         Scale::Paper => (100, 37, 3277, 200, 5),
         Scale::Small => (10, 30, 120, 50, 1),
@@ -51,7 +54,7 @@ fn main() {
                 .with_seed(seed)
                 .with_eval_every(eval_every)
                 .with_iterate_choice(IterateChoice::UniformRandom) // Alg. 1 line 10
-                .with_runner(RunnerKind::Parallel);
+                .with_runner(args.runner());
             let h = FederatedTrainer::new(&model, &fed.devices, &fed.test, cfg).run();
             results.push((format!("mu={mu}/s{seed}"), h));
         }
@@ -112,4 +115,5 @@ fn main() {
             },
         );
     }
+    trace.finish();
 }

@@ -14,7 +14,9 @@ pub mod datasets;
 pub mod plot;
 pub mod report;
 pub mod spec;
+pub mod trace;
 
 pub use args::{parse_args, CommonArgs, Scale};
 pub use datasets::{fashion_federation, mnist_federation, synthetic_federation, Federation};
 pub use report::{print_histories, write_json};
+pub use trace::TraceSession;

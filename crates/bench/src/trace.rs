@@ -1,0 +1,93 @@
+//! `--trace` support: arm the fedtrace collector for the duration of a
+//! run, then drain the events to a JSONL file and print the aggregated
+//! per-run summary (the same tables the standalone `fedtrace` binary
+//! renders from a saved trace).
+//!
+//! The session is a no-op when built without the `telemetry` feature —
+//! it warns once that the flag was ignored — and when no `--trace` path
+//! was given, so binaries can call it unconditionally.
+
+/// Scoped tracing for one experiment run.
+///
+/// ```ignore
+/// let trace = TraceSession::start(args.trace.as_deref());
+/// // ... run the experiment ...
+/// trace.finish(); // writes JSONL + prints the summary
+/// ```
+#[derive(Debug)]
+pub struct TraceSession {
+    path: Option<String>,
+}
+
+impl TraceSession {
+    /// Arm the collector if a trace path was requested (and the
+    /// instrumentation is compiled in).
+    pub fn start(path: Option<&str>) -> Self {
+        #[cfg(feature = "telemetry")]
+        if path.is_some() {
+            fedprox_telemetry::collector::arm();
+        }
+        #[cfg(not(feature = "telemetry"))]
+        if path.is_some() {
+            eprintln!(
+                "warning: --trace ignored: telemetry instrumentation not compiled in \
+                 (rebuild with `--features telemetry`)"
+            );
+        }
+        TraceSession { path: path.map(str::to_string) }
+    }
+
+    /// Whether this session is actually recording.
+    pub fn active(&self) -> bool {
+        cfg!(feature = "telemetry") && self.path.is_some()
+    }
+
+    /// Drain the collector, write the JSONL trace, and print the
+    /// aggregated summary tables. A no-op for inactive sessions.
+    pub fn finish(self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(path) = &self.path {
+            use fedprox_telemetry::{collector, jsonl, summary};
+            let events = collector::drain();
+            collector::disarm();
+            match std::fs::write(path, jsonl::to_jsonl(&events)) {
+                Ok(()) => println!("trace: {} events written to {path}", events.len()),
+                Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+            }
+            let report = summary::TelemetryReport::from_events(&events);
+            print!("{}", report.render(10));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_without_path() {
+        let t = TraceSession::start(None);
+        assert!(!t.active());
+        t.finish(); // must be a no-op either way
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn active_roundtrip_writes_jsonl() {
+        let dir = std::env::temp_dir().join("fedprox_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let t = TraceSession::start(Some(&path_str));
+        assert!(t.active());
+        fedprox_telemetry::counter!("bench.test_marker", 3u32);
+        t.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = fedprox_telemetry::jsonl::parse(&text).unwrap();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            fedprox_telemetry::event::Event::Counter { name, value: 3 } if name == "bench.test_marker"
+        )));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -39,6 +39,10 @@ pub enum Rule {
     /// R5 `lossy-cast`: no `as f32` / `as usize` narrowing casts in
     /// tensor hot paths unless annotated.
     LossyCast,
+    /// R6 `no-wall-clock`: no `std::time::Instant` / `SystemTime` outside
+    /// the telemetry collector and the net backend's virtual clock — wall
+    /// time anywhere else silently breaks bitwise reproducibility.
+    WallClock,
 }
 
 impl Rule {
@@ -50,6 +54,7 @@ impl Rule {
             Rule::NoDebugPrint => "no-debug-print",
             Rule::SafetyComment => "safety-comment",
             Rule::LossyCast => "lossy-cast",
+            Rule::WallClock => "no-wall-clock",
         }
     }
 
@@ -61,6 +66,7 @@ impl Rule {
             "no-debug-print" => Some(Rule::NoDebugPrint),
             "safety-comment" => Some(Rule::SafetyComment),
             "lossy-cast" => Some(Rule::LossyCast),
+            "no-wall-clock" => Some(Rule::WallClock),
         _ => None,
         }
     }
@@ -69,7 +75,7 @@ impl Rule {
 /// A set of enabled rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RuleSet {
-    rules: [bool; 5],
+    rules: [bool; 6],
 }
 
 impl RuleSet {
@@ -80,7 +86,7 @@ impl RuleSet {
 
     /// Every rule enabled.
     pub fn all() -> Self {
-        RuleSet { rules: [true; 5] }
+        RuleSet { rules: [true; 6] }
     }
 
     /// Add a rule (builder style).
@@ -107,6 +113,7 @@ impl RuleSet {
             Rule::NoDebugPrint => 2,
             Rule::SafetyComment => 3,
             Rule::LossyCast => 4,
+            Rule::WallClock => 5,
         }
     }
 }
@@ -175,17 +182,22 @@ impl Report {
 /// * `data`, `models` predate the no-panic conversion and carry R2–R4.
 /// * `bench` is an experiment harness (it prints and seeds by design):
 ///   only the `unsafe` hygiene rule applies.
+/// * `telemetry` is the one place allowed to read the wall clock (its
+///   span guards time real work), so it drops R6; `net`'s virtual-clock
+///   module gets a per-file R6 exemption in [`check_workspace`].
 pub fn rules_for_crate(crate_dir: &str) -> RuleSet {
     match crate_dir {
         "tensor" => RuleSet::all(),
         "net" | "core" | "optim" | "conformance" => RuleSet::all().without(Rule::LossyCast),
+        "telemetry" => RuleSet::all().without(Rule::LossyCast).without(Rule::WallClock),
         "data" | "models" => {
             RuleSet::none()
                 .with(Rule::NoAmbientEntropy)
                 .with(Rule::NoDebugPrint)
                 .with(Rule::SafetyComment)
+                .with(Rule::WallClock)
         }
-        "bench" => RuleSet::none().with(Rule::SafetyComment),
+        "bench" => RuleSet::none().with(Rule::SafetyComment).with(Rule::WallClock),
         // Unknown crates get the conservative library default.
         _ => RuleSet::all().without(Rule::LossyCast),
     }
@@ -467,6 +479,22 @@ pub fn check_source(display_path: &str, source: &str, rules: RuleSet) -> Report 
             }
         }
 
+        if rules.contains(Rule::WallClock) {
+            for word in ["Instant", "SystemTime"] {
+                for _pos in word_positions(line, word) {
+                    push(
+                        Rule::WallClock,
+                        line_no,
+                        format!(
+                            "`{word}` reads the wall clock; only fedprox-telemetry and the \
+                             net virtual clock may (everything else uses simulated time)"
+                        ),
+                        &mut report,
+                    );
+                }
+            }
+        }
+
         if rules.contains(Rule::LossyCast) {
             for target in ["f32", "usize"] {
                 for pos in word_positions(line, target) {
@@ -542,6 +570,13 @@ pub fn check_workspace(workspace_root: &Path) -> std::io::Result<Report> {
             if file.strip_prefix(&src).is_ok_and(|rel| rel.starts_with("bin")) {
                 rules = rules.without(Rule::NoDebugPrint);
             }
+            // The virtual clock is the net backend's one sanctioned
+            // time module (it defines simulated time itself).
+            if name == "net"
+                && file.strip_prefix(&src).is_ok_and(|rel| rel == Path::new("clock.rs"))
+            {
+                rules = rules.without(Rule::WallClock);
+            }
             let source = std::fs::read_to_string(&file)?;
             let display = file
                 .strip_prefix(workspace_root)
@@ -579,8 +614,21 @@ mod tests {
             Rule::NoDebugPrint,
             Rule::SafetyComment,
             Rule::LossyCast,
+            Rule::WallClock,
         ] {
             assert_eq!(Rule::from_id(rule.id()), Some(rule));
+        }
+    }
+
+    #[test]
+    fn telemetry_crate_is_exempt_from_wall_clock() {
+        assert!(!rules_for_crate("telemetry").contains(Rule::WallClock));
+        assert!(rules_for_crate("telemetry").contains(Rule::NoPanic));
+        for lib_crate in ["tensor", "net", "core", "optim", "data", "models", "bench"] {
+            assert!(
+                rules_for_crate(lib_crate).contains(Rule::WallClock),
+                "{lib_crate} must carry no-wall-clock"
+            );
         }
     }
 

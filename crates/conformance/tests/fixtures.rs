@@ -112,6 +112,56 @@ fn f(x: f64, i: isize) -> f64 {
 }
 
 #[test]
+fn r6_wall_clock_flags_instant_and_system_time() {
+    let src = "\
+fn f() {
+    let t0 = std::time::Instant::now();
+    let t1 = Instant::now();
+    let wall = std::time::SystemTime::now();
+    let d = t0.elapsed();
+}
+";
+    assert_eq!(
+        findings(src, RuleSet::none().with(Rule::WallClock)),
+        vec![
+            (Rule::WallClock, 2),
+            (Rule::WallClock, 3),
+            (Rule::WallClock, 4),
+        ]
+    );
+    // Pin the stable rule id used in reports and allow annotations.
+    assert_eq!(Rule::WallClock.id(), "no-wall-clock");
+    assert_eq!(Rule::from_id("no-wall-clock"), Some(Rule::WallClock));
+}
+
+#[test]
+fn r6_wall_clock_annotation_and_prose_are_exempt() {
+    let allowed = "\
+fn f() {
+    // fedlint: allow(no-wall-clock) — span timing is observability-only
+    let t0 = std::time::Instant::now();
+}
+";
+    let report = check_source("fixture.rs", allowed, RuleSet::none().with(Rule::WallClock));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.allowed.len(), 1);
+    assert_eq!(report.allowed[0].rule, Rule::WallClock);
+
+    // Identifiers merely *containing* the words, and strings/comments
+    // mentioning them, never trigger.
+    let prose = "\
+fn f() {
+    // Instant and SystemTime in prose are fine.
+    let my_instant_count = 3;
+    let s = \"Instant::now() SystemTime::now()\";
+    let _ = (my_instant_count, s);
+}
+";
+    let report = check_source("fixture.rs", prose, RuleSet::none().with(Rule::WallClock));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
 fn annotation_suppresses_and_is_counted() {
     let src = "\
 fn f(x: Option<u32>) -> u32 {

@@ -3,7 +3,7 @@
 
 use crate::config::{FedConfig, NetRunnerOptions, RunnerKind};
 use crate::device::Device;
-use crate::metrics::{History, RoundRecord};
+use crate::metrics::{History, RoundRecord, RunningTotal};
 use crate::{eval, runner, server};
 use fedprox_data::Dataset;
 use fedprox_models::LossModel;
@@ -100,7 +100,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
         let mut agg = vec![0.0; global.len()];
         let mut records = Vec::new();
         let mut diverged = false;
-        let mut total_grad_evals = 0u64;
+        let mut total_grad_evals = RunningTotal::new();
         let mut rounds_run = 0;
 
         // Round 0: the initial global model, so every curve starts from
@@ -109,6 +109,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
 
         let n = self.devices.len();
         for s in 1..=self.cfg.rounds {
+            fedprox_telemetry::span!("core", "round", "s" => s);
             // Partial participation: sample ⌈pN⌉ devices for this round
             // from a stream derived from (seed, round) only, so the
             // selection is identical across backends.
@@ -128,8 +129,9 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
                 let mut g = vec![0.0; global.len()];
                 eval::global_grad(self.model, self.devices, &global, &mut g);
                 // Every device spent a full local gradient pass for it.
-                total_grad_evals +=
-                    self.devices.iter().map(|d| d.samples() as u64).sum::<u64>();
+                for d in self.devices {
+                    total_grad_evals.add(d.samples() as u64);
+                }
                 Some(g)
             } else {
                 None
@@ -144,7 +146,9 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
                 parallel,
                 global_grad.as_deref(),
             );
-            total_grad_evals += updates.iter().map(|u| u.grad_evals as u64).sum::<u64>();
+            for u in &updates {
+                total_grad_evals.add(u.grad_evals as u64);
+            }
 
             // Optional θ measurement against the pre-aggregation global.
             let theta = if self.cfg.measure_theta {
@@ -171,11 +175,11 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
 
             if !vecops::all_finite(&global) {
                 diverged = true;
-                records.push(self.divergence_record(s, theta, total_grad_evals));
+                records.push(self.divergence_record(s, theta, total_grad_evals.get()));
                 break;
             }
             if s.is_multiple_of(self.cfg.eval_every) || s == self.cfg.rounds {
-                let rec = self.evaluate(s, &global, theta, total_grad_evals, 0.0, 0);
+                let rec = self.evaluate(s, &global, theta, total_grad_evals.get(), 0.0, 0);
                 let bad = !rec.train_loss.is_finite() || rec.train_loss > self.cfg.loss_guard;
                 records.push(rec);
                 if bad {
@@ -271,7 +275,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
             acc += d;
             cumulative.push(acc);
         }
-        let total_bytes = report.clock.bytes_up() + report.clock.bytes_down();
+        let total_bytes = report.clock.bytes_up().saturating_add(report.clock.bytes_down());
         let per_round_bytes = if report.rounds_run > 0 {
             total_bytes / report.rounds_run as u64
         } else {
@@ -280,7 +284,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
         for rec in records.iter_mut() {
             if rec.round >= 1 && rec.round <= cumulative.len() {
                 rec.sim_time = cumulative[rec.round - 1];
-                rec.bytes = per_round_bytes * rec.round as u64;
+                rec.bytes = per_round_bytes.saturating_mul(rec.round as u64);
             }
         }
 
@@ -303,6 +307,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
         sim_time: f64,
         bytes: u64,
     ) -> RoundRecord {
+        fedprox_telemetry::span!("core", "evaluate", "round" => round);
         RoundRecord {
             round,
             train_loss: eval::global_loss(self.model, self.devices, global),

@@ -3,6 +3,30 @@
 use crate::config::ConfigSummary;
 use serde::{Deserialize, Serialize};
 
+/// Overflow-safe running total for the cumulative [`RoundRecord`] fields
+/// (`grad_evals`, `bytes`). Accumulation saturates at `u64::MAX` instead
+/// of wrapping, so the per-round totals stay monotone non-decreasing even
+/// under degenerate configurations (huge τ × rounds × devices products).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunningTotal(u64);
+
+impl RunningTotal {
+    /// A zeroed total.
+    pub fn new() -> Self {
+        RunningTotal(0)
+    }
+
+    /// Add `delta`, saturating at `u64::MAX`.
+    pub fn add(&mut self, delta: u64) {
+        self.0 = self.0.saturating_add(delta);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Metrics captured at one evaluated global iteration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundRecord {
@@ -171,6 +195,47 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("round,train_loss"));
         assert!(lines[1].starts_with("1,2,0.3"));
+    }
+
+    #[test]
+    fn running_total_saturates_instead_of_wrapping() {
+        let mut t = RunningTotal::new();
+        t.add(u64::MAX - 5);
+        t.add(3);
+        assert_eq!(t.get(), u64::MAX - 2);
+        t.add(100); // would wrap; must pin at MAX
+        assert_eq!(t.get(), u64::MAX);
+        t.add(u64::MAX);
+        assert_eq!(t.get(), u64::MAX);
+    }
+
+    #[test]
+    fn cumulative_record_totals_are_monotone_non_decreasing() {
+        // Simulate the trainer's accumulation across rounds, including a
+        // delta large enough to overflow a wrapping add, and check the
+        // recorded totals never decrease.
+        let deltas = [10u64, 1 << 40, u64::MAX / 2, u64::MAX, 7];
+        let mut evals = RunningTotal::new();
+        let mut bytes = RunningTotal::new();
+        let mut records = Vec::new();
+        for (i, &d) in deltas.iter().enumerate() {
+            evals.add(d);
+            bytes.add(d / 2);
+            let mut r = record(i + 1, 1.0, 0.5);
+            r.grad_evals = evals.get();
+            r.bytes = bytes.get();
+            records.push(r);
+        }
+        for pair in records.windows(2) {
+            assert!(
+                pair[1].grad_evals >= pair[0].grad_evals,
+                "grad_evals decreased: {} -> {}",
+                pair[0].grad_evals,
+                pair[1].grad_evals
+            );
+            assert!(pair[1].bytes >= pair[0].bytes, "bytes decreased");
+        }
+        assert_eq!(records.last().unwrap().grad_evals, u64::MAX);
     }
 
     #[test]

@@ -47,16 +47,14 @@ pub fn run_round_subset<M: LossModel>(
     parallel: bool,
     global_grad: Option<&[f64]>,
 ) -> Vec<LocalUpdate> {
+    let update_one = |i: usize| {
+        fedprox_telemetry::span!("core", "device_update", "device" => i, "round" => round);
+        devices[i].local_update_anchored(model, global, cfg, round, global_grad)
+    };
     if parallel {
-        indices
-            .par_iter()
-            .map(|&i| devices[i].local_update_anchored(model, global, cfg, round, global_grad))
-            .collect()
+        indices.par_iter().map(|&i| update_one(i)).collect()
     } else {
-        indices
-            .iter()
-            .map(|&i| devices[i].local_update_anchored(model, global, cfg, round, global_grad))
-            .collect()
+        indices.iter().map(|&i| update_one(i)).collect()
     }
 }
 

@@ -12,6 +12,7 @@ use std::fmt;
 const TAG_GLOBAL: u8 = 1;
 const TAG_LOCAL: u8 = 2;
 const TAG_SHUTDOWN: u8 = 3;
+const TAG_PANIC: u8 = 4;
 
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +74,11 @@ pub fn encode(msg: &Message) -> Bytes {
             buf.put_f64_le(*compute_time);
             put_params(&mut buf, params);
         }
+        Message::Panicked { device, round } => {
+            buf.put_u8(TAG_PANIC);
+            buf.put_u32_le(*device);
+            buf.put_u32_le(*round);
+        }
         Message::Shutdown => {
             buf.put_u8(TAG_SHUTDOWN);
         }
@@ -107,6 +113,14 @@ pub fn decode(mut buf: &[u8]) -> Result<Message, CodecError> {
             let params = get_params(&mut buf)?;
             Ok(Message::LocalModel { device, round, params, weight, grad_evals, compute_time })
         }
+        TAG_PANIC => {
+            if buf.remaining() < 4 + 4 {
+                return Err(CodecError::Truncated);
+            }
+            let device = buf.get_u32_le();
+            let round = buf.get_u32_le();
+            Ok(Message::Panicked { device, round })
+        }
         TAG_SHUTDOWN => Ok(Message::Shutdown),
         other => Err(CodecError::BadTag(other)),
     }
@@ -117,6 +131,7 @@ pub fn encoded_len(msg: &Message) -> usize {
     match msg {
         Message::GlobalModel { params, .. } => 1 + 4 + 8 + 8 * params.len(),
         Message::LocalModel { params, .. } => 1 + 4 + 4 + 8 + 8 + 8 + 8 + 8 * params.len(),
+        Message::Panicked { .. } => 1 + 4 + 4,
         Message::Shutdown => 1,
     }
 }
@@ -152,6 +167,17 @@ mod tests {
     #[test]
     fn roundtrip_shutdown() {
         roundtrip(Message::Shutdown);
+    }
+
+    #[test]
+    fn roundtrip_panicked() {
+        roundtrip(Message::Panicked { device: 3, round: 11 });
+    }
+
+    #[test]
+    fn truncated_panicked_fails() {
+        let b = encode(&Message::Panicked { device: 1, round: 2 });
+        assert!(decode(&b[..5]).is_err());
     }
 
     #[test]

@@ -26,6 +26,15 @@ pub enum Message {
         /// Simulated local compute time in seconds.
         compute_time: f64,
     },
+    /// Device → server: the worker panicked during its local update.
+    /// Lets the server report *which* device failed instead of waiting
+    /// for the scope join to surface an anonymous panic.
+    Panicked {
+        /// Failing device id.
+        device: u32,
+        /// Round the device was working on.
+        round: u32,
+    },
     /// Server → device: stop and join.
     Shutdown,
 }
@@ -34,7 +43,9 @@ impl Message {
     /// Round number carried by the message, if any.
     pub fn round(&self) -> Option<u32> {
         match self {
-            Message::GlobalModel { round, .. } | Message::LocalModel { round, .. } => Some(*round),
+            Message::GlobalModel { round, .. }
+            | Message::LocalModel { round, .. }
+            | Message::Panicked { round, .. } => Some(*round),
             Message::Shutdown => None,
         }
     }

@@ -57,7 +57,12 @@ pub enum NetError {
     /// (`drop_prob` too close to 1).
     RetryLimit,
     /// A device worker panicked inside the actor scope.
-    WorkerPanic,
+    WorkerPanic {
+        /// The failing device id, when the actor caught the panic and
+        /// could still report it; `None` when the panic escaped to the
+        /// scope join (e.g. a codec bug before the worker ran).
+        device: Option<u32>,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -75,7 +80,10 @@ impl fmt::Display for NetError {
             NetError::UnexpectedMessage => write!(f, "net: server received a non-LocalModel message"),
             NetError::ZeroAggregationWeight => write!(f, "net: aggregation weights sum to zero"),
             NetError::RetryLimit => write!(f, "net: drop probability too close to 1"),
-            NetError::WorkerPanic => write!(f, "net: a device worker panicked"),
+            NetError::WorkerPanic { device: Some(d) } => {
+                write!(f, "net: worker for device {d} panicked")
+            }
+            NetError::WorkerPanic { device: None } => write!(f, "net: a device worker panicked"),
         }
     }
 }
@@ -196,6 +204,7 @@ impl NetworkRuntime {
         let n = workers.len();
         assert!(n > 0, "network runtime needs at least one device");
         let dim = initial.len();
+        fedprox_telemetry::gauge!("net.devices", n);
 
         // Per-device command channels and one shared reply channel.
         let mut to_device: Vec<Sender<Bytes>> = Vec::with_capacity(n);
@@ -230,24 +239,37 @@ impl NetworkRuntime {
                         // fedlint: allow(no-panic) — device actors report codec bugs by panicking into the scope, which maps to NetError::WorkerPanic
                         match codec::decode(&frame).expect("device: bad frame") {
                             Message::GlobalModel { round, params } => {
-                                let reply = worker.update(round, &params);
-                                let msg = Message::LocalModel {
-                                    device: id as u32,
-                                    round,
-                                    params: reply.params,
-                                    weight: reply.weight,
-                                    grad_evals: reply.grad_evals,
-                                    compute_time: reply.compute_time,
+                                let outcome = std::panic::catch_unwind(
+                                    std::panic::AssertUnwindSafe(|| worker.update(round, &params)),
+                                );
+                                let (msg, panicked) = match outcome {
+                                    Ok(reply) => (
+                                        Message::LocalModel {
+                                            device: id as u32,
+                                            round,
+                                            params: reply.params,
+                                            weight: reply.weight,
+                                            grad_evals: reply.grad_evals,
+                                            compute_time: reply.compute_time,
+                                        },
+                                        false,
+                                    ),
+                                    // The worker's state may be poisoned:
+                                    // report the failing device id to the
+                                    // server, then retire this actor.
+                                    Err(_) => {
+                                        (Message::Panicked { device: id as u32, round }, true)
+                                    }
                                 };
                                 // The server hanging up early just means
                                 // this device's reply is no longer wanted.
-                                if reply_tx.send(codec::encode(&msg)).is_err() {
+                                if reply_tx.send(codec::encode(&msg)).is_err() || panicked {
                                     break;
                                 }
                             }
                             Message::Shutdown => break,
-                            Message::LocalModel { .. } => {
-                                unreachable!("device received a LocalModel")
+                            Message::LocalModel { .. } | Message::Panicked { .. } => {
+                                unreachable!("device received a server-bound message")
                             }
                         }
                     }
@@ -261,8 +283,12 @@ impl NetworkRuntime {
             // forever and the scope would never join.
             let served = (|| -> Result<(), NetError> {
                 'rounds: for round in 0..rounds {
-                    let broadcast =
-                        codec::encode(&Message::GlobalModel { round, params: global.clone() });
+                    #[cfg(feature = "telemetry")]
+                    let traffic_before = (clock.bytes_down(), clock.bytes_up());
+                    let broadcast = {
+                        fedprox_telemetry::span!("net", "encode", "round" => round);
+                        codec::encode(&Message::GlobalModel { round, params: global.clone() })
+                    };
                     let down_len = broadcast.len();
 
                     // Simulate downlink per device (retransmit on drop).
@@ -289,11 +315,18 @@ impl NetworkRuntime {
                     // id order, so this keeps all three backends bit-identical.
                     let mut slots: Vec<Option<(Vec<f64>, f64)>> = vec![None; n];
                     for _ in 0..n {
-                        let frame = reply_rx
-                            .recv()
-                            .map_err(|_| NetError::ChannelClosed("device reply channel"))?;
+                        let frame = {
+                            fedprox_telemetry::span!("net", "recv_wait", "round" => round);
+                            reply_rx
+                                .recv()
+                                .map_err(|_| NetError::ChannelClosed("device reply channel"))?
+                        };
                         let up_len = frame.len();
-                        match codec::decode(&frame)? {
+                        let decoded = {
+                            fedprox_telemetry::span!("net", "decode", "bytes" => up_len);
+                            codec::decode(&frame)?
+                        };
+                        match decoded {
                             Message::LocalModel {
                                 device, params, weight, compute_time, round: r, ..
                             } => {
@@ -329,6 +362,9 @@ impl NetworkRuntime {
                                 };
                                 slots[d] = Some((params, weight));
                             }
+                            Message::Panicked { device, .. } => {
+                                return Err(NetError::WorkerPanic { device: Some(device) });
+                            }
                             Message::GlobalModel { .. } | Message::Shutdown => {
                                 return Err(NetError::UnexpectedMessage);
                             }
@@ -353,6 +389,14 @@ impl NetworkRuntime {
                     global = agg;
                     round_durations.push(clock.advance_round(&timings));
                     rounds_run = round + 1;
+                    #[cfg(feature = "telemetry")]
+                    record_round_telemetry(
+                        round,
+                        &timings,
+                        clock.bytes_down() - traffic_before.0,
+                        clock.bytes_up() - traffic_before.1,
+                        clock.now(),
+                    );
                     if !on_round(round, &global) {
                         break 'rounds;
                     }
@@ -369,11 +413,71 @@ impl NetworkRuntime {
         });
         match scope_outcome {
             Ok(served) => served?,
-            Err(_panic) => return Err(NetError::WorkerPanic),
+            Err(_panic) => return Err(NetError::WorkerPanic { device: None }),
         }
 
         Ok(NetReport { final_model: global, clock, retransmissions, round_durations, rounds_run })
     }
+}
+
+/// Emit the per-round simulation observations: one [`DeviceRound`] per
+/// device (straggler lag = finish time minus the round's median finish),
+/// one [`Bytes`] per direction, and the closing [`RoundEnd`]. Everything
+/// here derives from the virtual clock, so armed and disarmed runs stay
+/// bitwise-identical in their training output.
+///
+/// [`DeviceRound`]: fedprox_telemetry::event::Event::DeviceRound
+/// [`Bytes`]: fedprox_telemetry::event::Event::Bytes
+/// [`RoundEnd`]: fedprox_telemetry::event::Event::RoundEnd
+#[cfg(feature = "telemetry")]
+fn record_round_telemetry(
+    round: u32,
+    timings: &[DeviceRoundTiming],
+    down_bytes: u64,
+    up_bytes: u64,
+    sim_now: f64,
+) {
+    use fedprox_telemetry::collector;
+    use fedprox_telemetry::event::Event;
+    if !collector::is_armed() {
+        return;
+    }
+    let finishes: Vec<f64> =
+        timings.iter().map(|t| t.download + t.compute + t.upload).collect();
+    let mut sorted = finishes.clone();
+    sorted.sort_by(f64::total_cmp);
+    let m = sorted.len();
+    let median = if m % 2 == 1 {
+        sorted[m / 2]
+    } else {
+        0.5 * (sorted[m / 2 - 1] + sorted[m / 2])
+    };
+    for (d, t) in timings.iter().enumerate() {
+        let lag = finishes[d] - median;
+        collector::record_event(Event::DeviceRound {
+            round,
+            device: d as u32,
+            download_s: t.download,
+            compute_s: t.compute,
+            upload_s: t.upload,
+            finish_s: finishes[d],
+            lag_s: lag,
+        });
+        fedprox_telemetry::histogram!("net.straggler_lag_s", lag.max(0.0));
+    }
+    collector::record_event(Event::Bytes {
+        round,
+        kind: "global_model".into(),
+        direction: "down".into(),
+        bytes: down_bytes,
+    });
+    collector::record_event(Event::Bytes {
+        round,
+        kind: "local_model".into(),
+        direction: "up".into(),
+        bytes: up_bytes,
+    });
+    collector::record_event(Event::RoundEnd { round, sim_time_s: sim_now });
 }
 
 /// One logical transfer over `link`: retries until a send succeeds, each

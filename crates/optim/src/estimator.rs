@@ -93,6 +93,8 @@ impl Estimator {
         let dim = model.dim();
         assert_eq!(w0.len(), dim, "estimator: w0 length");
         let mut anchor_grad = vec![0.0; dim];
+        fedprox_telemetry::counter!("optim.anchor_full_grad", 1u32);
+        fedprox_telemetry::counter!("optim.grad_evals", data.len());
         model.full_grad(w0, data, &mut anchor_grad);
         fedprox_tensor::guard::check_finite("anchor full gradient (Algorithm 1 line 3)", &anchor_grad);
         let v = anchor_grad.clone();
@@ -145,6 +147,7 @@ impl Estimator {
         let dim = model.dim();
         assert_eq!(w0.len(), dim, "estimator: w0 length");
         let mut v = vec![0.0; dim];
+        fedprox_telemetry::counter!("optim.grad_evals", batch.len());
         model.batch_grad(w0, data, batch, &mut v);
         fedprox_tensor::guard::check_finite("initial mini-batch gradient", &v);
         Estimator {
@@ -180,6 +183,8 @@ impl Estimator {
     /// `batch`; updates the internal direction per eq. (8a)/(8b).
     pub fn step<M: LossModel>(&mut self, model: &M, data: &Dataset, batch: &[usize], w_t: &[f64]) {
         assert_eq!(w_t.len(), self.dim, "estimator: w_t length");
+        fedprox_telemetry::counter!("optim.inner_step", 1u32);
+        let evals_before = self.grad_evals;
         match self.kind {
             EstimatorKind::Sgd => {
                 model.batch_grad(w_t, data, batch, &mut self.v);
@@ -209,6 +214,7 @@ impl Estimator {
                 self.grad_evals += 2 * batch.len();
             }
         }
+        fedprox_telemetry::counter!("optim.grad_evals", self.grad_evals - evals_before);
         let op = match self.kind {
             EstimatorKind::Sgd => "SGD direction",
             EstimatorKind::FullGd => "full-gradient direction",

@@ -98,6 +98,7 @@ impl LocalSolver {
         assert!(cfg.batch_size >= 1, "batch size must be >= 1");
         let dim = model.dim();
         assert_eq!(w0.len(), dim, "w0 length");
+        fedprox_telemetry::span!("optim", "local_solve", "tau" => cfg.tau, "n" => data.len());
 
         // Pre-draw the returned iterate index (line 10).
         let chosen_t = match cfg.choice {
@@ -126,6 +127,7 @@ impl LocalSolver {
         let eta0 = cfg.step.at(0);
         x.copy_from_slice(&w_t);
         vecops::axpy(-eta0, est.direction(), &mut x);
+        fedprox_telemetry::counter!("optim.prox_apply", 1u32);
         prox.prox(eta0, &x, &mut w_next);
         std::mem::swap(&mut w_t, &mut w_next); // w_t = w^{(1)}
         if chosen_t == 1 {
@@ -139,6 +141,7 @@ impl LocalSolver {
             let eta = cfg.step.at(t);
             x.copy_from_slice(&w_t);
             vecops::axpy(-eta, est.direction(), &mut x);
+            fedprox_telemetry::counter!("optim.prox_apply", 1u32);
             prox.prox(eta, &x, &mut w_next);
             std::mem::swap(&mut w_t, &mut w_next); // w_t = w^{(t+1)}
             if chosen_t == t + 1 {

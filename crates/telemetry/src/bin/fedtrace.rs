@@ -1,0 +1,103 @@
+//! `fedtrace`: summarize a FedProxVR JSONL telemetry trace.
+//!
+//! ```text
+//! fedtrace <trace.jsonl> [--top N]
+//! ```
+//!
+//! Prints the aggregated per-run tables: slowest ops, busiest devices
+//! (straggler lag), bytes by message kind, counters, gauges, and
+//! histograms. Works on any trace produced by `--trace` on the bench
+//! binaries or `examples/quickstart.rs`; needs no cargo features.
+
+use fedprox_telemetry::jsonl;
+use fedprox_telemetry::summary::TelemetryReport;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fedtrace <trace.jsonl> [--top N]";
+
+struct Args {
+    path: String,
+    top: usize,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut path = None;
+    let mut top = 10usize;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => {
+                let v = it.next().ok_or("--top requires a value")?;
+                top = v.parse().map_err(|_| format!("bad --top value `{v}`"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
+            }
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    return Err(format!("more than one trace path given\n{USAGE}"));
+                }
+            }
+        }
+    }
+    let path = path.ok_or(USAGE)?;
+    Ok(Args { path, top })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&args.path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fedtrace: cannot read {}: {e}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match jsonl::parse(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("fedtrace: {}: {e}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = TelemetryReport::from_events(&events);
+    print!("{}", report.render(args.top));
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_path_and_top() {
+        let a = parse_args(&s(&["trace.jsonl", "--top", "3"])).unwrap();
+        assert_eq!(a.path, "trace.jsonl");
+        assert_eq!(a.top, 3);
+    }
+
+    #[test]
+    fn defaults_top_to_ten() {
+        assert_eq!(parse_args(&s(&["t.jsonl"])).unwrap().top, 10);
+    }
+
+    #[test]
+    fn rejects_missing_path_and_bad_flags() {
+        assert!(parse_args(&s(&[])).is_err());
+        assert!(parse_args(&s(&["a", "b"])).is_err());
+        assert!(parse_args(&s(&["--nope", "t"])).is_err());
+        assert!(parse_args(&s(&["t", "--top", "x"])).is_err());
+    }
+}

@@ -1,0 +1,360 @@
+//! The global in-process collector (compiled only with the `enabled`
+//! feature).
+//!
+//! Recording is a two-stage gate: the `telemetry` cargo feature compiles
+//! the instrumentation in, and the runtime **armed** flag turns it on for
+//! a particular run (`--trace` arms it; tests arm it explicitly). While
+//! disarmed, every hook is a single relaxed atomic load.
+//!
+//! Raw events are buffered up to a cap and then counted as dropped;
+//! aggregates (span stats, counters, gauges, histograms) are updated for
+//! every activation and are therefore exact regardless of the cap.
+//!
+//! This module is the only place outside `crates/net/src/clock.rs` where
+//! wall-clock time may be read (fedlint rule `no-wall-clock`): wall
+//! durations are observations about the host, never inputs to training.
+
+use crate::event::Event;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Raw span events kept verbatim before capping.
+const SPAN_EVENT_CAP: usize = 65_536;
+/// Structured run events (device rounds, bytes, round ends) kept before
+/// capping; sized for thousands of rounds over hundreds of devices.
+const RUN_EVENT_CAP: usize = 1 << 20;
+
+/// Upper bucket bounds shared by every histogram (seconds-scale at the
+/// low end through kilo-units at the top; the unit is the metric's).
+pub const HISTOGRAM_BOUNDS: [f64; 10] =
+    [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1000.0];
+
+#[derive(Clone, Copy, Default)]
+struct SpanAgg {
+    count: u64,
+    total_micros: f64,
+    max_micros: f64,
+}
+
+struct SpanRec {
+    layer: &'static str,
+    name: &'static str,
+    micros: f64,
+    attrs: Vec<(&'static str, f64)>,
+}
+
+struct Inner {
+    span_recs: Vec<SpanRec>,
+    run_events: Vec<Event>,
+    dropped: u64,
+    spans: BTreeMap<(&'static str, &'static str), SpanAgg>,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    hists: BTreeMap<&'static str, [u64; HISTOGRAM_BOUNDS.len() + 1]>,
+}
+
+impl Inner {
+    const fn new() -> Self {
+        Inner {
+            span_recs: Vec::new(),
+            run_events: Vec::new(),
+            dropped: 0,
+            spans: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static INNER: Mutex<Inner> = Mutex::new(Inner::new());
+
+fn lock() -> MutexGuard<'static, Inner> {
+    // A panic while holding the lock (e.g. an instrumented worker dying)
+    // must not wedge telemetry for the rest of the process.
+    INNER.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Clear all recorded state and start recording.
+pub fn arm() {
+    reset();
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Stop recording (recorded state is kept until [`reset`] or [`drain`]).
+pub fn disarm() {
+    ARMED.store(false, Ordering::SeqCst);
+}
+
+/// Whether the collector is currently recording.
+#[inline]
+pub fn is_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Discard all recorded state.
+pub fn reset() {
+    *lock() = Inner::new();
+}
+
+/// Take everything recorded so far as a flat event stream: structured
+/// run events first (in arrival order), then raw spans, then the exact
+/// aggregates, then a trailing `Dropped` record if any cap was hit.
+/// Leaves the collector empty; the armed flag is untouched.
+pub fn drain() -> Vec<Event> {
+    let inner = {
+        let mut g = lock();
+        std::mem::replace(&mut *g, Inner::new())
+    };
+    let mut out = Vec::with_capacity(
+        inner.run_events.len() + inner.span_recs.len() + inner.spans.len() + 8,
+    );
+    out.extend(inner.run_events);
+    for r in inner.span_recs {
+        out.push(Event::Span {
+            layer: r.layer.to_string(),
+            name: r.name.to_string(),
+            micros: r.micros,
+            attrs: r.attrs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        });
+    }
+    for ((layer, name), agg) in inner.spans {
+        out.push(Event::SpanStat {
+            layer: layer.to_string(),
+            name: name.to_string(),
+            count: agg.count,
+            total_micros: agg.total_micros,
+            max_micros: agg.max_micros,
+        });
+    }
+    for (name, value) in inner.counters {
+        out.push(Event::Counter { name: name.to_string(), value });
+    }
+    for (name, value) in inner.gauges {
+        out.push(Event::Gauge { name: name.to_string(), value });
+    }
+    for (name, counts) in inner.hists {
+        out.push(Event::Histogram {
+            name: name.to_string(),
+            bounds: HISTOGRAM_BOUNDS.to_vec(),
+            counts: counts.to_vec(),
+        });
+    }
+    if inner.dropped > 0 {
+        out.push(Event::Dropped { count: inner.dropped });
+    }
+    out
+}
+
+/// Add `delta` to a named counter (saturating). No-op while disarmed.
+pub fn add_counter(name: &'static str, delta: u64) {
+    if !is_armed() {
+        return;
+    }
+    let mut g = lock();
+    let c = g.counters.entry(name).or_insert(0);
+    *c = c.saturating_add(delta);
+}
+
+/// Set a named gauge (last write wins). No-op while disarmed.
+pub fn set_gauge(name: &'static str, value: f64) {
+    if !is_armed() {
+        return;
+    }
+    lock().gauges.insert(name, value);
+}
+
+/// Record one sample into a named fixed-bucket histogram.
+pub fn record_histogram(name: &'static str, value: f64) {
+    if !is_armed() {
+        return;
+    }
+    let bucket = HISTOGRAM_BOUNDS
+        .iter()
+        .position(|b| value <= *b)
+        .unwrap_or(HISTOGRAM_BOUNDS.len());
+    let mut g = lock();
+    let counts = g.hists.entry(name).or_insert([0; HISTOGRAM_BOUNDS.len() + 1]);
+    counts[bucket] = counts[bucket].saturating_add(1);
+}
+
+/// Push a structured run event (device round, bytes, round end). No-op
+/// while disarmed; counted as dropped past the buffer cap.
+pub fn record_event(event: Event) {
+    if !is_armed() {
+        return;
+    }
+    let mut g = lock();
+    if g.run_events.len() < RUN_EVENT_CAP {
+        g.run_events.push(event);
+    } else {
+        g.dropped = g.dropped.saturating_add(1);
+    }
+}
+
+/// Current value of a counter (0 if never touched). Test helper: lets
+/// exact-count assertions read totals without draining.
+pub fn counter_value(name: &str) -> u64 {
+    lock().counters.get(name).copied().unwrap_or(0)
+}
+
+/// Exact activation count of a `(layer, name)` span so far.
+pub fn span_count(layer: &str, name: &str) -> u64 {
+    lock()
+        .spans
+        .iter()
+        .find(|((l, n), _)| *l == layer && *n == name)
+        .map(|(_, agg)| agg.count)
+        .unwrap_or(0)
+}
+
+fn record_span(layer: &'static str, name: &'static str, attrs: Vec<(&'static str, f64)>, micros: f64) {
+    if !is_armed() {
+        return;
+    }
+    let mut g = lock();
+    let agg = g.spans.entry((layer, name)).or_default();
+    agg.count = agg.count.saturating_add(1);
+    agg.total_micros += micros;
+    agg.max_micros = agg.max_micros.max(micros);
+    if g.span_recs.len() < SPAN_EVENT_CAP {
+        g.span_recs.push(SpanRec { layer, name, micros, attrs });
+    } else {
+        g.dropped = g.dropped.saturating_add(1);
+    }
+}
+
+/// RAII guard recording a wall-clock span from construction to drop.
+/// Use through the `span!` macro, which binds it to a scope-local.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    layer: &'static str,
+    name: &'static str,
+    attrs: Vec<(&'static str, f64)>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Start a span; returns an inert guard while disarmed.
+    pub fn begin(layer: &'static str, name: &'static str, attrs: &[(&'static str, f64)]) -> Self {
+        if !is_armed() {
+            return SpanGuard(None);
+        }
+        SpanGuard(Some(ActiveSpan { layer, name, attrs: attrs.to_vec(), start: Instant::now() }))
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(a) = self.0.take() {
+            let micros = a.start.elapsed().as_secs_f64() * 1e6;
+            record_span(a.layer, a.name, a.attrs, micros);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector is process-global; serialize the tests that own it.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn guard() -> MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disarmed_records_nothing() {
+        let _g = guard();
+        reset();
+        disarm();
+        add_counter("x", 5);
+        record_event(Event::RoundEnd { round: 0, sim_time_s: 1.0 });
+        {
+            let _s = SpanGuard::begin("t", "op", &[]);
+        }
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn armed_counts_are_exact() {
+        let _g = guard();
+        arm();
+        for _ in 0..7 {
+            add_counter("c", 2);
+        }
+        {
+            let _s = SpanGuard::begin("t", "op", &[("k", 1.0)]);
+        }
+        {
+            let _s = SpanGuard::begin("t", "op", &[]);
+        }
+        assert_eq!(counter_value("c"), 14);
+        assert_eq!(span_count("t", "op"), 2);
+        let events = drain();
+        disarm();
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, Event::Span { .. }))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::SpanStat { count: 2, .. }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Counter { value: 14, .. }
+        )));
+        // Nothing dropped, so no Dropped record.
+        assert!(!events.iter().any(|e| matches!(e, Event::Dropped { .. })));
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let _g = guard();
+        arm();
+        add_counter("sat", u64::MAX - 1);
+        add_counter("sat", 10);
+        assert_eq!(counter_value("sat"), u64::MAX);
+        reset();
+        disarm();
+    }
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        let _g = guard();
+        arm();
+        record_histogram("h", 5e-7); // bucket 0
+        record_histogram("h", 0.5); // <= 1.0 → bucket 6
+        record_histogram("h", 1e9); // overflow bucket
+        let events = drain();
+        disarm();
+        let hist = events
+            .iter()
+            .find_map(|e| match e {
+                Event::Histogram { counts, .. } => Some(counts.clone()),
+                _ => None,
+            })
+            .expect("histogram present");
+        assert_eq!(hist[0], 1);
+        assert_eq!(hist[6], 1);
+        assert_eq!(hist[HISTOGRAM_BOUNDS.len()], 1);
+    }
+
+    #[test]
+    fn arm_resets_previous_state() {
+        let _g = guard();
+        arm();
+        add_counter("stale", 1);
+        arm();
+        assert_eq!(counter_value("stale"), 0);
+        reset();
+        disarm();
+    }
+}

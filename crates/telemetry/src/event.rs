@@ -1,0 +1,169 @@
+//! The telemetry event model.
+//!
+//! Everything the collector records — and everything `fedtrace` reads
+//! back from a JSONL trace — is one of these variants. Two broad
+//! families:
+//!
+//! * **Wall-clock observations** ([`Event::Span`], [`Event::SpanStat`]):
+//!   monotonic-clock durations of instrumented scopes. These vary run to
+//!   run (they measure the host), which is fine — they never feed back
+//!   into training.
+//! * **Simulation observations** ([`Event::DeviceRound`],
+//!   [`Event::Bytes`], [`Event::RoundEnd`]): derived from the virtual
+//!   clock and the wire codec, so they are bitwise-reproducible across
+//!   runs with the same seed.
+//!
+//! Counters, gauges, and histograms sit in between: counts of discrete
+//! work items (gradient evaluations, prox applications) are
+//! deterministic; histograms of wall durations are not.
+
+/// One telemetry record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A single activation of a `span!` scope.
+    Span {
+        /// Instrumented layer (`tensor`, `optim`, `net`, `core`).
+        layer: String,
+        /// Operation name within the layer (e.g. `matmul`).
+        name: String,
+        /// Wall-clock duration in microseconds.
+        micros: f64,
+        /// Static key/value attributes (dimensions, indices, sizes).
+        attrs: Vec<(String, f64)>,
+    },
+    /// Aggregate over *every* activation of one `(layer, name)` span,
+    /// including activations beyond the raw-event cap. Exact-count
+    /// assertions should use this, never raw [`Event::Span`] records.
+    SpanStat {
+        /// Instrumented layer.
+        layer: String,
+        /// Operation name.
+        name: String,
+        /// Total activations.
+        count: u64,
+        /// Summed wall-clock duration in microseconds.
+        total_micros: f64,
+        /// Longest single activation in microseconds.
+        max_micros: f64,
+    },
+    /// Final value of a monotonically-increasing counter.
+    Counter {
+        /// Counter name (e.g. `optim.inner_step`).
+        name: String,
+        /// Accumulated value (saturating).
+        value: u64,
+    },
+    /// Last-written value of a gauge.
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Final value.
+        value: f64,
+    },
+    /// A fixed-bucket histogram. `counts.len() == bounds.len() + 1`; the
+    /// last bucket counts samples above every bound.
+    Histogram {
+        /// Upper bucket bounds (inclusive), ascending.
+        bounds: Vec<f64>,
+        /// Per-bucket sample counts.
+        counts: Vec<u64>,
+        /// Histogram name.
+        name: String,
+    },
+    /// Per-device timing of one synchronous round, in simulated seconds.
+    DeviceRound {
+        /// Round index (0-based, as on the wire).
+        round: u32,
+        /// Device id.
+        device: u32,
+        /// Server → device transfer time.
+        download_s: f64,
+        /// Local computation time.
+        compute_s: f64,
+        /// Device → server transfer time.
+        upload_s: f64,
+        /// `download + compute + upload`.
+        finish_s: f64,
+        /// Straggler lag: `finish` minus the round's median finish.
+        lag_s: f64,
+    },
+    /// Traffic for one message kind in one round.
+    Bytes {
+        /// Round index (0-based).
+        round: u32,
+        /// Wire message kind (`global_model`, `local_model`).
+        kind: String,
+        /// `down` (server → devices) or `up` (devices → server).
+        direction: String,
+        /// Bytes on the wire, including retransmissions.
+        bytes: u64,
+    },
+    /// End of one synchronous round.
+    RoundEnd {
+        /// Round index (0-based).
+        round: u32,
+        /// Virtual-clock time at the end of the round.
+        sim_time_s: f64,
+    },
+    /// Events discarded because a buffer cap was hit. Aggregates
+    /// ([`Event::SpanStat`], [`Event::Counter`]) are never dropped.
+    Dropped {
+        /// Number of discarded events.
+        count: u64,
+    },
+}
+
+impl Event {
+    /// The stable `"t"` tag used in the JSONL encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Span { .. } => "span",
+            Event::SpanStat { .. } => "span_stat",
+            Event::Counter { .. } => "counter",
+            Event::Gauge { .. } => "gauge",
+            Event::Histogram { .. } => "hist",
+            Event::DeviceRound { .. } => "device_round",
+            Event::Bytes { .. } => "bytes",
+            Event::RoundEnd { .. } => "round_end",
+            Event::Dropped { .. } => "dropped",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let events = [
+            Event::Span { layer: "a".into(), name: "b".into(), micros: 0.0, attrs: vec![] },
+            Event::SpanStat {
+                layer: "a".into(),
+                name: "b".into(),
+                count: 0,
+                total_micros: 0.0,
+                max_micros: 0.0,
+            },
+            Event::Counter { name: "c".into(), value: 0 },
+            Event::Gauge { name: "g".into(), value: 0.0 },
+            Event::Histogram { name: "h".into(), bounds: vec![], counts: vec![] },
+            Event::DeviceRound {
+                round: 0,
+                device: 0,
+                download_s: 0.0,
+                compute_s: 0.0,
+                upload_s: 0.0,
+                finish_s: 0.0,
+                lag_s: 0.0,
+            },
+            Event::Bytes { round: 0, kind: "k".into(), direction: "d".into(), bytes: 0 },
+            Event::RoundEnd { round: 0, sim_time_s: 0.0 },
+            Event::Dropped { count: 0 },
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(Event::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len());
+    }
+}

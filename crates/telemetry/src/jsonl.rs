@@ -1,0 +1,592 @@
+//! JSONL encoding of telemetry events.
+//!
+//! Hand-rolled on both sides: the crate is dependency-free so the
+//! collector cannot perturb the build graph of the code it observes, and
+//! `fedtrace` must parse traces in the default (telemetry-disabled)
+//! workspace configuration. The grammar is one JSON object per line with
+//! a `"t"` tag (see [`Event::kind`]); the parser accepts exactly the
+//! subset of JSON the writer emits (objects, arrays, strings, numbers).
+
+use crate::event::Event;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // `{}` is the shortest round-trip representation; non-finite values
+    // never occur in practice but must still produce valid JSON.
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Encode one event as a single JSON line (no trailing newline).
+pub fn write_line(event: &Event) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str("{\"t\":\"");
+    s.push_str(event.kind());
+    s.push('"');
+    match event {
+        Event::Span { layer, name, micros, attrs } => {
+            s.push_str(",\"layer\":");
+            push_str_escaped(&mut s, layer);
+            s.push_str(",\"name\":");
+            push_str_escaped(&mut s, name);
+            s.push_str(",\"us\":");
+            push_f64(&mut s, *micros);
+            s.push_str(",\"attrs\":{");
+            for (i, (k, v)) in attrs.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                push_str_escaped(&mut s, k);
+                s.push(':');
+                push_f64(&mut s, *v);
+            }
+            s.push('}');
+        }
+        Event::SpanStat { layer, name, count, total_micros, max_micros } => {
+            s.push_str(",\"layer\":");
+            push_str_escaped(&mut s, layer);
+            s.push_str(",\"name\":");
+            push_str_escaped(&mut s, name);
+            let _ = write!(s, ",\"count\":{count},\"total_us\":");
+            push_f64(&mut s, *total_micros);
+            s.push_str(",\"max_us\":");
+            push_f64(&mut s, *max_micros);
+        }
+        Event::Counter { name, value } => {
+            s.push_str(",\"name\":");
+            push_str_escaped(&mut s, name);
+            let _ = write!(s, ",\"value\":{value}");
+        }
+        Event::Gauge { name, value } => {
+            s.push_str(",\"name\":");
+            push_str_escaped(&mut s, name);
+            s.push_str(",\"value\":");
+            push_f64(&mut s, *value);
+        }
+        Event::Histogram { name, bounds, counts } => {
+            s.push_str(",\"name\":");
+            push_str_escaped(&mut s, name);
+            s.push_str(",\"bounds\":[");
+            for (i, b) in bounds.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                push_f64(&mut s, *b);
+            }
+            s.push_str("],\"counts\":[");
+            for (i, c) in counts.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{c}");
+            }
+            s.push(']');
+        }
+        Event::DeviceRound { round, device, download_s, compute_s, upload_s, finish_s, lag_s } => {
+            let _ = write!(s, ",\"round\":{round},\"device\":{device},\"download_s\":");
+            push_f64(&mut s, *download_s);
+            s.push_str(",\"compute_s\":");
+            push_f64(&mut s, *compute_s);
+            s.push_str(",\"upload_s\":");
+            push_f64(&mut s, *upload_s);
+            s.push_str(",\"finish_s\":");
+            push_f64(&mut s, *finish_s);
+            s.push_str(",\"lag_s\":");
+            push_f64(&mut s, *lag_s);
+        }
+        Event::Bytes { round, kind, direction, bytes } => {
+            let _ = write!(s, ",\"round\":{round},\"kind\":");
+            push_str_escaped(&mut s, kind);
+            s.push_str(",\"dir\":");
+            push_str_escaped(&mut s, direction);
+            let _ = write!(s, ",\"bytes\":{bytes}");
+        }
+        Event::RoundEnd { round, sim_time_s } => {
+            let _ = write!(s, ",\"round\":{round},\"sim_time_s\":");
+            push_f64(&mut s, *sim_time_s);
+        }
+        Event::Dropped { count } => {
+            let _ = write!(s, ",\"count\":{count}");
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Encode a whole trace, one event per line, trailing newline included.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&write_line(e));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// A parse failure with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-indexed line of the offending record.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Minimal JSON value (only what the writer emits).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(f64),
+    UInt(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+    Null,
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            Json::UInt(v) => Some(*v as f64),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn consume(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err(format!("bad literal at byte {}", self.pos))
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.consume(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.consume(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.consume(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected `,` or `]`, got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.consume(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("dangling escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", other as char)),
+                    }
+                }
+                _ => {
+                    // Resync to a char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number bytes".to_string())?;
+        // Integers parse as u64 first so byte/count totals near u64::MAX
+        // survive a round trip exactly.
+        if !text.contains(['.', 'e', 'E', '-']) {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+        }
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number `{text}`"))
+    }
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn f64_field(obj: &Json, key: &str) -> Result<f64, String> {
+    field(obj, key)?.as_f64().ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<u64, String> {
+    field(obj, key)?.as_u64().ok_or_else(|| format!("field `{key}` is not an integer"))
+}
+
+fn u32_field(obj: &Json, key: &str) -> Result<u32, String> {
+    u64_field(obj, key)?
+        .try_into()
+        .map_err(|_| format!("field `{key}` exceeds u32"))
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<String, String> {
+    Ok(field(obj, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))?
+        .to_string())
+}
+
+fn event_from_json(obj: &Json) -> Result<Event, String> {
+    let tag = str_field(obj, "t")?;
+    match tag.as_str() {
+        "span" => {
+            let attrs = match field(obj, "attrs")? {
+                Json::Obj(fields) => fields
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_f64()
+                            .map(|v| (k.clone(), v))
+                            .ok_or_else(|| format!("attr `{k}` is not a number"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("field `attrs` is not an object".to_string()),
+            };
+            Ok(Event::Span {
+                layer: str_field(obj, "layer")?,
+                name: str_field(obj, "name")?,
+                micros: f64_field(obj, "us")?,
+                attrs,
+            })
+        }
+        "span_stat" => Ok(Event::SpanStat {
+            layer: str_field(obj, "layer")?,
+            name: str_field(obj, "name")?,
+            count: u64_field(obj, "count")?,
+            total_micros: f64_field(obj, "total_us")?,
+            max_micros: f64_field(obj, "max_us")?,
+        }),
+        "counter" => Ok(Event::Counter {
+            name: str_field(obj, "name")?,
+            value: u64_field(obj, "value")?,
+        }),
+        "gauge" => Ok(Event::Gauge {
+            name: str_field(obj, "name")?,
+            value: f64_field(obj, "value")?,
+        }),
+        "hist" => {
+            let bounds = match field(obj, "bounds")? {
+                Json::Arr(items) => items
+                    .iter()
+                    .map(|v| v.as_f64().ok_or_else(|| "non-number bound".to_string()))
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("field `bounds` is not an array".to_string()),
+            };
+            let counts = match field(obj, "counts")? {
+                Json::Arr(items) => items
+                    .iter()
+                    .map(|v| v.as_u64().ok_or_else(|| "non-integer count".to_string()))
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("field `counts` is not an array".to_string()),
+            };
+            Ok(Event::Histogram { name: str_field(obj, "name")?, bounds, counts })
+        }
+        "device_round" => Ok(Event::DeviceRound {
+            round: u32_field(obj, "round")?,
+            device: u32_field(obj, "device")?,
+            download_s: f64_field(obj, "download_s")?,
+            compute_s: f64_field(obj, "compute_s")?,
+            upload_s: f64_field(obj, "upload_s")?,
+            finish_s: f64_field(obj, "finish_s")?,
+            lag_s: f64_field(obj, "lag_s")?,
+        }),
+        "bytes" => Ok(Event::Bytes {
+            round: u32_field(obj, "round")?,
+            kind: str_field(obj, "kind")?,
+            direction: str_field(obj, "dir")?,
+            bytes: u64_field(obj, "bytes")?,
+        }),
+        "round_end" => Ok(Event::RoundEnd {
+            round: u32_field(obj, "round")?,
+            sim_time_s: f64_field(obj, "sim_time_s")?,
+        }),
+        "dropped" => Ok(Event::Dropped { count: u64_field(obj, "count")? }),
+        other => Err(format!("unknown event tag `{other}`")),
+    }
+}
+
+/// Parse one JSONL line into an event.
+pub fn parse_line(line: &str) -> Result<Event, String> {
+    let mut p = Parser::new(line);
+    let obj = p.value()?;
+    if p.peek().is_some() {
+        return Err("trailing bytes after JSON object".to_string());
+    }
+    event_from_json(&obj)
+}
+
+/// Parse a whole JSONL trace. Blank lines are skipped; any malformed
+/// line fails the parse with its line number.
+pub fn parse(trace: &str) -> Result<Vec<Event>, ParseError> {
+    let mut out = Vec::new();
+    for (idx, line) in trace.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(ev) => out.push(ev),
+            Err(message) => return Err(ParseError { line: idx + 1, message }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Span {
+                layer: "tensor".into(),
+                name: "matmul".into(),
+                micros: 12.5,
+                attrs: vec![("m".into(), 64.0), ("k".into(), 10.0), ("n".into(), 8.0)],
+            },
+            Event::SpanStat {
+                layer: "tensor".into(),
+                name: "matmul".into(),
+                count: 3,
+                total_micros: 40.0,
+                max_micros: 20.25,
+            },
+            Event::Counter { name: "optim.inner_step".into(), value: u64::MAX },
+            Event::Gauge { name: "core.model_dim".into(), value: 610.0 },
+            Event::Histogram {
+                name: "net.lag_s".into(),
+                bounds: vec![0.001, 0.01, 0.1],
+                counts: vec![1, 2, 3, 4],
+            },
+            Event::DeviceRound {
+                round: 2,
+                device: 1,
+                download_s: 0.05,
+                compute_s: 0.4,
+                upload_s: 0.05,
+                finish_s: 0.5,
+                lag_s: 0.125,
+            },
+            Event::Bytes { round: 2, kind: "global_model".into(), direction: "down".into(), bytes: 4885 },
+            Event::RoundEnd { round: 2, sim_time_s: 1.5 },
+            Event::Dropped { count: 7 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        let events = sample_events();
+        let text = to_jsonl(&events);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let text = format!("\n{}\n\n", write_line(&Event::Dropped { count: 1 }));
+        assert_eq!(parse(&text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err = parse("{\"t\":\"dropped\",\"count\":1}\nnot json\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(parse_line("{\"t\":\"mystery\"}").is_err());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let ev = Event::Counter { name: "weird \"name\"\n\\tab\t".into(), value: 3 };
+        let back = parse_line(&write_line(&ev)).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let ev = Event::Counter { name: "big".into(), value: u64::MAX - 1 };
+        let back = parse_line(&write_line(&ev)).unwrap();
+        assert_eq!(back, ev);
+    }
+}

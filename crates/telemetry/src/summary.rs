@@ -1,0 +1,403 @@
+//! Aggregated per-run summary: the `TelemetryReport`.
+//!
+//! Built either from a live collector drain or from a parsed JSONL
+//! trace; `fedtrace` and the bench report path both render it with
+//! [`TelemetryReport::render`].
+
+use crate::event::Event;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate timing of one instrumented operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStat {
+    /// Instrumented layer.
+    pub layer: String,
+    /// Operation name.
+    pub name: String,
+    /// Total activations.
+    pub count: u64,
+    /// Summed wall-clock duration in microseconds.
+    pub total_micros: f64,
+    /// Longest single activation in microseconds.
+    pub max_micros: f64,
+}
+
+/// Per-device work and straggler summary (simulated seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceStat {
+    /// Device id.
+    pub device: u32,
+    /// Rounds this device participated in.
+    pub rounds: u64,
+    /// Total local compute time.
+    pub compute_s: f64,
+    /// Total `download + compute + upload`.
+    pub finish_s: f64,
+    /// Total straggler lag (finish minus round median; can be negative
+    /// for consistently-fast devices).
+    pub lag_s: f64,
+    /// Worst single-round lag.
+    pub max_lag_s: f64,
+}
+
+/// Traffic for one `(message kind, direction)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BytesStat {
+    /// Wire message kind.
+    pub kind: String,
+    /// `down` or `up`.
+    pub direction: String,
+    /// Total bytes including retransmissions.
+    pub bytes: u64,
+    /// Rounds contributing traffic of this kind.
+    pub rounds: u64,
+}
+
+/// The aggregated per-run summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Per-op timing, sorted by total time descending.
+    pub ops: Vec<OpStat>,
+    /// Counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Per-device summaries, sorted by total lag descending.
+    pub devices: Vec<DeviceStat>,
+    /// Traffic by message kind, sorted by bytes descending.
+    pub bytes: Vec<BytesStat>,
+    /// Histograms, sorted by name: `(name, bounds, counts)`.
+    pub histograms: Vec<(String, Vec<f64>, Vec<u64>)>,
+    /// Simulated rounds observed (`round_end` events).
+    pub rounds: u64,
+    /// Raw span events present in the trace.
+    pub span_events: u64,
+    /// Events discarded at the buffer cap.
+    pub dropped: u64,
+}
+
+impl TelemetryReport {
+    /// Aggregate a flat event stream (live drain or parsed trace).
+    ///
+    /// `span_stat` records are authoritative for op timing when present
+    /// (raw span events may have been capped); otherwise raw spans are
+    /// aggregated directly.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut stats: BTreeMap<(String, String), OpStat> = BTreeMap::new();
+        let mut raw: BTreeMap<(String, String), OpStat> = BTreeMap::new();
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+        let mut devices: BTreeMap<u32, DeviceStat> = BTreeMap::new();
+        let mut bytes: BTreeMap<(String, String), BytesStat> = BTreeMap::new();
+        let mut histograms: BTreeMap<String, (Vec<f64>, Vec<u64>)> = BTreeMap::new();
+        let mut rounds = 0u64;
+        let mut span_events = 0u64;
+        let mut dropped = 0u64;
+
+        for ev in events {
+            match ev {
+                Event::Span { layer, name, micros, .. } => {
+                    span_events += 1;
+                    let e = raw.entry((layer.clone(), name.clone())).or_insert_with(|| OpStat {
+                        layer: layer.clone(),
+                        name: name.clone(),
+                        count: 0,
+                        total_micros: 0.0,
+                        max_micros: 0.0,
+                    });
+                    e.count = e.count.saturating_add(1);
+                    e.total_micros += micros;
+                    e.max_micros = e.max_micros.max(*micros);
+                }
+                Event::SpanStat { layer, name, count, total_micros, max_micros } => {
+                    let e = stats.entry((layer.clone(), name.clone())).or_insert_with(|| OpStat {
+                        layer: layer.clone(),
+                        name: name.clone(),
+                        count: 0,
+                        total_micros: 0.0,
+                        max_micros: 0.0,
+                    });
+                    e.count = e.count.saturating_add(*count);
+                    e.total_micros += total_micros;
+                    e.max_micros = e.max_micros.max(*max_micros);
+                }
+                Event::Counter { name, value } => {
+                    let c = counters.entry(name.clone()).or_insert(0);
+                    *c = c.saturating_add(*value);
+                }
+                Event::Gauge { name, value } => {
+                    gauges.insert(name.clone(), *value);
+                }
+                Event::Histogram { name, bounds, counts } => {
+                    let (b, c) = histograms
+                        .entry(name.clone())
+                        .or_insert_with(|| (bounds.clone(), vec![0; counts.len()]));
+                    if b == bounds && c.len() == counts.len() {
+                        for (acc, v) in c.iter_mut().zip(counts) {
+                            *acc = acc.saturating_add(*v);
+                        }
+                    }
+                }
+                Event::DeviceRound { round: _, device, download_s: _, compute_s, upload_s: _, finish_s, lag_s } => {
+                    let d = devices.entry(*device).or_insert_with(|| DeviceStat {
+                        device: *device,
+                        rounds: 0,
+                        compute_s: 0.0,
+                        finish_s: 0.0,
+                        lag_s: 0.0,
+                        max_lag_s: f64::NEG_INFINITY,
+                    });
+                    d.rounds = d.rounds.saturating_add(1);
+                    d.compute_s += compute_s;
+                    d.finish_s += finish_s;
+                    d.lag_s += lag_s;
+                    d.max_lag_s = d.max_lag_s.max(*lag_s);
+                }
+                Event::Bytes { round: _, kind, direction, bytes: b } => {
+                    let e = bytes
+                        .entry((kind.clone(), direction.clone()))
+                        .or_insert_with(|| BytesStat {
+                            kind: kind.clone(),
+                            direction: direction.clone(),
+                            bytes: 0,
+                            rounds: 0,
+                        });
+                    e.bytes = e.bytes.saturating_add(*b);
+                    e.rounds = e.rounds.saturating_add(1);
+                }
+                Event::RoundEnd { .. } => rounds = rounds.saturating_add(1),
+                Event::Dropped { count } => dropped = dropped.saturating_add(*count),
+            }
+        }
+
+        let mut ops: Vec<OpStat> =
+            if stats.is_empty() { raw } else { stats }.into_values().collect();
+        ops.sort_by(|a, b| {
+            b.total_micros
+                .total_cmp(&a.total_micros)
+                .then_with(|| a.layer.cmp(&b.layer))
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        let mut devices: Vec<DeviceStat> = devices.into_values().collect();
+        devices.sort_by(|a, b| b.lag_s.total_cmp(&a.lag_s).then_with(|| a.device.cmp(&b.device)));
+        let mut bytes: Vec<BytesStat> = bytes.into_values().collect();
+        bytes.sort_by(|a, b| {
+            b.bytes.cmp(&a.bytes).then_with(|| (&a.kind, &a.direction).cmp(&(&b.kind, &b.direction)))
+        });
+
+        TelemetryReport {
+            ops,
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            devices,
+            bytes,
+            histograms: histograms.into_iter().map(|(n, (b, c))| (n, b, c)).collect(),
+            rounds,
+            span_events,
+            dropped,
+        }
+    }
+
+    /// Render the top-`top_n` tables as plain text.
+    pub fn render(&self, top_n: usize) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "fedtrace summary: {} rounds, {} raw span events, {} dropped",
+            self.rounds, self.span_events, self.dropped
+        );
+
+        if !self.ops.is_empty() {
+            let _ = writeln!(s, "\n== slowest ops (top {top_n} by total time) ==");
+            let _ = writeln!(
+                s,
+                "{:<8} {:<16} {:>10} {:>12} {:>10} {:>10}",
+                "layer", "op", "count", "total_ms", "mean_us", "max_us"
+            );
+            for op in self.ops.iter().take(top_n) {
+                let mean = if op.count > 0 { op.total_micros / op.count as f64 } else { 0.0 };
+                let _ = writeln!(
+                    s,
+                    "{:<8} {:<16} {:>10} {:>12.3} {:>10.2} {:>10.2}",
+                    op.layer,
+                    op.name,
+                    op.count,
+                    op.total_micros / 1000.0,
+                    mean,
+                    op.max_micros
+                );
+            }
+        }
+
+        if !self.devices.is_empty() {
+            let _ = writeln!(s, "\n== busiest devices (top {top_n} by straggler lag) ==");
+            let _ = writeln!(
+                s,
+                "{:<8} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                "device", "rounds", "compute_s", "finish_s", "lag_s", "max_lag_s"
+            );
+            for d in self.devices.iter().take(top_n) {
+                let _ = writeln!(
+                    s,
+                    "{:<8} {:>8} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+                    d.device, d.rounds, d.compute_s, d.finish_s, d.lag_s, d.max_lag_s
+                );
+            }
+        }
+
+        if !self.bytes.is_empty() {
+            let _ = writeln!(s, "\n== bytes by message kind ==");
+            let _ = writeln!(s, "{:<16} {:<6} {:>14} {:>8}", "kind", "dir", "bytes", "rounds");
+            for b in &self.bytes {
+                let _ = writeln!(
+                    s,
+                    "{:<16} {:<6} {:>14} {:>8}",
+                    b.kind, b.direction, b.bytes, b.rounds
+                );
+            }
+        }
+
+        if !self.counters.is_empty() {
+            let _ = writeln!(s, "\n== counters ==");
+            for (name, value) in &self.counters {
+                let _ = writeln!(s, "{name:<32} {value:>14}");
+            }
+        }
+
+        if !self.gauges.is_empty() {
+            let _ = writeln!(s, "\n== gauges ==");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(s, "{name:<32} {value:>14}");
+            }
+        }
+
+        if !self.histograms.is_empty() {
+            let _ = writeln!(s, "\n== histograms ==");
+            for (name, bounds, counts) in &self.histograms {
+                let _ = writeln!(s, "{name}:");
+                let mut lo = f64::NEG_INFINITY;
+                for (i, c) in counts.iter().enumerate() {
+                    let hi = bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                    if *c > 0 {
+                        let _ = writeln!(s, "  ({lo:>9.3e}, {hi:>9.3e}] {c:>10}");
+                    }
+                    lo = hi;
+                }
+            }
+        }
+
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Vec<Event> {
+        vec![
+            Event::Span {
+                layer: "tensor".into(),
+                name: "softmax".into(),
+                micros: 5.0,
+                attrs: vec![],
+            },
+            Event::SpanStat {
+                layer: "tensor".into(),
+                name: "softmax".into(),
+                count: 10,
+                total_micros: 55.0,
+                max_micros: 9.0,
+            },
+            Event::SpanStat {
+                layer: "core".into(),
+                name: "round".into(),
+                count: 2,
+                total_micros: 900.0,
+                max_micros: 600.0,
+            },
+            Event::Counter { name: "optim.inner_step".into(), value: 40 },
+            Event::DeviceRound {
+                round: 0,
+                device: 0,
+                download_s: 0.05,
+                compute_s: 0.2,
+                upload_s: 0.05,
+                finish_s: 0.3,
+                lag_s: -0.1,
+            },
+            Event::DeviceRound {
+                round: 0,
+                device: 1,
+                download_s: 0.05,
+                compute_s: 0.5,
+                upload_s: 0.05,
+                finish_s: 0.6,
+                lag_s: 0.2,
+            },
+            Event::Bytes { round: 0, kind: "global_model".into(), direction: "down".into(), bytes: 100 },
+            Event::Bytes { round: 0, kind: "local_model".into(), direction: "up".into(), bytes: 140 },
+            Event::RoundEnd { round: 0, sim_time_s: 0.7 },
+            Event::Dropped { count: 3 },
+        ]
+    }
+
+    #[test]
+    fn span_stats_override_raw_spans() {
+        let r = TelemetryReport::from_events(&trace());
+        // `span_stat` present → raw span ignored for op totals.
+        let softmax = r.ops.iter().find(|o| o.name == "softmax").unwrap();
+        assert_eq!(softmax.count, 10);
+        assert_eq!(r.span_events, 1);
+        // Sorted by total time descending: core.round first.
+        assert_eq!(r.ops[0].name, "round");
+    }
+
+    #[test]
+    fn raw_spans_used_when_no_stats() {
+        let events = vec![
+            Event::Span { layer: "t".into(), name: "a".into(), micros: 3.0, attrs: vec![] },
+            Event::Span { layer: "t".into(), name: "a".into(), micros: 7.0, attrs: vec![] },
+        ];
+        let r = TelemetryReport::from_events(&events);
+        assert_eq!(r.ops.len(), 1);
+        assert_eq!(r.ops[0].count, 2);
+        assert!((r.ops[0].total_micros - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn devices_sorted_by_lag() {
+        let r = TelemetryReport::from_events(&trace());
+        assert_eq!(r.devices[0].device, 1);
+        assert!((r.devices[0].lag_s - 0.2).abs() < 1e-12);
+        assert_eq!(r.devices[0].rounds, 1);
+    }
+
+    #[test]
+    fn bytes_and_counters_aggregate() {
+        let r = TelemetryReport::from_events(&trace());
+        assert_eq!(r.bytes[0].kind, "local_model");
+        assert_eq!(r.bytes[0].bytes, 140);
+        assert_eq!(r.counters, vec![("optim.inner_step".to_string(), 40)]);
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.dropped, 3);
+    }
+
+    #[test]
+    fn render_contains_all_tables() {
+        let text = TelemetryReport::from_events(&trace()).render(5);
+        for needle in
+            ["slowest ops", "busiest devices", "bytes by message kind", "counters", "global_model"]
+        {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_renders_header_only() {
+        let text = TelemetryReport::from_events(&[]).render(5);
+        assert!(text.contains("0 rounds"));
+        assert!(!text.contains("slowest ops"));
+    }
+}

@@ -33,6 +33,7 @@ pub fn softmax_inplace(x: &mut [f64]) {
     if x.is_empty() {
         return;
     }
+    fedprox_telemetry::span!("tensor", "softmax", "len" => x.len());
     let m = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let mut sum = 0.0;
     for v in x.iter_mut() {

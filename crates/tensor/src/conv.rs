@@ -75,6 +75,7 @@ impl Conv2dSpec {
 pub fn im2col(spec: &Conv2dSpec, input: &[f64], cols: &mut Matrix) {
     assert_eq!(input.len(), spec.input_len(), "im2col: input length");
     assert_eq!(cols.shape(), (spec.col_rows(), spec.col_cols()), "im2col: cols shape");
+    fedprox_telemetry::span!("tensor", "im2col", "rows" => spec.col_rows(), "cols" => spec.col_cols());
     let (oh, ow) = (spec.out_height(), spec.out_width());
     let (h, w, k, pad) = (spec.height, spec.width, spec.kernel, spec.pad);
     for oy in 0..oh {
@@ -167,6 +168,10 @@ pub fn conv2d_forward(
     assert_eq!(weight.len(), spec.weight_len(), "conv2d: weight length");
     assert_eq!(bias.len(), spec.out_ch, "conv2d: bias length");
     assert_eq!(output.len(), spec.output_len(), "conv2d: output length");
+    fedprox_telemetry::span!(
+        "tensor", "conv2d_fwd",
+        "out_ch" => spec.out_ch, "pix" => spec.col_rows(), "fields" => spec.col_cols(),
+    );
     im2col(spec, input, &mut scratch.cols);
     let npix = spec.col_rows();
     let fields = spec.col_cols();
@@ -197,6 +202,10 @@ pub fn conv2d_backward(
     scratch: &mut ConvScratch,
 ) {
     let npix = spec.col_rows();
+    fedprox_telemetry::span!(
+        "tensor", "conv2d_bwd",
+        "out_ch" => spec.out_ch, "pix" => npix, "fields" => spec.col_cols(),
+    );
     assert_eq!(grad_output.len(), spec.output_len(), "conv2d_backward: grad_output");
     assert_eq!(grad_weight.len(), spec.weight_len(), "conv2d_backward: grad_weight");
     assert_eq!(grad_bias.len(), spec.out_ch, "conv2d_backward: grad_bias");

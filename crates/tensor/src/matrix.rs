@@ -195,6 +195,7 @@ impl Matrix {
 pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.cols, b.rows, "matmul_into: inner dim mismatch");
     assert_eq!(out.shape(), (a.rows, b.cols), "matmul_into: out shape mismatch");
+    fedprox_telemetry::span!("tensor", "matmul", "m" => a.rows, "k" => a.cols, "n" => b.cols);
     let n = b.cols;
     let k = a.cols;
     out.data.fill(0.0);
@@ -235,6 +236,7 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 pub fn matmul_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.rows, b.rows, "matmul_tn_into: inner dim mismatch");
     assert_eq!(out.shape(), (a.cols, b.cols), "matmul_tn_into: out shape mismatch");
+    fedprox_telemetry::span!("tensor", "matmul_tn", "m" => a.cols, "k" => a.rows, "n" => b.cols);
     let n = b.cols;
     out.data.fill(0.0);
     for r in 0..a.rows {
@@ -257,6 +259,7 @@ pub fn matmul_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 pub fn matmul_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.cols, b.cols, "matmul_nt_into: inner dim mismatch");
     assert_eq!(out.shape(), (a.rows, b.rows), "matmul_nt_into: out shape mismatch");
+    fedprox_telemetry::span!("tensor", "matmul_nt", "m" => a.rows, "k" => a.cols, "n" => b.rows);
     for r in 0..a.rows {
         let a_row = a.row(r);
         for c in 0..b.rows {

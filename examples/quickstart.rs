@@ -4,6 +4,9 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! With `--features telemetry`, pass `--trace PATH` to also record a
+//! fedtrace JSONL event trace of the run and print its summary tables.
 
 use fedprox::prelude::*;
 use fedprox::core::config::FedConfig as Cfg;
@@ -11,7 +14,31 @@ use fedprox::data::split::split_federation;
 use fedprox::data::synthetic::{generate, SyntheticConfig};
 use fedprox::models::MultinomialLogistic;
 
+/// Minimal hand-rolled scan for `--trace PATH` (the example deliberately
+/// has no argument-parsing dependency).
+fn trace_path_from_args() -> Option<String> {
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--trace" {
+            return argv.next();
+        }
+    }
+    None
+}
+
 fn main() {
+    let trace_path = trace_path_from_args();
+    #[cfg(feature = "telemetry")]
+    if trace_path.is_some() {
+        fedprox_telemetry::collector::arm();
+    }
+    #[cfg(not(feature = "telemetry"))]
+    if trace_path.is_some() {
+        eprintln!(
+            "warning: --trace ignored: rebuild with `--features telemetry` to record a trace"
+        );
+    }
+
     // 1. A heterogeneous federation: 8 devices, power-law-ish sizes,
     //    device-specific data distributions (Synthetic(1,1) of the paper).
     let sizes = [120, 80, 200, 60, 150, 90, 110, 70];
@@ -52,4 +79,18 @@ fn main() {
             history.diverged
         );
     }
+
+    #[cfg(feature = "telemetry")]
+    if let Some(path) = trace_path {
+        use fedprox_telemetry::{collector, jsonl, summary};
+        let events = collector::drain();
+        collector::disarm();
+        match std::fs::write(&path, jsonl::to_jsonl(&events)) {
+            Ok(()) => println!("trace: {} events written to {path}", events.len()),
+            Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+        }
+        print!("{}", summary::TelemetryReport::from_events(&events).render(10));
+    }
+    #[cfg(not(feature = "telemetry"))]
+    drop(trace_path);
 }

@@ -68,3 +68,23 @@ fn different_seed_runs_differ() {
         "different seeds produced identical trajectories — seeding is inert"
     );
 }
+
+/// Telemetry is observation, never perturbation: arming the collector
+/// mid-process must leave the training math bitwise-untouched. (The
+/// telemetry-off build is covered by the tests above being byte-for-byte
+/// identical across `--features telemetry` on and off.)
+#[cfg(feature = "telemetry")]
+#[test]
+fn armed_telemetry_does_not_perturb_the_trajectory() {
+    let plain = run(1, 42);
+    fedprox_telemetry::collector::arm();
+    let traced = run(1, 42);
+    let events = fedprox_telemetry::collector::drain();
+    fedprox_telemetry::collector::disarm();
+    assert!(!events.is_empty(), "armed run recorded no events");
+    assert_eq!(
+        fingerprint(&plain),
+        fingerprint(&traced),
+        "recording telemetry changed the training trajectory"
+    );
+}

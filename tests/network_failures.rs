@@ -7,7 +7,9 @@ use fedprox::data::split::split_federation;
 use fedprox::data::synthetic::{generate, SyntheticConfig};
 use fedprox::data::Dataset;
 use fedprox::models::MultinomialLogistic;
-use fedprox::net::{DelayModel, LinkSpec, NetOptions};
+use fedprox::net::runtime::FnWorker;
+use fedprox::net::{DeviceReply, NetError, NetOptions, NetworkRuntime};
+use fedprox::net::{DelayModel, LinkSpec};
 use fedprox::prelude::*;
 
 fn federation(seed: u64) -> (Vec<Device>, Dataset) {
@@ -119,6 +121,99 @@ fn bandwidth_limits_scale_time_with_model_size() {
     // 50 kB/s; five rounds of down+up must exceed 0.9 s of pure transfer.
     assert!(h.total_sim_time > 0.9, "sim time {}", h.total_sim_time);
     assert!(h.records.last().unwrap().bytes > 5 * 2 * 4_000);
+}
+
+/// The panic hook is process-global; serialize the tests that silence it
+/// so a concurrent test never observes (or restores) the wrong hook.
+static PANIC_HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Run `f` with panic backtraces suppressed (the injected worker failures
+/// are expected; their default backtrace spam would drown real output).
+fn run_quietly<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = PANIC_HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+/// Three well-behaved echo workers, except device `bad` panics on `round`.
+fn panicking_workers(bad: u32, bad_round: u32) -> Vec<FnWorker<impl FnMut(u32, &[f64]) -> DeviceReply + Send>> {
+    (0..3u32)
+        .map(|id| {
+            FnWorker(move |round: u32, global: &[f64]| {
+                assert!(
+                    id != bad || round != bad_round,
+                    "injected device failure (test fixture)"
+                );
+                DeviceReply {
+                    params: global.to_vec(),
+                    weight: 1.0 / 3.0,
+                    grad_evals: 10,
+                    compute_time: 0.01,
+                }
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn worker_panic_surfaces_the_failing_device_id() {
+    // The runtime catches the injected panic and must convert it into a
+    // typed error naming the device, not tear down the whole process.
+    let result = run_quietly(|| {
+        NetworkRuntime.run(
+            panicking_workers(1, 2),
+            vec![0.0; 4],
+            5,
+            &NetOptions::default(),
+            |_, _| true,
+        )
+    });
+    assert_eq!(result.unwrap_err(), NetError::WorkerPanic { device: Some(1) });
+}
+
+#[test]
+fn worker_panic_error_message_names_the_device() {
+    let result = run_quietly(|| {
+        NetworkRuntime.run(
+            panicking_workers(2, 0),
+            vec![0.0; 4],
+            3,
+            &NetOptions::default(),
+            |_, _| true,
+        )
+    });
+    let err = result.unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("device 2"), "unhelpful message: {msg}");
+    assert!(msg.contains("panic"), "unhelpful message: {msg}");
+}
+
+/// Telemetry must survive an early shutdown: a run that dies mid-flight
+/// still leaves the collector drainable and the summary renderable.
+#[cfg(feature = "telemetry")]
+#[test]
+fn telemetry_finalizes_after_worker_panic() {
+    use fedprox_telemetry::{collector, summary::TelemetryReport};
+    collector::arm();
+    let result = run_quietly(|| {
+        NetworkRuntime.run(
+            panicking_workers(0, 1),
+            vec![0.0; 4],
+            4,
+            &NetOptions::default(),
+            |_, _| true,
+        )
+    });
+    assert!(matches!(result, Err(NetError::WorkerPanic { .. })));
+    let events = collector::drain();
+    collector::disarm();
+    assert!(!events.is_empty(), "armed run recorded nothing before the failure");
+    // The summary pipeline must not choke on a truncated trace.
+    let rendered = TelemetryReport::from_events(&events).render(5);
+    assert!(rendered.contains("fedtrace"), "summary did not render: {rendered}");
 }
 
 #[test]

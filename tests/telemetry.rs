@@ -1,0 +1,170 @@
+//! Exact-count telemetry regression: for a small deterministic run the
+//! instrumentation must report *precisely* the work the algorithm
+//! performs — R round spans, R·N local solves, R·N·τ inner steps,
+//! R·N·(τ+1) proximal applications — not merely "some events". Any
+//! off-by-one here means an instrumentation site moved, double-fires, or
+//! silently stopped firing.
+//!
+//! The whole file is gated on the `telemetry` feature; without it the
+//! macros compile to no-ops and there is nothing to count.
+
+#![cfg(feature = "telemetry")]
+
+use fedprox::core::config::NetRunnerOptions;
+use fedprox::data::split::split_federation;
+use fedprox::data::synthetic::{generate, SyntheticConfig};
+use fedprox::data::Dataset;
+use fedprox::models::MultinomialLogistic;
+use fedprox::prelude::*;
+use fedprox_telemetry::event::Event;
+use fedprox_telemetry::{collector, jsonl};
+
+/// The collector is process-global; these tests arm/reset/drain it, so
+/// they must not interleave.
+static COLLECTOR_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+const DEVICES: usize = 3;
+const ROUNDS: usize = 4;
+const TAU: usize = 5;
+const EVAL_EVERY: usize = 2;
+
+fn federation(seed: u64) -> (Vec<Device>, Dataset) {
+    let shards = generate(&SyntheticConfig { seed, ..Default::default() }, &[50, 70, 40]);
+    let (train, test) = split_federation(&shards, seed);
+    (train.into_iter().enumerate().map(|(i, s)| Device::new(i, s)).collect(), test)
+}
+
+fn cfg(runner: RunnerKind) -> FedConfig {
+    FedConfig::new(Algorithm::FedProxVr(EstimatorKind::Svrg))
+        .with_beta(5.0)
+        .with_smoothness(3.0)
+        .with_tau(TAU)
+        .with_mu(0.5)
+        .with_batch_size(8)
+        .with_rounds(ROUNDS)
+        .with_eval_every(EVAL_EVERY)
+        .with_seed(11)
+        .with_runner(runner)
+}
+
+/// Arm the collector, run one training job, and return (history, events).
+fn traced_run(runner: RunnerKind) -> (History, Vec<Event>) {
+    let (devices, test) = federation(9);
+    let model = MultinomialLogistic::new(60, 10);
+    collector::reset();
+    collector::arm();
+    let h = FederatedTrainer::new(&model, &devices, &test, cfg(runner)).run();
+    let events = collector::drain();
+    collector::disarm();
+    (h, events)
+}
+
+fn counter(events: &[Event], which: &str) -> u64 {
+    events
+        .iter()
+        .find_map(|e| match e {
+            Event::Counter { name, value } if name == which => Some(*value),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("counter {which} missing from trace"))
+}
+
+fn span_count(events: &[Event], which_layer: &str, which_name: &str) -> u64 {
+    events
+        .iter()
+        .find_map(|e| match e {
+            Event::SpanStat { layer, name, count, .. }
+                if layer == which_layer && name == which_name =>
+            {
+                Some(*count)
+            }
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("span {which_layer}/{which_name} missing from trace"))
+}
+
+#[test]
+fn sequential_run_produces_exact_aggregate_counts() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (h, events) = traced_run(RunnerKind::Sequential);
+    assert!(!h.diverged);
+
+    let r = ROUNDS as u64;
+    let rn = (ROUNDS * DEVICES) as u64;
+    // One round span per round; one device-update span and one local
+    // solve (with its anchor full gradient) per device per round.
+    assert_eq!(span_count(&events, "core", "round"), r);
+    assert_eq!(span_count(&events, "core", "device_update"), rn);
+    assert_eq!(span_count(&events, "optim", "local_solve"), rn);
+    assert_eq!(counter(&events, "optim.anchor_full_grad"), rn);
+    // τ inner steps per solve; τ+1 prox applications (lines 4 and 5–9 of
+    // Algorithm 1: the anchor step plus one per inner iteration).
+    assert_eq!(counter(&events, "optim.inner_step"), rn * TAU as u64);
+    assert_eq!(counter(&events, "optim.prox_apply"), rn * (TAU as u64 + 1));
+    // Round 0 baseline + one evaluation per eval_every boundary.
+    assert_eq!(span_count(&events, "core", "evaluate"), h.records.len() as u64);
+    // The estimator's own gradient accounting is the History's: the
+    // counter must agree bit-for-bit with the final cumulative total.
+    assert_eq!(
+        counter(&events, "optim.grad_evals"),
+        h.records.last().expect("no records").grad_evals,
+    );
+}
+
+#[test]
+fn parallel_and_sequential_runs_count_identically() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (_, seq) = traced_run(RunnerKind::Sequential);
+    let (_, par) = traced_run(RunnerKind::Parallel);
+    for name in ["optim.inner_step", "optim.prox_apply", "optim.anchor_full_grad", "optim.grad_evals"] {
+        assert_eq!(counter(&seq, name), counter(&par, name), "{name} drifted across runners");
+    }
+    assert_eq!(
+        span_count(&seq, "core", "device_update"),
+        span_count(&par, "core", "device_update"),
+    );
+}
+
+#[test]
+fn networked_run_emits_per_round_simulation_events() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (h, events) = traced_run(RunnerKind::Network(NetRunnerOptions::default()));
+    assert!(!h.diverged);
+
+    let r = ROUNDS as u64;
+    let rn = (ROUNDS * DEVICES) as u64;
+    let device_rounds =
+        events.iter().filter(|e| matches!(e, Event::DeviceRound { .. })).count() as u64;
+    let byte_events = events.iter().filter(|e| matches!(e, Event::Bytes { .. })).count() as u64;
+    let round_ends = events.iter().filter(|e| matches!(e, Event::RoundEnd { .. })).count() as u64;
+    assert_eq!(device_rounds, rn, "one DeviceRound per device per round");
+    assert_eq!(byte_events, 2 * r, "down + up traffic per round");
+    assert_eq!(round_ends, r, "one RoundEnd per round");
+
+    // DeviceRound timings are virtual-clock-derived: finish must be the
+    // component sum, and per round exactly one median device has lag 0.
+    for e in &events {
+        if let Event::DeviceRound { download_s, compute_s, upload_s, finish_s, .. } = e {
+            assert!((download_s + compute_s + upload_s - finish_s).abs() < 1e-12);
+        }
+    }
+    // RoundEnd times are non-decreasing in simulated time.
+    let ends: Vec<f64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::RoundEnd { sim_time_s, .. } => Some(*sim_time_s),
+            _ => None,
+        })
+        .collect();
+    assert!(ends.windows(2).all(|w| w[0] <= w[1]), "sim time went backwards: {ends:?}");
+}
+
+#[test]
+fn drained_events_roundtrip_through_jsonl() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (_, events) = traced_run(RunnerKind::Sequential);
+    assert!(!events.is_empty());
+    let text = jsonl::to_jsonl(&events);
+    let parsed = jsonl::parse(&text).expect("serialized trace failed to parse");
+    assert_eq!(events, parsed, "JSONL encode/decode is not lossless");
+}
