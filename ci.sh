@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # CI gate: build → test (default / check / telemetry) → clippy → fedlint →
-# fedtrace smoke. Any failing stage fails the run.
+# fedtrace smoke → perf-smoke. Any failing stage fails the run.
 set -eu
 
 echo "==> cargo build --release"
@@ -32,5 +32,20 @@ cargo run -q --release -p fedprox-conformance --bin fedlint -- --workspace
 echo "==> fedtrace smoke (summarize the checked-in fixture trace)"
 cargo run -q --release -p fedprox-telemetry --bin fedtrace -- \
     crates/telemetry/tests/fixtures/sample_trace.jsonl >/dev/null
+
+# perf-smoke: run the fedperf harness twice in --quick mode, validate the
+# emitted reports against the fedperf/v1 schema, and check the two runs are
+# structurally identical (same benchmark ids, same iteration counts).
+# Deliberately NO gating on absolute times — CI machines are too noisy for
+# that; regression gating (--baseline/--gate) is a manual/local workflow.
+echo "==> perf-smoke (fedperf --quick: schema + determinism, no time gating)"
+PERF_TMP="$(mktemp -d)"
+trap 'rm -rf "$PERF_TMP"' EXIT
+cargo build -q --release -p fedprox-perfbench
+./target/release/fedperf --quick --name smoke-a --out "$PERF_TMP" >/dev/null
+./target/release/fedperf --quick --name smoke-b --out "$PERF_TMP" >/dev/null
+./target/release/fedperf --validate "$PERF_TMP/BENCH_smoke-a.json" "$PERF_TMP/BENCH_smoke-b.json"
+./target/release/fedperf --check-determinism \
+    "$PERF_TMP/BENCH_smoke-a.json" "$PERF_TMP/BENCH_smoke-b.json"
 
 echo "CI green."

@@ -198,6 +198,15 @@ pub fn rules_for_crate(crate_dir: &str) -> RuleSet {
                 .with(Rule::WallClock)
         }
         "bench" => RuleSet::none().with(Rule::SafetyComment).with(Rule::WallClock),
+        // The benchmark harness must read the wall clock (that is its job)
+        // and casts timing/alloc counters to f64 by design; the allocator
+        // wrapper's `unsafe` still requires SAFETY comments.
+        "perfbench" => {
+            RuleSet::none()
+                .with(Rule::NoAmbientEntropy)
+                .with(Rule::NoDebugPrint)
+                .with(Rule::SafetyComment)
+        }
         // Unknown crates get the conservative library default.
         _ => RuleSet::all().without(Rule::LossyCast),
     }

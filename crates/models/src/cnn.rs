@@ -7,7 +7,7 @@
 //! The layer sizes are configurable so tests and Criterion benches can run
 //! a scaled-down instance ([`CnnSpec::tiny`]) with identical code paths.
 
-use crate::LossModel;
+use crate::{GradScratch, LossModel};
 use fedprox_data::Dataset;
 use fedprox_tensor::activations::{
     cross_entropy_from_logits, cross_entropy_grad_from_logits, relu_backward_inplace,
@@ -114,6 +114,14 @@ pub struct Cnn {
     fc_in: usize,
     /// Hidden dense width (0 = direct softmax head).
     hidden: usize,
+}
+
+/// [`GradScratch`]-resident workspace: the per-model buffers plus the
+/// chunk accumulator, tagged with the spec they were sized for.
+struct CnnWs {
+    spec: CnnSpec,
+    ws: Workspace,
+    acc: Vec<f64>,
 }
 
 /// Reusable forward/backward buffers; one per worker thread in batch mode.
@@ -419,6 +427,49 @@ impl LossModel for Cnn {
             for &i in indices {
                 self.forward(w, data.x(i), &mut ws);
                 self.backward(w, data.class_of(i), scale, out, &mut ws);
+            }
+        }
+    }
+
+    /// Like [`Self::batch_grad`], but holding the workspace and chunk
+    /// accumulator in `scratch` across calls: a local solve of τ steps
+    /// builds the (large) conv workspace once instead of once per chunk.
+    /// Bit-identical to `batch_grad` — the vendored rayon shim is
+    /// sequential, and even under real threading the fixed chunks are
+    /// combined in index order either way.
+    fn batch_grad_in(
+        &self,
+        w: &[f64],
+        data: &Dataset,
+        indices: &[usize],
+        out: &mut [f64],
+        scratch: &mut GradScratch,
+    ) {
+        assert_eq!(out.len(), self.dim(), "batch_grad_in: out length");
+        let spec = self.spec;
+        let dim = self.dim();
+        let cws = scratch.model_ws::<CnnWs, _, _>(
+            || CnnWs { spec, ws: self.workspace(), acc: vec![0.0; dim] },
+            |cws| cws.spec == spec,
+        );
+        out.fill(0.0);
+        if indices.is_empty() {
+            return;
+        }
+        let scale = 1.0 / indices.len() as f64;
+        if indices.len() >= 4 {
+            for chunk_idx in indices.chunks(8) {
+                cws.acc.fill(0.0);
+                for &i in chunk_idx {
+                    self.forward(w, data.x(i), &mut cws.ws);
+                    self.backward(w, data.class_of(i), scale, &mut cws.acc, &mut cws.ws);
+                }
+                vecops::add_assign(out, &cws.acc);
+            }
+        } else {
+            for &i in indices {
+                self.forward(w, data.x(i), &mut cws.ws);
+                self.backward(w, data.class_of(i), scale, out, &mut cws.ws);
             }
         }
     }

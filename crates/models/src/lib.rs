@@ -23,12 +23,94 @@ pub mod svm;
 
 use fedprox_data::Dataset;
 use rayon::prelude::*;
+use std::any::Any;
 
 pub use cnn::{Cnn, CnnSpec};
 pub use linreg::LinearRegression;
 pub use logistic::MultinomialLogistic;
 pub use mlp::Mlp;
 pub use svm::SmoothedSvm;
+
+/// Reusable workspace for repeated gradient evaluations.
+///
+/// The inner loop of Algorithm 1 evaluates `O(τ)` batch gradients per
+/// local solve; without a workspace each evaluation allocates its chunk
+/// accumulators and per-sample forward/backward buffers from scratch.
+/// Callers that loop (the optim estimator, the local solver) hold one
+/// `GradScratch` and pass it to [`LossModel::batch_grad_in`] /
+/// [`LossModel::full_grad_in`], making the loop O(1) allocations.
+///
+/// The buffer-reusing paths are **bit-identical** to the allocating ones:
+/// they run the same floating-point operations in the same order, only
+/// the buffers' provenance changes (verified by the differential tests in
+/// `crates/optim/tests/differential.rs` and the workspace-reuse tests).
+#[derive(Default)]
+pub struct GradScratch {
+    /// Index buffer reused by full-gradient evaluations.
+    all_indices: Vec<usize>,
+    /// Per-chunk accumulator for the default chunked batch reduction.
+    chunk_acc: Vec<f64>,
+    /// Model-specific forward/backward workspace (downcast on use).
+    model_ws: Option<Box<dyn Any + Send>>,
+}
+
+impl GradScratch {
+    /// Fresh, empty scratch. Buffers grow on first use and are then
+    /// reused.
+    pub fn new() -> Self {
+        GradScratch::default()
+    }
+
+    /// Borrow the model-specific workspace, (re)building it when absent,
+    /// of a different type (scratch reused across models), or rejected by
+    /// `valid` (e.g. sized for different model dimensions).
+    pub fn model_ws<T, B, V>(&mut self, build: B, valid: V) -> &mut T
+    where
+        T: Any + Send,
+        B: FnOnce() -> T,
+        V: Fn(&T) -> bool,
+    {
+        let rebuild = match self.model_ws.as_ref().and_then(|b| b.downcast_ref::<T>()) {
+            Some(ws) => !valid(ws),
+            None => true,
+        };
+        if rebuild {
+            self.model_ws = Some(Box::new(build()));
+        }
+        match self.model_ws.as_mut().and_then(|b| b.downcast_mut::<T>()) {
+            Some(ws) => ws,
+            // A value of type T was installed on the line above.
+            None => unreachable!("GradScratch::model_ws: workspace just installed"),
+        }
+    }
+}
+
+impl std::fmt::Debug for GradScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GradScratch")
+            .field("all_indices", &self.all_indices.len())
+            .field("chunk_acc", &self.chunk_acc.len())
+            .field("model_ws", &self.model_ws.is_some())
+            .finish()
+    }
+}
+
+/// Cloning yields a *fresh* scratch: the buffers are pure caches, and the
+/// model workspace is not itself cloneable (`Box<dyn Any>`).
+impl Clone for GradScratch {
+    fn clone(&self) -> Self {
+        GradScratch::new()
+    }
+}
+
+// `Box<dyn Any>` is not structurally unwind-safe, but a scratch observed
+// after a panic cannot leak broken invariants: every buffer is overwritten
+// before use and `model_ws` is validated (and rebuilt if stale) on every
+// access, so asserting unwind safety is sound. Without these impls no
+// holder of a scratch (e.g. `Estimator`) could cross `catch_unwind`,
+// which the numeric-guard tests rely on.
+impl std::panic::UnwindSafe for GradScratch {}
+impl std::panic::RefUnwindSafe for GradScratch {}
 
 /// Default seed used by examples/tests when initialising model parameters.
 pub const MODEL_SEED: u64 = 0xF3D;
@@ -120,6 +202,52 @@ pub trait LossModel: Send + Sync {
         }
     }
 
+    /// Like [`Self::batch_grad`], but reusing buffers from `scratch` so a
+    /// loop of evaluations does O(1) allocations. Must be bit-identical
+    /// to `batch_grad` — same operations, same order; the default mirrors
+    /// the chunked reduction with one reused chunk accumulator (the
+    /// chunks are combined in index order either way).
+    fn batch_grad_in(
+        &self,
+        w: &[f64],
+        data: &Dataset,
+        indices: &[usize],
+        out: &mut [f64],
+        scratch: &mut GradScratch,
+    ) {
+        assert_eq!(out.len(), self.dim(), "batch_grad_in: out length");
+        out.fill(0.0);
+        if indices.is_empty() {
+            return;
+        }
+        let scale = 1.0 / indices.len() as f64;
+        if indices.len() >= BATCH_PAR_THRESHOLD {
+            scratch.chunk_acc.resize(self.dim(), 0.0);
+            for chunk in indices.chunks(BATCH_CHUNK) {
+                scratch.chunk_acc.fill(0.0);
+                for &i in chunk {
+                    self.sample_grad_accum(w, data, i, scale, &mut scratch.chunk_acc);
+                }
+                fedprox_tensor::vecops::add_assign(out, &scratch.chunk_acc);
+            }
+        } else {
+            for &i in indices {
+                self.sample_grad_accum(w, data, i, scale, out);
+            }
+        }
+    }
+
+    /// Like [`Self::full_grad`], but reusing `scratch` (index buffer and
+    /// model workspace). Bit-identical to `full_grad`.
+    fn full_grad_in(&self, w: &[f64], data: &Dataset, out: &mut [f64], scratch: &mut GradScratch) {
+        // Take the index buffer out so `scratch` can be passed down.
+        let mut idx = std::mem::take(&mut scratch.all_indices);
+        idx.clear();
+        idx.extend(0..data.len());
+        self.batch_grad_in(w, data, &idx, out, scratch);
+        scratch.all_indices = idx;
+    }
+
     /// Mean loss over the whole dataset: `F_n(w)`.
     fn full_loss(&self, w: &[f64], data: &Dataset) -> f64 {
         let idx: Vec<usize> = (0..data.len()).collect();
@@ -172,6 +300,19 @@ impl<M: LossModel + ?Sized> LossModel for Box<M> {
     fn batch_loss(&self, w: &[f64], data: &Dataset, indices: &[usize]) -> f64 {
         (**self).batch_loss(w, data, indices)
     }
+    fn batch_grad_in(
+        &self,
+        w: &[f64],
+        data: &Dataset,
+        indices: &[usize],
+        out: &mut [f64],
+        scratch: &mut GradScratch,
+    ) {
+        (**self).batch_grad_in(w, data, indices, out, scratch)
+    }
+    fn full_grad_in(&self, w: &[f64], data: &Dataset, out: &mut [f64], scratch: &mut GradScratch) {
+        (**self).full_grad_in(w, data, out, scratch)
+    }
     fn predict(&self, w: &[f64], x: &[f64]) -> f64 {
         (**self).predict(w, x)
     }
@@ -191,6 +332,19 @@ impl<M: LossModel + ?Sized> LossModel for &M {
     }
     fn sample_grad_accum(&self, w: &[f64], data: &Dataset, i: usize, scale: f64, out: &mut [f64]) {
         (**self).sample_grad_accum(w, data, i, scale, out)
+    }
+    fn batch_grad_in(
+        &self,
+        w: &[f64],
+        data: &Dataset,
+        indices: &[usize],
+        out: &mut [f64],
+        scratch: &mut GradScratch,
+    ) {
+        (**self).batch_grad_in(w, data, indices, out, scratch)
+    }
+    fn full_grad_in(&self, w: &[f64], data: &Dataset, out: &mut [f64], scratch: &mut GradScratch) {
+        (**self).full_grad_in(w, data, out, scratch)
     }
     fn predict(&self, w: &[f64], x: &[f64]) -> f64 {
         (**self).predict(w, x)

@@ -5,7 +5,7 @@
 //! flattened row-major as `[W; b]`. The per-sample loss is cross-entropy
 //! over the softmax of the logits, optionally with an L2 term.
 
-use crate::LossModel;
+use crate::{GradScratch, LossModel};
 use fedprox_data::Dataset;
 use fedprox_tensor::activations::{cross_entropy_from_logits, cross_entropy_grad_from_logits};
 use fedprox_tensor::vecops;
@@ -74,6 +74,45 @@ impl MultinomialLogistic {
             out[c] = vecops::dot(row, x) + bias[c];
         }
     }
+
+    /// Core of [`LossModel::sample_grad_accum`] with caller-held buffers
+    /// (`logits`/`dlogits`, len = classes). Runs the exact operations of
+    /// the allocating path in the same order — only buffer provenance
+    /// differs.
+    #[allow(clippy::too_many_arguments)]
+    fn grad_into(
+        &self,
+        w: &[f64],
+        x: &[f64],
+        class: usize,
+        scale: f64,
+        out: &mut [f64],
+        logits: &mut [f64],
+        dlogits: &mut [f64],
+    ) {
+        self.logits(w, x, logits);
+        cross_entropy_grad_from_logits(logits, class, dlogits);
+        let wl = self.weights_len();
+        let (dw, db) = out.split_at_mut(wl);
+        for c in 0..self.classes {
+            let g = scale * dlogits[c];
+            if g != 0.0 {
+                vecops::axpy(g, x, &mut dw[c * self.features..(c + 1) * self.features]);
+            }
+            db[c] += g;
+        }
+        if self.l2 > 0.0 {
+            vecops::axpy(scale * self.l2, &w[..wl], dw);
+        }
+    }
+}
+
+/// Reusable forward/backward buffers for [`MultinomialLogistic`].
+struct LogisticWs {
+    logits: Vec<f64>,
+    dlogits: Vec<f64>,
+    /// Chunk accumulator for the fixed-chunk batch reduction.
+    acc: Vec<f64>,
 }
 
 impl LossModel for MultinomialLogistic {
@@ -102,22 +141,62 @@ impl LossModel for MultinomialLogistic {
     }
 
     fn sample_grad_accum(&self, w: &[f64], data: &Dataset, i: usize, scale: f64, out: &mut [f64]) {
-        let x = data.x(i);
         let mut logits = vec![0.0; self.classes];
-        self.logits(w, x, &mut logits);
         let mut dlogits = vec![0.0; self.classes];
-        cross_entropy_grad_from_logits(&logits, data.class_of(i), &mut dlogits);
-        let wl = self.weights_len();
-        let (dw, db) = out.split_at_mut(wl);
-        for c in 0..self.classes {
-            let g = scale * dlogits[c];
-            if g != 0.0 {
-                vecops::axpy(g, x, &mut dw[c * self.features..(c + 1) * self.features]);
-            }
-            db[c] += g;
+        self.grad_into(w, data.x(i), data.class_of(i), scale, out, &mut logits, &mut dlogits);
+    }
+
+    fn batch_grad_in(
+        &self,
+        w: &[f64],
+        data: &Dataset,
+        indices: &[usize],
+        out: &mut [f64],
+        scratch: &mut GradScratch,
+    ) {
+        assert_eq!(out.len(), self.dim(), "batch_grad_in: out length");
+        let (classes, dim) = (self.classes, self.dim());
+        let ws = scratch.model_ws::<LogisticWs, _, _>(
+            || LogisticWs {
+                logits: vec![0.0; classes],
+                dlogits: vec![0.0; classes],
+                acc: vec![0.0; dim],
+            },
+            |ws| ws.logits.len() == classes && ws.acc.len() == dim,
+        );
+        out.fill(0.0);
+        if indices.is_empty() {
+            return;
         }
-        if self.l2 > 0.0 {
-            vecops::axpy(scale * self.l2, &w[..wl], dw);
+        let scale = 1.0 / indices.len() as f64;
+        if indices.len() >= crate::BATCH_PAR_THRESHOLD {
+            for chunk in indices.chunks(crate::BATCH_CHUNK) {
+                ws.acc.fill(0.0);
+                for &i in chunk {
+                    self.grad_into(
+                        w,
+                        data.x(i),
+                        data.class_of(i),
+                        scale,
+                        &mut ws.acc,
+                        &mut ws.logits,
+                        &mut ws.dlogits,
+                    );
+                }
+                vecops::add_assign(out, &ws.acc);
+            }
+        } else {
+            for &i in indices {
+                self.grad_into(
+                    w,
+                    data.x(i),
+                    data.class_of(i),
+                    scale,
+                    out,
+                    &mut ws.logits,
+                    &mut ws.dlogits,
+                );
+            }
         }
     }
 

@@ -3,7 +3,7 @@
 //!
 //! Parameter layout (flat): `[W1 (hidden x input); b1; W2 (classes x hidden); b2]`.
 
-use crate::LossModel;
+use crate::{GradScratch, LossModel};
 use fedprox_data::Dataset;
 use fedprox_tensor::activations::{
     cross_entropy_from_logits, cross_entropy_grad_from_logits, relu_backward_inplace,
@@ -72,6 +72,94 @@ impl Mlp {
                 vecops::dot(&w2[c * self.hidden..(c + 1) * self.hidden], act_hidden) + b2[c];
         }
     }
+
+    /// Core of [`LossModel::sample_grad_accum`] with caller-held buffers.
+    /// Runs the exact operations of the allocating path in the same order.
+    #[allow(clippy::too_many_arguments)]
+    fn grad_into(
+        &self,
+        w: &[f64],
+        x: &[f64],
+        class: usize,
+        scale: f64,
+        out: &mut [f64],
+        ws: &mut MlpWs,
+    ) {
+        self.forward(w, x, &mut ws.pre, &mut ws.act, &mut ws.logits);
+        cross_entropy_grad_from_logits(&ws.logits, class, &mut ws.dlogits);
+
+        let (w1e, b1e, w2e) = (self.w1_end(), self.b1_end(), self.w2_end());
+        let w2 = &w[b1e..w2e];
+
+        // Output layer grads.
+        {
+            let (dw2, db2) = out[b1e..].split_at_mut(w2e - b1e);
+            for c in 0..self.classes {
+                let g = scale * ws.dlogits[c];
+                if g != 0.0 {
+                    vecops::axpy(g, &ws.act, &mut dw2[c * self.hidden..(c + 1) * self.hidden]);
+                }
+                db2[c] += g;
+            }
+        }
+
+        // Backprop into hidden: dact[h] = Σ_c dlogits[c] * w2[c,h].
+        ws.dact.fill(0.0);
+        for c in 0..self.classes {
+            vecops::axpy(ws.dlogits[c], &w2[c * self.hidden..(c + 1) * self.hidden], &mut ws.dact);
+        }
+        relu_backward_inplace(&mut ws.dact, &ws.pre);
+
+        // Input layer grads.
+        {
+            let (dw1, db1) = out[..b1e].split_at_mut(w1e);
+            for h in 0..self.hidden {
+                let g = scale * ws.dact[h];
+                if g != 0.0 {
+                    vecops::axpy(g, x, &mut dw1[h * self.input..(h + 1) * self.input]);
+                }
+                db1[h] += g;
+            }
+        }
+
+        if self.l2 > 0.0 {
+            let s = scale * self.l2;
+            let w1 = &w[..w1e];
+            vecops::axpy(s, w1, &mut out[..w1e]);
+            // Need disjoint borrows for w and out ranges: copy values.
+            for j in b1e..w2e {
+                out[j] += s * w[j];
+            }
+        }
+    }
+}
+
+/// Reusable forward/backward buffers for [`Mlp`].
+struct MlpWs {
+    pre: Vec<f64>,
+    act: Vec<f64>,
+    logits: Vec<f64>,
+    dlogits: Vec<f64>,
+    dact: Vec<f64>,
+    /// Chunk accumulator for the fixed-chunk batch reduction.
+    acc: Vec<f64>,
+}
+
+impl MlpWs {
+    fn new(hidden: usize, classes: usize, dim: usize) -> Self {
+        MlpWs {
+            pre: vec![0.0; hidden],
+            act: vec![0.0; hidden],
+            logits: vec![0.0; classes],
+            dlogits: vec![0.0; classes],
+            dact: vec![0.0; hidden],
+            acc: vec![0.0; dim],
+        }
+    }
+
+    fn fits(&self, hidden: usize, classes: usize, dim: usize) -> bool {
+        self.pre.len() == hidden && self.logits.len() == classes && self.acc.len() == dim
+    }
 }
 
 impl LossModel for Mlp {
@@ -110,56 +198,44 @@ impl LossModel for Mlp {
     }
 
     fn sample_grad_accum(&self, w: &[f64], data: &Dataset, i: usize, scale: f64, out: &mut [f64]) {
-        let x = data.x(i);
-        let mut pre = vec![0.0; self.hidden];
-        let mut act = vec![0.0; self.hidden];
-        let mut logits = vec![0.0; self.classes];
-        self.forward(w, x, &mut pre, &mut act, &mut logits);
+        let mut ws = MlpWs::new(self.hidden, self.classes, self.dim());
+        self.grad_into(w, data.x(i), data.class_of(i), scale, out, &mut ws);
+    }
 
-        let mut dlogits = vec![0.0; self.classes];
-        cross_entropy_grad_from_logits(&logits, data.class_of(i), &mut dlogits);
-
-        let (w1e, b1e, w2e) = (self.w1_end(), self.b1_end(), self.w2_end());
-        let w2 = &w[b1e..w2e];
-
-        // Output layer grads.
-        {
-            let (dw2, db2) = out[b1e..].split_at_mut(w2e - b1e);
-            for c in 0..self.classes {
-                let g = scale * dlogits[c];
-                if g != 0.0 {
-                    vecops::axpy(g, &act, &mut dw2[c * self.hidden..(c + 1) * self.hidden]);
+    fn batch_grad_in(
+        &self,
+        w: &[f64],
+        data: &Dataset,
+        indices: &[usize],
+        out: &mut [f64],
+        scratch: &mut GradScratch,
+    ) {
+        assert_eq!(out.len(), self.dim(), "batch_grad_in: out length");
+        let (hidden, classes, dim) = (self.hidden, self.classes, self.dim());
+        let ws = scratch.model_ws::<MlpWs, _, _>(
+            || MlpWs::new(hidden, classes, dim),
+            |ws| ws.fits(hidden, classes, dim),
+        );
+        out.fill(0.0);
+        if indices.is_empty() {
+            return;
+        }
+        let scale = 1.0 / indices.len() as f64;
+        if indices.len() >= crate::BATCH_PAR_THRESHOLD {
+            for chunk in indices.chunks(crate::BATCH_CHUNK) {
+                ws.acc.fill(0.0);
+                for &i in chunk {
+                    // Split the borrow: the chunk accumulator is disjoint
+                    // from the forward/backward buffers.
+                    let mut acc = std::mem::take(&mut ws.acc);
+                    self.grad_into(w, data.x(i), data.class_of(i), scale, &mut acc, ws);
+                    ws.acc = acc;
                 }
-                db2[c] += g;
+                vecops::add_assign(out, &ws.acc);
             }
-        }
-
-        // Backprop into hidden: dact[h] = Σ_c dlogits[c] * w2[c,h].
-        let mut dact = vec![0.0; self.hidden];
-        for c in 0..self.classes {
-            vecops::axpy(dlogits[c], &w2[c * self.hidden..(c + 1) * self.hidden], &mut dact);
-        }
-        relu_backward_inplace(&mut dact, &pre);
-
-        // Input layer grads.
-        {
-            let (dw1, db1) = out[..b1e].split_at_mut(w1e);
-            for h in 0..self.hidden {
-                let g = scale * dact[h];
-                if g != 0.0 {
-                    vecops::axpy(g, x, &mut dw1[h * self.input..(h + 1) * self.input]);
-                }
-                db1[h] += g;
-            }
-        }
-
-        if self.l2 > 0.0 {
-            let s = scale * self.l2;
-            let w1 = &w[..w1e];
-            vecops::axpy(s, w1, &mut out[..w1e]);
-            // Need disjoint borrows for w and out ranges: copy values.
-            for j in b1e..w2e {
-                out[j] += s * w[j];
+        } else {
+            for &i in indices {
+                self.grad_into(w, data.x(i), data.class_of(i), scale, out, ws);
             }
         }
     }

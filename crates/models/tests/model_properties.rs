@@ -4,7 +4,7 @@
 
 use fedprox_data::Dataset;
 use fedprox_models::gradcheck::check_batch_grad;
-use fedprox_models::{LinearRegression, LossModel, Mlp, MultinomialLogistic, SmoothedSvm};
+use fedprox_models::{Cnn, CnnSpec, LinearRegression, LossModel, Mlp, MultinomialLogistic, SmoothedSvm};
 use fedprox_tensor::{vecops, Matrix};
 use proptest::prelude::*;
 
@@ -105,6 +105,27 @@ proptest! {
     }
 
     #[test]
+    fn svm_gradcheck_across_smoothing_values(seed in any::<u64>()) {
+        // The smoothed hinge interpolates between the hard hinge (γ → 0)
+        // and a quadratic (large γ); the analytic gradient must agree with
+        // finite differences at every smoothing level, not just the
+        // default. Sharper γ gets a looser tolerance: more curvature near
+        // the joints amplifies FD truncation error.
+        let data = class_data(6, 4, 2, seed);
+        for &gamma in &[0.1, 0.5, 1.0, 2.0] {
+            let model = SmoothedSvm::new(4, gamma).with_l2(0.02);
+            let mut w = model.init_params(seed);
+            // Random small offsets avoid landing exactly on the joints.
+            for (i, v) in w.iter_mut().enumerate() {
+                *v += 0.013 * (i as f64 + 1.0);
+            }
+            let r = check_batch_grad(&model, &w, &data, &[0, 1, 4, 5], 1e-6, 1);
+            let tol = if gamma < 0.3 { 1e-3 } else { 1e-4 };
+            prop_assert!(r.max_rel_err < tol, "gamma={} rel err {}", gamma, r.max_rel_err);
+        }
+    }
+
+    #[test]
     fn loss_decreases_along_negative_gradient(seed in any::<u64>()) {
         // First-order sanity: a tiny step along −∇F reduces F.
         let data = class_data(12, 4, 3, seed);
@@ -117,5 +138,41 @@ proptest! {
         let mut w2 = w.clone();
         vecops::axpy(-1e-5 / gnorm, &g, &mut w2);
         prop_assert!(model.full_loss(&w2, &data) <= model.full_loss(&w, &data) + 1e-12);
+    }
+}
+
+// The CNN gradcheck walks conv → ReLU → maxpool → conv → ReLU → maxpool →
+// linear → softmax end to end, so each case is much heavier than the flat
+// models above — fewer proptest cases keep the suite fast.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn cnn_gradcheck_random_points(seed in any::<u64>()) {
+        let spec = CnnSpec::tiny();
+        let model = Cnn::new(spec);
+        let data = class_data(3, 64, 3, seed); // 1×8×8 images, 3 classes
+        let mut w = model.init_params(seed);
+        // Nudge away from ReLU kinks; the random pixel data already makes
+        // maxpool argmax ties measure-zero.
+        for (i, v) in w.iter_mut().enumerate() {
+            *v += 0.02 + 1e-3 * (i as f64).sin();
+        }
+        let r = check_batch_grad(&model, &w, &data, &[0, 1, 2], 1e-5, 7);
+        prop_assert!(r.max_rel_err < 1e-3, "rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn cnn_with_hidden_fc_gradcheck(seed in any::<u64>()) {
+        // The optional hidden fully-connected layer adds one more ReLU —
+        // cover that variant too.
+        let model = Cnn::new(CnnSpec::tiny_hidden());
+        let data = class_data(2, 64, 3, seed);
+        let mut w = model.init_params(seed ^ 0xFC);
+        for (i, v) in w.iter_mut().enumerate() {
+            *v += 0.02 + 1e-3 * (i as f64).cos();
+        }
+        let r = check_batch_grad(&model, &w, &data, &[0, 1], 1e-5, 11);
+        prop_assert!(r.max_rel_err < 1e-3, "rel err {}", r.max_rel_err);
     }
 }

@@ -14,7 +14,7 @@
 //! agnostic — mirroring how line 7 of Algorithm 1 swaps (8a)/(8b).
 
 use fedprox_data::Dataset;
-use fedprox_models::LossModel;
+use fedprox_models::{GradScratch, LossModel};
 use fedprox_tensor::vecops;
 use serde::{Deserialize, Serialize};
 
@@ -82,33 +82,64 @@ pub struct Estimator {
     /// Scratch for the two batch gradients of a VR step.
     scratch_a: Vec<f64>,
     scratch_b: Vec<f64>,
+    /// Model gradient workspace, reused across every evaluation this
+    /// estimator makes (chunk accumulators, forward/backward buffers).
+    scratch: GradScratch,
     /// Count of per-sample gradient evaluations (for the cost model).
     grad_evals: usize,
 }
 
 impl Estimator {
+    /// Allocate an estimator's buffers without computing anything; the
+    /// `restart_*` methods bring it into a started state.
+    fn with_capacity(kind: EstimatorKind, dim: usize) -> Self {
+        Estimator {
+            kind,
+            dim,
+            v: vec![0.0; dim],
+            w_prev: vec![0.0; dim],
+            anchor: vec![0.0; dim],
+            anchor_grad: vec![0.0; dim],
+            scratch_a: vec![0.0; dim],
+            scratch_b: vec![0.0; dim],
+            scratch: GradScratch::new(),
+            grad_evals: 0,
+        }
+    }
+
     /// Start an epoch at the anchor `w0` (computes the full gradient once,
     /// as lines 3–4 of Algorithm 1 prescribe).
     pub fn begin<M: LossModel>(kind: EstimatorKind, model: &M, data: &Dataset, w0: &[f64]) -> Self {
         let dim = model.dim();
-        assert_eq!(w0.len(), dim, "estimator: w0 length");
-        let mut anchor_grad = vec![0.0; dim];
+        let mut est = Self::with_capacity(kind, dim);
+        est.restart(kind, model, data, w0);
+        est
+    }
+
+    /// Re-run the [`Self::begin`] initialisation **in place**, reusing
+    /// every buffer (including the model's gradient workspace). Requires
+    /// a model of the same dimension.
+    pub fn restart<M: LossModel>(
+        &mut self,
+        kind: EstimatorKind,
+        model: &M,
+        data: &Dataset,
+        w0: &[f64],
+    ) {
+        assert_eq!(model.dim(), self.dim, "estimator restart: model dim");
+        assert_eq!(w0.len(), self.dim, "estimator: w0 length");
+        self.kind = kind;
         fedprox_telemetry::counter!("optim.anchor_full_grad", 1u32);
         fedprox_telemetry::counter!("optim.grad_evals", data.len());
-        model.full_grad(w0, data, &mut anchor_grad);
-        fedprox_tensor::guard::check_finite("anchor full gradient (Algorithm 1 line 3)", &anchor_grad);
-        let v = anchor_grad.clone();
-        Estimator {
-            kind,
-            dim,
-            v,
-            w_prev: w0.to_vec(),
-            anchor: w0.to_vec(),
-            anchor_grad,
-            scratch_a: vec![0.0; dim],
-            scratch_b: vec![0.0; dim],
-            grad_evals: data.len(),
-        }
+        model.full_grad_in(w0, data, &mut self.anchor_grad, &mut self.scratch);
+        fedprox_tensor::guard::check_finite(
+            "anchor full gradient (Algorithm 1 line 3)",
+            &self.anchor_grad,
+        );
+        self.v.copy_from_slice(&self.anchor_grad);
+        self.w_prev.copy_from_slice(w0);
+        self.anchor.copy_from_slice(w0);
+        self.grad_evals = data.len();
     }
 
     /// Start an epoch with an *externally supplied* anchor gradient
@@ -122,21 +153,29 @@ impl Estimator {
         w0: &[f64],
         anchor_grad: &[f64],
     ) -> Self {
-        let dim = model.dim();
-        assert_eq!(w0.len(), dim, "estimator: w0 length");
-        assert_eq!(anchor_grad.len(), dim, "estimator: anchor_grad length");
+        let mut est = Self::with_capacity(kind, model.dim());
+        est.restart_with_anchor_grad(kind, model, w0, anchor_grad);
+        est
+    }
+
+    /// In-place, buffer-reusing variant of [`Self::begin_with_anchor_grad`].
+    pub fn restart_with_anchor_grad<M: LossModel>(
+        &mut self,
+        kind: EstimatorKind,
+        model: &M,
+        w0: &[f64],
+        anchor_grad: &[f64],
+    ) {
+        assert_eq!(model.dim(), self.dim, "estimator restart: model dim");
+        assert_eq!(w0.len(), self.dim, "estimator: w0 length");
+        assert_eq!(anchor_grad.len(), self.dim, "estimator: anchor_grad length");
         assert!(kind.needs_anchor(), "anchor injection only applies to VR estimators");
-        Estimator {
-            kind,
-            dim,
-            v: anchor_grad.to_vec(),
-            w_prev: w0.to_vec(),
-            anchor: w0.to_vec(),
-            anchor_grad: anchor_grad.to_vec(),
-            scratch_a: vec![0.0; dim],
-            scratch_b: vec![0.0; dim],
-            grad_evals: 0,
-        }
+        self.kind = kind;
+        self.v.copy_from_slice(anchor_grad);
+        self.w_prev.copy_from_slice(w0);
+        self.anchor.copy_from_slice(w0);
+        self.anchor_grad.copy_from_slice(anchor_grad);
+        self.grad_evals = 0;
     }
 
     /// Start an SGD epoch *without* the anchor full gradient: the first
@@ -144,28 +183,39 @@ impl Estimator {
     /// update, which never touches the full dataset. Panics for
     /// variance-reduced kinds (they are defined by their anchor).
     pub fn begin_sgd<M: LossModel>(model: &M, data: &Dataset, w0: &[f64], batch: &[usize]) -> Self {
-        let dim = model.dim();
-        assert_eq!(w0.len(), dim, "estimator: w0 length");
-        let mut v = vec![0.0; dim];
+        let mut est = Self::with_capacity(EstimatorKind::Sgd, model.dim());
+        est.restart_sgd(model, data, w0, batch);
+        est
+    }
+
+    /// In-place, buffer-reusing variant of [`Self::begin_sgd`].
+    pub fn restart_sgd<M: LossModel>(
+        &mut self,
+        model: &M,
+        data: &Dataset,
+        w0: &[f64],
+        batch: &[usize],
+    ) {
+        assert_eq!(model.dim(), self.dim, "estimator restart: model dim");
+        assert_eq!(w0.len(), self.dim, "estimator: w0 length");
+        self.kind = EstimatorKind::Sgd;
         fedprox_telemetry::counter!("optim.grad_evals", batch.len());
-        model.batch_grad(w0, data, batch, &mut v);
-        fedprox_tensor::guard::check_finite("initial mini-batch gradient", &v);
-        Estimator {
-            kind: EstimatorKind::Sgd,
-            dim,
-            v,
-            w_prev: w0.to_vec(),
-            anchor: w0.to_vec(),
-            anchor_grad: vec![0.0; dim],
-            scratch_a: vec![0.0; dim],
-            scratch_b: vec![0.0; dim],
-            grad_evals: batch.len(),
-        }
+        model.batch_grad_in(w0, data, batch, &mut self.v, &mut self.scratch);
+        fedprox_tensor::guard::check_finite("initial mini-batch gradient", &self.v);
+        self.w_prev.copy_from_slice(w0);
+        self.anchor.copy_from_slice(w0);
+        self.anchor_grad.fill(0.0);
+        self.grad_evals = batch.len();
     }
 
     /// The estimator kind.
     pub fn kind(&self) -> EstimatorKind {
         self.kind
+    }
+
+    /// The parameter dimension this estimator's buffers are sized for.
+    pub fn dim(&self) -> usize {
+        self.dim
     }
 
     /// The current direction `v^{(t)}` (after [`Self::begin`] this is the
@@ -187,17 +237,17 @@ impl Estimator {
         let evals_before = self.grad_evals;
         match self.kind {
             EstimatorKind::Sgd => {
-                model.batch_grad(w_t, data, batch, &mut self.v);
+                model.batch_grad_in(w_t, data, batch, &mut self.v, &mut self.scratch);
                 self.grad_evals += batch.len();
             }
             EstimatorKind::FullGd => {
-                model.full_grad(w_t, data, &mut self.v);
+                model.full_grad_in(w_t, data, &mut self.v, &mut self.scratch);
                 self.grad_evals += data.len();
             }
             EstimatorKind::Svrg => {
                 // v = ∇f_B(w_t) − ∇f_B(anchor) + v0.
-                model.batch_grad(w_t, data, batch, &mut self.scratch_a);
-                model.batch_grad(&self.anchor, data, batch, &mut self.scratch_b);
+                model.batch_grad_in(w_t, data, batch, &mut self.scratch_a, &mut self.scratch);
+                model.batch_grad_in(&self.anchor, data, batch, &mut self.scratch_b, &mut self.scratch);
                 for i in 0..self.dim {
                     self.v[i] = self.scratch_a[i] - self.scratch_b[i] + self.anchor_grad[i];
                 }
@@ -205,8 +255,8 @@ impl Estimator {
             }
             EstimatorKind::Sarah => {
                 // v = ∇f_B(w_t) − ∇f_B(w_prev) + v_prev (recursion in place).
-                model.batch_grad(w_t, data, batch, &mut self.scratch_a);
-                model.batch_grad(&self.w_prev, data, batch, &mut self.scratch_b);
+                model.batch_grad_in(w_t, data, batch, &mut self.scratch_a, &mut self.scratch);
+                model.batch_grad_in(&self.w_prev, data, batch, &mut self.scratch_b, &mut self.scratch);
                 for i in 0..self.dim {
                     self.v[i] += self.scratch_a[i] - self.scratch_b[i];
                 }

@@ -21,5 +21,5 @@ pub mod step;
 
 pub use estimator::{Estimator, EstimatorKind};
 pub use prox::{ElasticNetProx, IterativeProx, L1Prox, Proximal, QuadraticProx, SparseQuadraticProx, ZeroProx};
-pub use solver::{LocalOutcome, LocalSolver, LocalSolverConfig};
+pub use solver::{LocalOutcome, LocalSolver, LocalSolverConfig, SolveScratch};
 pub use step::StepSize;

@@ -58,6 +58,29 @@ pub struct LocalOutcome {
     pub grad_evals: usize,
 }
 
+/// Reusable buffers for repeated local solves (the per-round hot path):
+/// the estimator with its model gradient workspace, the mini-batch index
+/// buffers, and the iterate/intermediate vectors. One `SolveScratch` held
+/// across `R` solves turns `O(R·τ)` allocations into `O(R)` (one output
+/// clone per solve).
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    est: Option<Estimator>,
+    batch: Vec<usize>,
+    /// Index pool for `sample_batch`'s shuffle branch.
+    pool: Vec<usize>,
+    w_t: Vec<f64>,
+    x: Vec<f64>,
+    w_next: Vec<f64>,
+}
+
+impl SolveScratch {
+    /// Fresh, empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        SolveScratch::default()
+    }
+}
+
 /// Runs local solves; stateless apart from scratch reuse.
 #[derive(Debug, Default)]
 pub struct LocalSolver;
@@ -94,6 +117,41 @@ impl LocalSolver {
         rng: &mut R,
         anchor_grad: Option<&[f64]>,
     ) -> LocalOutcome {
+        let mut scratch = SolveScratch::new();
+        self.solve_anchored_with(model, data, prox, w0, cfg, rng, anchor_grad, &mut scratch)
+    }
+
+    /// Like [`Self::solve`], reusing `scratch` across calls — the hot
+    /// path of the round runners. Bit-identical to `solve`: the RNG draw
+    /// sequence and every floating-point operation are unchanged, only
+    /// buffer provenance differs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_with<M: LossModel, P: Proximal, R: Rng>(
+        &self,
+        model: &M,
+        data: &Dataset,
+        prox: &P,
+        w0: &[f64],
+        cfg: &LocalSolverConfig,
+        rng: &mut R,
+        scratch: &mut SolveScratch,
+    ) -> LocalOutcome {
+        self.solve_anchored_with(model, data, prox, w0, cfg, rng, None, scratch)
+    }
+
+    /// [`Self::solve_anchored`] with caller-held [`SolveScratch`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_anchored_with<M: LossModel, P: Proximal, R: Rng>(
+        &self,
+        model: &M,
+        data: &Dataset,
+        prox: &P,
+        w0: &[f64],
+        cfg: &LocalSolverConfig,
+        rng: &mut R,
+        anchor_grad: Option<&[f64]>,
+        scratch: &mut SolveScratch,
+    ) -> LocalOutcome {
         assert!(!data.is_empty(), "local solve on an empty device");
         assert!(cfg.batch_size >= 1, "batch size must be >= 1");
         let dim = model.dim();
@@ -111,49 +169,72 @@ impl LocalSolver {
         // variance-reduced kinds this is the full gradient the paper
         // prescribes; for plain SGD (FedAvg baseline) the first step uses
         // a mini-batch like every other step.
-        let mut batch = vec![0usize; cfg.batch_size.min(data.len())];
-        let mut est = if let Some(ag) = anchor_grad {
-            Estimator::begin_with_anchor_grad(cfg.kind, model, w0, ag)
-        } else if cfg.kind == EstimatorKind::Sgd {
-            sample_batch(rng, data.len(), &mut batch);
-            Estimator::begin_sgd(model, data, w0, &batch)
-        } else {
-            Estimator::begin(cfg.kind, model, data, w0)
+        scratch.batch.resize(cfg.batch_size.min(data.len()), 0);
+        if anchor_grad.is_none() && cfg.kind == EstimatorKind::Sgd {
+            sample_batch(rng, data.len(), &mut scratch.batch, &mut scratch.pool);
+        }
+        // Restart a dimension-compatible estimator in place; otherwise
+        // (first use, or scratch shared across differently-sized models)
+        // build a fresh one.
+        match &mut scratch.est {
+            Some(est) if est.dim() == dim => {
+                if let Some(ag) = anchor_grad {
+                    est.restart_with_anchor_grad(cfg.kind, model, w0, ag);
+                } else if cfg.kind == EstimatorKind::Sgd {
+                    est.restart_sgd(model, data, w0, &scratch.batch);
+                } else {
+                    est.restart(cfg.kind, model, data, w0);
+                }
+            }
+            slot => {
+                *slot = Some(if let Some(ag) = anchor_grad {
+                    Estimator::begin_with_anchor_grad(cfg.kind, model, w0, ag)
+                } else if cfg.kind == EstimatorKind::Sgd {
+                    Estimator::begin_sgd(model, data, w0, &scratch.batch)
+                } else {
+                    Estimator::begin(cfg.kind, model, data, w0)
+                });
+            }
+        }
+        let Some(est) = scratch.est.as_mut() else {
+            // Installed by the match above.
+            unreachable!("solve: estimator just installed")
         };
-        let mut w_t = w0.to_vec();
-        let mut x = vec![0.0; dim]; // gradient-step intermediate
-        let mut w_next = vec![0.0; dim];
+        scratch.w_t.clear();
+        scratch.w_t.extend_from_slice(w0);
+        scratch.x.resize(dim, 0.0); // gradient-step intermediate
+        scratch.w_next.resize(dim, 0.0);
 
         let eta0 = cfg.step.at(0);
-        x.copy_from_slice(&w_t);
-        vecops::axpy(-eta0, est.direction(), &mut x);
+        scratch.x.copy_from_slice(&scratch.w_t);
+        vecops::axpy(-eta0, est.direction(), &mut scratch.x);
         fedprox_telemetry::counter!("optim.prox_apply", 1u32);
-        prox.prox(eta0, &x, &mut w_next);
-        std::mem::swap(&mut w_t, &mut w_next); // w_t = w^{(1)}
+        prox.prox(eta0, &scratch.x, &mut scratch.w_next);
+        std::mem::swap(&mut scratch.w_t, &mut scratch.w_next); // w_t = w^{(1)}
         if chosen_t == 1 {
-            kept = Some(w_t.clone());
+            kept = Some(scratch.w_t.clone());
         }
 
         // Lines 5–9.
         for t in 1..=cfg.tau {
-            sample_batch(rng, data.len(), &mut batch);
-            est.step(model, data, &batch, &w_t);
+            sample_batch(rng, data.len(), &mut scratch.batch, &mut scratch.pool);
+            est.step(model, data, &scratch.batch, &scratch.w_t);
             let eta = cfg.step.at(t);
-            x.copy_from_slice(&w_t);
-            vecops::axpy(-eta, est.direction(), &mut x);
+            scratch.x.copy_from_slice(&scratch.w_t);
+            vecops::axpy(-eta, est.direction(), &mut scratch.x);
             fedprox_telemetry::counter!("optim.prox_apply", 1u32);
-            prox.prox(eta, &x, &mut w_next);
-            std::mem::swap(&mut w_t, &mut w_next); // w_t = w^{(t+1)}
+            prox.prox(eta, &scratch.x, &mut scratch.w_next);
+            std::mem::swap(&mut scratch.w_t, &mut scratch.w_next); // w_t = w^{(t+1)}
             if chosen_t == t + 1 {
-                kept = Some(w_t.clone());
+                kept = Some(scratch.w_t.clone());
             }
         }
 
         let w = match cfg.choice {
-            IterateChoice::Last => w_t,
+            IterateChoice::Last => scratch.w_t.clone(),
             // `chosen_t` ∈ [1, τ+1] by construction, so `kept` is
             // always recorded; the fallback is the last iterate.
-            IterateChoice::UniformRandom => kept.unwrap_or(w_t),
+            IterateChoice::UniformRandom => kept.unwrap_or_else(|| scratch.w_t.clone()),
         };
         LocalOutcome { w, chosen_t, grad_evals: est.grad_evals() }
     }
@@ -176,8 +257,10 @@ impl LocalSolver {
 
 /// Fill `batch` with indices drawn uniformly without replacement (falls
 /// back to with-replacement when the batch is most of the dataset, which
-/// is cheaper than a full shuffle).
-fn sample_batch<R: Rng>(rng: &mut R, n: usize, batch: &mut [usize]) {
+/// is cheaper than a full shuffle). `pool` is caller-held scratch for the
+/// shuffle branch, reused across calls; the RNG draw sequence is
+/// identical to an allocating implementation.
+fn sample_batch<R: Rng>(rng: &mut R, n: usize, batch: &mut [usize], pool: &mut Vec<usize>) {
     debug_assert!(n >= 1);
     if batch.len() * 4 <= n {
         // Rejection sampling without replacement.
@@ -190,9 +273,10 @@ fn sample_batch<R: Rng>(rng: &mut R, n: usize, batch: &mut [usize]) {
             }
         }
     } else {
-        let mut all: Vec<usize> = (0..n).collect();
-        all.shuffle(rng);
-        batch.copy_from_slice(&all[..batch.len()]);
+        pool.clear();
+        pool.extend(0..n);
+        pool.shuffle(rng);
+        batch.copy_from_slice(&pool[..batch.len()]);
     }
 }
 
@@ -341,8 +425,9 @@ mod tests {
     fn batch_sampling_without_replacement_when_possible() {
         let mut rng = StdRng::seed_from_u64(6);
         let mut batch = vec![0usize; 5];
+        let mut pool = Vec::new();
         for _ in 0..20 {
-            sample_batch(&mut rng, 100, &mut batch);
+            sample_batch(&mut rng, 100, &mut batch, &mut pool);
             let mut sorted = batch.clone();
             sorted.sort_unstable();
             sorted.dedup();
@@ -351,7 +436,7 @@ mod tests {
         }
         // Large batch relative to n: still valid indices, still unique.
         let mut big = vec![0usize; 9];
-        sample_batch(&mut rng, 10, &mut big);
+        sample_batch(&mut rng, 10, &mut big, &mut pool);
         let mut sorted = big.clone();
         sorted.sort_unstable();
         sorted.dedup();

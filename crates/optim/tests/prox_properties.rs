@@ -1,0 +1,186 @@
+//! Property-based tests for the proximal operators (`prox.rs`).
+//!
+//! Three contracts are pinned down across randomly drawn points and
+//! parameters:
+//!
+//! 1. **Non-expansiveness** — every prox here is the prox of a convex `h`,
+//!    so `‖prox(x) − prox(y)‖ ≤ ‖x − y‖` must hold exactly.
+//! 2. **Vanishing-regulariser identity** — with zero strength (μ = 0,
+//!    λ = 0) each operator degenerates to the identity map.
+//! 3. **Closed forms** — the L1 prox must match the scalar soft-threshold
+//!    elementwise, and the quadratic prox must match eq. (10) of the paper
+//!    and its iterative (gradient-descent) cross-check.
+
+use fedprox_optim::prox::soft_threshold;
+use fedprox_optim::{
+    ElasticNetProx, IterativeProx, L1Prox, Proximal, QuadraticProx, SparseQuadraticProx, ZeroProx,
+};
+use fedprox_tensor::vecops;
+use proptest::prelude::*;
+
+const DIM: usize = 6;
+
+fn point() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, DIM)
+}
+
+/// Check `‖prox(x) − prox(y)‖ ≤ ‖x − y‖` for one operator.
+fn assert_nonexpansive<P: Proximal>(p: &P, eta: f64, x: &[f64], y: &[f64]) -> Result<(), TestCaseError> {
+    let mut px = vec![0.0; x.len()];
+    let mut py = vec![0.0; y.len()];
+    p.prox(eta, x, &mut px);
+    p.prox(eta, y, &mut py);
+    let lhs = vecops::dist(&px, &py);
+    let rhs = vecops::dist(x, y);
+    prop_assert!(
+        lhs <= rhs + 1e-12,
+        "expansion: ‖prox(x)−prox(y)‖ = {lhs} > ‖x−y‖ = {rhs}"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_prox_operators_are_nonexpansive(
+        x in point(),
+        y in point(),
+        anchor in point(),
+        eta in 0.01f64..2.0,
+        mu in 0.0f64..10.0,
+        l1 in 0.0f64..5.0,
+        l2 in 0.0f64..5.0,
+    ) {
+        assert_nonexpansive(&ZeroProx, eta, &x, &y)?;
+        assert_nonexpansive(&QuadraticProx::new(mu, anchor.clone()), eta, &x, &y)?;
+        assert_nonexpansive(&L1Prox::new(l1), eta, &x, &y)?;
+        assert_nonexpansive(&ElasticNetProx::new(l1, l2), eta, &x, &y)?;
+        assert_nonexpansive(&SparseQuadraticProx::new(mu, l1, anchor), eta, &x, &y)?;
+    }
+
+    #[test]
+    fn zero_strength_prox_is_identity(
+        x in point(),
+        anchor in point(),
+        eta in 0.01f64..2.0,
+    ) {
+        // μ = 0 / λ = 0: the penalty vanishes, so prox_{η·0}(x) = x. The
+        // quadratic form divides by 1 + η·0 = 1 and must be *exact*.
+        let mut out = vec![0.0; DIM];
+        QuadraticProx::new(0.0, anchor.clone()).prox(eta, &x, &mut out);
+        prop_assert_eq!(&out, &x);
+        L1Prox::new(0.0).prox(eta, &x, &mut out);
+        prop_assert_eq!(&out, &x);
+        ElasticNetProx::new(0.0, 0.0).prox(eta, &x, &mut out);
+        prop_assert_eq!(&out, &x);
+        SparseQuadraticProx::new(0.0, 0.0, anchor).prox(eta, &x, &mut out);
+        prop_assert_eq!(&out, &x);
+    }
+
+    #[test]
+    fn l1_prox_matches_scalar_soft_threshold(
+        x in point(),
+        eta in 0.01f64..2.0,
+        strength in 0.0f64..5.0,
+    ) {
+        // The vector prox is the elementwise scalar soft-threshold with
+        // t = η·λ — bitwise, not approximately.
+        let p = L1Prox::new(strength);
+        let mut out = vec![0.0; DIM];
+        p.prox(eta, &x, &mut out);
+        let expect: Vec<f64> = x.iter().map(|&xi| soft_threshold(xi, eta * strength)).collect();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn soft_threshold_shrinks_toward_zero_by_at_most_t(
+        xi in -20.0f64..20.0,
+        t in 0.0f64..10.0,
+    ) {
+        let s = soft_threshold(xi, t);
+        // Never flips sign, never grows, moves by at most t.
+        prop_assert!(s * xi >= 0.0, "sign flip: {xi} -> {s}");
+        prop_assert!(s.abs() <= xi.abs() + 1e-15, "magnitude grew: {xi} -> {s}");
+        prop_assert!((xi - s).abs() <= t + 1e-15, "moved more than t: {xi} -> {s} (t={t})");
+        // Dead zone is exactly [-t, t].
+        if xi.abs() <= t {
+            prop_assert_eq!(s, 0.0);
+        }
+    }
+
+    #[test]
+    fn quadratic_prox_matches_eq10_and_iterative_cross_check(
+        x in point(),
+        anchor in point(),
+        eta in 0.05f64..0.5,
+        mu in 0.1f64..5.0,
+    ) {
+        let p = QuadraticProx::new(mu, anchor.clone());
+        let mut out = vec![0.0; DIM];
+        p.prox(eta, &x, &mut out);
+        // eq. (10): prox(x) = (x + ημ·anchor)/(1 + ημ).
+        for i in 0..DIM {
+            let want = (x[i] + eta * mu * anchor[i]) / (1.0 + eta * mu);
+            prop_assert!((out[i] - want).abs() < 1e-12);
+        }
+        // Gradient descent on the defining objective (eq. (9)) converges to
+        // the same point — the closed form really is the argmin.
+        let lr = 0.5 * eta / (1.0 + eta * mu);
+        let iterative = IterativeProx::new(QuadraticProx::new(mu, anchor), 2000, lr);
+        let mut num = vec![0.0; DIM];
+        iterative.prox(eta, &x, &mut num);
+        prop_assert!(
+            vecops::dist(&out, &num) < 1e-6,
+            "closed form {out:?} vs iterative {num:?}"
+        );
+    }
+
+    #[test]
+    fn elastic_net_prox_is_threshold_then_shrink(
+        x in point(),
+        eta in 0.01f64..2.0,
+        l1 in 0.0f64..5.0,
+        l2 in 0.0f64..5.0,
+    ) {
+        let p = ElasticNetProx::new(l1, l2);
+        let mut out = vec![0.0; DIM];
+        p.prox(eta, &x, &mut out);
+        let shrink = 1.0 / (1.0 + eta * l2);
+        for i in 0..DIM {
+            let want = soft_threshold(x[i], eta * l1) * shrink;
+            prop_assert!((out[i] - want).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn prox_output_minimises_defining_objective(
+        x in point(),
+        anchor in point(),
+        eta in 0.05f64..1.0,
+        mu in 0.0f64..5.0,
+        l1 in 0.0f64..3.0,
+        probe_seed in any::<u64>(),
+    ) {
+        // prox_{ηh}(x) = argmin_w h(w) + ‖w−x‖²/(2η): the returned point
+        // must beat deterministic perturbations of itself.
+        let p = SparseQuadraticProx::new(mu, l1, anchor);
+        let mut star = vec![0.0; DIM];
+        p.prox(eta, &x, &mut star);
+        let obj = |w: &[f64]| p.value(w) + vecops::dist_sq(w, &x) / (2.0 * eta);
+        let base = obj(&star);
+        let mut s = probe_seed | 1;
+        for _ in 0..20 {
+            let probe: Vec<f64> = star
+                .iter()
+                .map(|&v| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    v + 0.2 * ((s as f64 / u64::MAX as f64) - 0.5)
+                })
+                .collect();
+            prop_assert!(base <= obj(&probe) + 1e-10);
+        }
+    }
+}

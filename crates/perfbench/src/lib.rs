@@ -1,0 +1,28 @@
+//! `fedperf`: the repo's deterministic benchmark harness.
+//!
+//! Design goals (see DESIGN.md §9 "Performance methodology"):
+//!
+//! * **Deterministic iteration counts.** Every benchmark declares fixed
+//!   `warmup`/`iters`/`repeats` constants — there is no time-based
+//!   calibration, so two runs on the same machine execute the exact same
+//!   work and CI can compare reports structurally (same ids, same counts)
+//!   without gating on absolute wall time.
+//! * **Allocation accounting.** With the default `count-alloc` feature the
+//!   global allocator is wrapped in a byte/call counter, so each entry
+//!   reports `bytes_per_iter`/`allocs_per_iter` alongside `ns_per_iter`.
+//!   Because the vendored rayon shim is sequential, the counts are exact
+//!   and reproducible — they are the primary regression signal (wall time
+//!   is machine-dependent, allocation traffic is not).
+//! * **Schema'd output.** Reports serialize as `BENCH_<name>.json` with
+//!   `schema: "fedperf/v1"`; [`report::validate`] checks the shape and
+//!   [`report::gate`] implements the `--baseline old.json --gate 1.25`
+//!   regression gate.
+//!
+//! The library holds the machinery; the `fedperf` binary drives it.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod report;
+pub mod suite;
+pub mod timer;

@@ -1,0 +1,124 @@
+//! Fixed-budget measurement loop: warmup, then `repeats` timed batches of
+//! `iters` iterations each, reporting the **median** batch.
+//!
+//! There is deliberately no adaptive calibration: iteration counts are
+//! part of the benchmark definition, so two runs execute identical work
+//! and CI can diff reports structurally (see DESIGN.md §9).
+
+use crate::alloc;
+use std::time::Instant;
+
+/// Fixed iteration budget of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    /// Untimed warmup iterations (cache/branch-predictor settling).
+    pub warmup: u32,
+    /// Iterations per timed batch.
+    pub iters: u32,
+    /// Timed batches; the median batch is reported.
+    pub repeats: u32,
+}
+
+impl Timing {
+    /// Construct a budget (all fields must be >= 1 except warmup).
+    pub const fn new(warmup: u32, iters: u32, repeats: u32) -> Self {
+        Timing { warmup, iters, repeats }
+    }
+}
+
+/// Result of measuring one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median wall nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Median allocated bytes per iteration (`None` without `count-alloc`).
+    pub bytes_per_iter: Option<f64>,
+    /// Median allocator calls per iteration (`None` without `count-alloc`).
+    pub allocs_per_iter: Option<f64>,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// Run `f` under the budget and report the median batch.
+pub fn run(timing: Timing, f: &mut dyn FnMut()) -> Measurement {
+    assert!(timing.iters >= 1 && timing.repeats >= 1, "timer: empty budget");
+    for _ in 0..timing.warmup {
+        f();
+    }
+    let mut ns = Vec::with_capacity(timing.repeats as usize);
+    let mut bytes = Vec::with_capacity(timing.repeats as usize);
+    let mut calls = Vec::with_capacity(timing.repeats as usize);
+    for _ in 0..timing.repeats {
+        let a0 = alloc::stats();
+        let t0 = Instant::now();
+        for _ in 0..timing.iters {
+            f();
+        }
+        let elapsed = t0.elapsed();
+        let da = alloc::stats().since(&a0);
+        ns.push(elapsed.as_nanos() as f64 / timing.iters as f64);
+        bytes.push(da.bytes as f64 / timing.iters as f64);
+        calls.push(da.calls as f64 / timing.iters as f64);
+    }
+    let counting = alloc::counting_enabled();
+    Measurement {
+        ns_per_iter: median(&mut ns),
+        bytes_per_iter: if counting { Some(median(&mut bytes)) } else { None },
+        allocs_per_iter: if counting { Some(median(&mut calls)) } else { None },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut []), 0.0);
+    }
+
+    #[test]
+    fn run_invokes_exact_iteration_count() {
+        let mut count = 0u64;
+        let m = run(Timing::new(2, 5, 3), &mut || count += 1);
+        assert_eq!(count, 2 + 5 * 3);
+        assert!(m.ns_per_iter >= 0.0);
+    }
+
+    #[test]
+    fn allocation_free_closure_reports_zero_bytes() {
+        if !alloc::counting_enabled() {
+            return;
+        }
+        let mut acc = 0.0f64;
+        let m = run(Timing::new(1, 10, 3), &mut || acc += 1.0);
+        assert_eq!(m.bytes_per_iter, Some(0.0));
+        assert!(acc > 0.0);
+    }
+
+    #[test]
+    fn allocating_closure_reports_bytes() {
+        if !alloc::counting_enabled() {
+            return;
+        }
+        let m = run(Timing::new(0, 4, 3), &mut || {
+            let v = std::hint::black_box(vec![0u8; 1024]);
+            drop(v);
+        });
+        let b = m.bytes_per_iter.unwrap_or(0.0);
+        assert!(b >= 1024.0, "bytes/iter {b}");
+    }
+}

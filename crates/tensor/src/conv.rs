@@ -2,13 +2,14 @@
 //!
 //! Layout convention: feature maps are flat `[channels, height, width]`
 //! buffers in row-major order (`c * h * w + y * w + x`), matching what the
-//! CNN model in `fedprox-models` stores per sample. Convolutions use
-//! stride 1 and symmetric zero padding, which covers the paper's CNN
-//! (two 5x5 "same" convolutions each followed by 2x2 max-pooling).
+//! CNN model in `fedprox-models` stores per sample. Convolutions support an
+//! arbitrary stride with symmetric zero padding; the paper's CNN uses the
+//! stride-1 "same" configuration (two 5x5 convolutions each followed by
+//! 2x2 max-pooling), built via [`Conv2dSpec::same`].
 
 use crate::matrix::Matrix;
 
-/// Static description of a stride-1 convolution layer.
+/// Static description of a convolution layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Conv2dSpec {
     /// Input channels.
@@ -23,24 +24,34 @@ pub struct Conv2dSpec {
     pub width: usize,
     /// Symmetric zero padding on each side.
     pub pad: usize,
+    /// Step between receptive-field origins (1 = dense convolution).
+    pub stride: usize,
 }
 
 impl Conv2dSpec {
-    /// A "same" convolution (output spatial size equals input) for an odd
-    /// kernel.
+    /// A "same" convolution (output spatial size equals input, stride 1)
+    /// for an odd kernel.
     pub fn same(in_ch: usize, out_ch: usize, kernel: usize, height: usize, width: usize) -> Self {
         assert!(!kernel.is_multiple_of(2), "same-padding requires an odd kernel");
-        Conv2dSpec { in_ch, out_ch, kernel, height, width, pad: kernel / 2 }
+        Conv2dSpec { in_ch, out_ch, kernel, height, width, pad: kernel / 2, stride: 1 }
+    }
+
+    /// Same spec with a different stride (builder style). Output spatial
+    /// dims follow the usual floor formula `(h + 2p − k)/stride + 1`.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        assert!(stride >= 1, "conv stride must be >= 1");
+        self.stride = stride;
+        self
     }
 
     /// Output height.
     pub fn out_height(&self) -> usize {
-        self.height + 2 * self.pad + 1 - self.kernel
+        (self.height + 2 * self.pad - self.kernel) / self.stride + 1
     }
 
     /// Output width.
     pub fn out_width(&self) -> usize {
-        self.width + 2 * self.pad + 1 - self.kernel
+        (self.width + 2 * self.pad - self.kernel) / self.stride + 1
     }
 
     /// Number of weight parameters (`out_ch * in_ch * k * k`).
@@ -77,7 +88,7 @@ pub fn im2col(spec: &Conv2dSpec, input: &[f64], cols: &mut Matrix) {
     assert_eq!(cols.shape(), (spec.col_rows(), spec.col_cols()), "im2col: cols shape");
     fedprox_telemetry::span!("tensor", "im2col", "rows" => spec.col_rows(), "cols" => spec.col_cols());
     let (oh, ow) = (spec.out_height(), spec.out_width());
-    let (h, w, k, pad) = (spec.height, spec.width, spec.kernel, spec.pad);
+    let (h, w, k, pad, s) = (spec.height, spec.width, spec.kernel, spec.pad, spec.stride);
     for oy in 0..oh {
         for ox in 0..ow {
             let row = cols.row_mut(oy * ow + ox);
@@ -85,9 +96,9 @@ pub fn im2col(spec: &Conv2dSpec, input: &[f64], cols: &mut Matrix) {
             for c in 0..spec.in_ch {
                 let chan = &input[c * h * w..(c + 1) * h * w];
                 for ky in 0..k {
-                    let iy = (oy + ky) as isize - pad as isize;
+                    let iy = (oy * s + ky) as isize - pad as isize;
                     for kx in 0..k {
-                        let ix = (ox + kx) as isize - pad as isize;
+                        let ix = (ox * s + kx) as isize - pad as isize;
                         row[idx] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
                             // fedlint: allow(lossy-cast) — iy/ix proven non-negative and in-bounds by the guard above
                             chan[iy as usize * w + ix as usize]
@@ -109,7 +120,7 @@ pub fn col2im(spec: &Conv2dSpec, cols: &Matrix, input_grad: &mut [f64]) {
     assert_eq!(cols.shape(), (spec.col_rows(), spec.col_cols()), "col2im: cols shape");
     input_grad.fill(0.0);
     let (oh, ow) = (spec.out_height(), spec.out_width());
-    let (h, w, k, pad) = (spec.height, spec.width, spec.kernel, spec.pad);
+    let (h, w, k, pad, s) = (spec.height, spec.width, spec.kernel, spec.pad, spec.stride);
     for oy in 0..oh {
         for ox in 0..ow {
             let row = cols.row(oy * ow + ox);
@@ -117,9 +128,9 @@ pub fn col2im(spec: &Conv2dSpec, cols: &Matrix, input_grad: &mut [f64]) {
             for c in 0..spec.in_ch {
                 let base = c * h * w;
                 for ky in 0..k {
-                    let iy = (oy + ky) as isize - pad as isize;
+                    let iy = (oy * s + ky) as isize - pad as isize;
                     for kx in 0..k {
-                        let ix = (ox + kx) as isize - pad as isize;
+                        let ix = (ox * s + kx) as isize - pad as isize;
                         if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
                             // fedlint: allow(lossy-cast) — iy/ix proven non-negative and in-bounds by the guard above
                             input_grad[base + iy as usize * w + ix as usize] += row[idx];
@@ -187,6 +198,23 @@ pub fn conv2d_forward(
         }
     }
     crate::guard::check_finite("conv2d_forward (im2col)", output);
+}
+
+/// Allocating convenience wrapper around [`conv2d_forward`]: builds fresh
+/// scratch and output buffers on every call. The scratch-reusing entry
+/// point is the hot-path API; this one serves one-off callers and is the
+/// reference implementation the workspace-reuse differential tests compare
+/// against.
+pub fn conv2d_forward_alloc(
+    spec: &Conv2dSpec,
+    input: &[f64],
+    weight: &[f64],
+    bias: &[f64],
+) -> Vec<f64> {
+    let mut output = vec![0.0; spec.output_len()];
+    let mut scratch = ConvScratch::new(spec);
+    conv2d_forward(spec, input, weight, bias, &mut output, &mut scratch);
+    output
 }
 
 /// Backward convolution. Given `grad_output` (`[out_ch, oh, ow]`),
@@ -371,7 +399,8 @@ mod tests {
 
     #[test]
     fn conv_matches_naive_direct_convolution() {
-        let spec = Conv2dSpec { in_ch: 2, out_ch: 3, kernel: 3, height: 5, width: 6, pad: 1 };
+        let spec =
+            Conv2dSpec { in_ch: 2, out_ch: 3, kernel: 3, height: 5, width: 6, pad: 1, stride: 1 };
         let mut rng_state = 12345u64;
         let mut next = move || {
             rng_state ^= rng_state << 13;
@@ -414,8 +443,61 @@ mod tests {
     }
 
     #[test]
+    fn with_stride_dims_follow_floor_formula() {
+        let s = Conv2dSpec::same(1, 4, 3, 9, 9).with_stride(2);
+        assert_eq!((s.out_height(), s.out_width()), (5, 5));
+        // Non-exact division exercises the floor: (6-2)/2+1 = 3, (5-2)/2+1 = 2.
+        let t = Conv2dSpec { in_ch: 1, out_ch: 1, kernel: 2, height: 6, width: 5, pad: 0, stride: 2 };
+        assert_eq!((t.out_height(), t.out_width()), (3, 2));
+    }
+
+    #[test]
+    fn strided_conv_matches_naive_direct_convolution() {
+        let spec =
+            Conv2dSpec { in_ch: 2, out_ch: 3, kernel: 3, height: 7, width: 6, pad: 1, stride: 2 };
+        assert_eq!((spec.out_height(), spec.out_width()), (4, 3));
+        let mut rng_state = 777u64;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state as f64 / u64::MAX as f64) - 0.5
+        };
+        let input: Vec<f64> = (0..spec.input_len()).map(|_| next()).collect();
+        let weight: Vec<f64> = (0..spec.weight_len()).map(|_| next()).collect();
+        let bias: Vec<f64> = (0..spec.out_ch).map(|_| next()).collect();
+        let output = conv2d_forward_alloc(&spec, &input, &weight, &bias);
+
+        let (h, w, k, p) = (spec.height, spec.width, spec.kernel, spec.pad as isize);
+        for o in 0..spec.out_ch {
+            for oy in 0..spec.out_height() {
+                for ox in 0..spec.out_width() {
+                    let mut s = bias[o];
+                    for c in 0..spec.in_ch {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * spec.stride + ky) as isize - p;
+                                let ix = (ox * spec.stride + kx) as isize - p;
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                    let wi = o * spec.in_ch * k * k + c * k * k + ky * k + kx;
+                                    s += weight[wi] * input[c * h * w + iy as usize * w + ix as usize];
+                                }
+                            }
+                        }
+                    }
+                    let got = output[o * spec.out_height() * spec.out_width()
+                        + oy * spec.out_width()
+                        + ox];
+                    assert!((got - s).abs() < 1e-10, "mismatch at o={o} oy={oy} ox={ox}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn conv_backward_matches_finite_difference() {
-        let spec = Conv2dSpec { in_ch: 1, out_ch: 2, kernel: 3, height: 4, width: 4, pad: 1 };
+        let spec =
+            Conv2dSpec { in_ch: 1, out_ch: 2, kernel: 3, height: 4, width: 4, pad: 1, stride: 1 };
         let mut state = 999u64;
         let mut next = move || {
             state ^= state << 13;
@@ -472,7 +554,8 @@ mod tests {
     #[test]
     fn im2col_col2im_adjoint() {
         // <im2col(x), C> == <x, col2im(C)> — the two operators are adjoint.
-        let spec = Conv2dSpec { in_ch: 2, out_ch: 1, kernel: 3, height: 4, width: 5, pad: 1 };
+        let spec =
+            Conv2dSpec { in_ch: 2, out_ch: 1, kernel: 3, height: 4, width: 5, pad: 1, stride: 1 };
         let x: Vec<f64> = (0..spec.input_len()).map(|i| (i as f64 * 0.7).sin()).collect();
         let mut cols = Matrix::zeros(spec.col_rows(), spec.col_cols());
         im2col(&spec, &x, &mut cols);
