@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # CI gate: build → test (default / check / telemetry) → clippy → fedlint →
-# fedtrace smoke → perf-smoke. Any failing stage fails the run.
+# fedtrace smoke → perf-smoke → fedscope-smoke. Any failing stage fails
+# the run.
 set -eu
 
 echo "==> cargo build --release"
@@ -47,5 +48,26 @@ cargo build -q --release -p fedprox-perfbench
 ./target/release/fedperf --validate "$PERF_TMP/BENCH_smoke-a.json" "$PERF_TMP/BENCH_smoke-b.json"
 ./target/release/fedperf --check-determinism \
     "$PERF_TMP/BENCH_smoke-a.json" "$PERF_TMP/BENCH_smoke-b.json"
+
+# fedscope-smoke: a tiny armed run writes a --health JSONL, `fedscope
+# check` validates its schema, the report renders, and a self-diff must
+# be regression-free (exit 0). Reuses the perf-smoke tmp dir + trap.
+echo "==> fedscope-smoke (armed tiny run -> schema check -> self-diff)"
+cat > "$PERF_TMP/fedscope_spec.json" <<'EOF'
+{
+  "dataset": {"kind": "synthetic", "alpha": 1.0, "beta": 1.0},
+  "model": {"kind": "logistic"},
+  "algorithms": ["fedproxvr-svrg"],
+  "devices": 3, "min_size": 30, "max_size": 60,
+  "beta": 5.0, "tau": 5, "mu": 0.5, "batch": 8, "rounds": 4
+}
+EOF
+cargo build -q --release -p fedprox-bench --features telemetry
+cargo build -q --release -p fedprox-telemetry
+./target/release/fedrun "$PERF_TMP/fedscope_spec.json" \
+    --health "$PERF_TMP/health.jsonl" >/dev/null
+./target/release/fedscope check "$PERF_TMP/health.jsonl"
+./target/release/fedscope report "$PERF_TMP/health.jsonl" >/dev/null
+./target/release/fedscope diff "$PERF_TMP/health.jsonl" "$PERF_TMP/health.jsonl" >/dev/null
 
 echo "CI green."

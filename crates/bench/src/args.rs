@@ -24,6 +24,10 @@ pub struct CommonArgs {
     /// Write a fedtrace JSONL event trace to this path (requires the
     /// `telemetry` feature; warns and stays off otherwise). Default off.
     pub trace: Option<String>,
+    /// Write a fedscope health JSONL trace (per-round `health` samples +
+    /// typed `anomaly` events, readable by the `fedscope` binary) to this
+    /// path. Same feature gate and warning path as `trace`. Default off.
+    pub health: Option<String>,
     /// Run on the simulated-network backend instead of the in-process
     /// parallel runner. Math is bit-identical (see
     /// `tests/bit_identical_backends`-style guarantees); the networked
@@ -34,7 +38,15 @@ pub struct CommonArgs {
 
 impl Default for CommonArgs {
     fn default() -> Self {
-        CommonArgs { scale: Scale::Small, rounds: None, seed: 1, out: None, trace: None, net: false }
+        CommonArgs {
+            scale: Scale::Small,
+            rounds: None,
+            seed: 1,
+            out: None,
+            trace: None,
+            health: None,
+            net: false,
+        }
     }
 }
 
@@ -51,8 +63,8 @@ impl CommonArgs {
 }
 
 /// Parse `--scale small|paper`, `--rounds N`, `--seed N`, `--out DIR`,
-/// `--trace PATH` from an iterator of CLI arguments. Unknown flags abort
-/// with a usage message naming `program`.
+/// `--trace PATH`, `--health PATH` from an iterator of CLI arguments.
+/// Unknown flags abort with a usage message naming `program`.
 // Exiting with a usage message is the intended CLI behaviour here, not
 // a disguised panic path.
 #[allow(clippy::exit)]
@@ -91,11 +103,12 @@ pub fn parse_args(program: &str, argv: impl Iterator<Item = String>) -> CommonAr
             }
             "--out" => args.out = Some(value("--out")),
             "--trace" => args.trace = Some(value("--trace")),
+            "--health" => args.health = Some(value("--health")),
             "--net" => args.net = true,
             "--help" | "-h" => {
                 println!(
                     "usage: {program} [--scale small|paper] [--rounds N] [--seed N] [--out DIR] \
-                     [--trace PATH] [--net]"
+                     [--trace PATH] [--health PATH] [--net]"
                 );
                 std::process::exit(0);
             }
@@ -124,6 +137,7 @@ mod tests {
         assert_eq!(a.seed, 1);
         assert!(a.out.is_none());
         assert!(a.trace.is_none(), "--trace must default to off");
+        assert!(a.health.is_none(), "--health must default to off");
         assert!(!a.net, "--net must default to off");
         assert!(matches!(a.runner(), fedprox_core::RunnerKind::Parallel));
     }
@@ -132,13 +146,14 @@ mod tests {
     fn full_flags() {
         let a = parse(&[
             "--scale", "paper", "--rounds", "42", "--seed", "9", "--out", "/tmp/x", "--trace",
-            "/tmp/t.jsonl", "--net",
+            "/tmp/t.jsonl", "--health", "/tmp/h.jsonl", "--net",
         ]);
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.rounds, Some(42));
         assert_eq!(a.seed, 9);
         assert_eq!(a.out.as_deref(), Some("/tmp/x"));
         assert_eq!(a.trace.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(a.health.as_deref(), Some("/tmp/h.jsonl"));
         assert!(a.net);
         assert!(matches!(a.runner(), fedprox_core::RunnerKind::Network(_)));
     }

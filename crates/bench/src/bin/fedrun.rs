@@ -18,24 +18,30 @@
 
 use fedprox_bench::report::{print_histories, write_json};
 use fedprox_bench::spec::ExperimentSpec;
+use fedprox_bench::TraceSession;
 use fedprox_core::History;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
-        eprintln!("usage: fedrun SPEC.json [--out DIR]");
+        eprintln!("usage: fedrun SPEC.json [--out DIR] [--trace PATH] [--health PATH]");
         std::process::exit(2);
     };
     let mut out = None;
+    let mut trace_path = None;
+    let mut health_path = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--out" => out = args.next(),
+            "--trace" => trace_path = args.next(),
+            "--health" => health_path = args.next(),
             other => {
                 eprintln!("fedrun: unknown flag '{other}'");
                 std::process::exit(2);
             }
         }
     }
+    let trace = TraceSession::start_with_health(trace_path.as_deref(), health_path.as_deref());
 
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("fedrun: cannot read {path}: {e}");
@@ -56,4 +62,5 @@ fn main() {
             write_json(&dir, &format!("fedrun_{name}"), h);
         }
     }
+    trace.finish();
 }

@@ -6,12 +6,15 @@
 //! on): τ bounds at representative β and the β_min/τ solution of
 //! eqs. (15)/(16).
 
-use fedprox_bench::{parse_args, write_json};
+use fedprox_bench::{parse_args, write_json, TraceSession};
 use fedprox_core::paramopt::{self, OptimalParams};
 use fedprox_core::theory::{Lemma1, TheoryParams};
 
 fn main() {
     let args = parse_args("fig1_param_opt", std::env::args().skip(1));
+    // No federated training happens here (pure theory evaluation), but
+    // the flags behave uniformly across all experiment binaries.
+    let trace = TraceSession::start_with_health(args.trace.as_deref(), args.health.as_deref());
 
     // The γ axis of Fig. 1 (log-spaced).
     let gammas: Vec<f64> = (0..=16).map(|i| 10f64.powf(-4.0 + i as f64 * 0.25)).collect();
@@ -64,4 +67,5 @@ fn main() {
     if let Some(dir) = &args.out {
         write_json(dir, "fig1_param_opt", &all);
     }
+    trace.finish();
 }

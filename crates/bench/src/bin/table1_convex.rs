@@ -2,7 +2,7 @@
 //! (multinomial logistic regression, Fashion-MNIST-like), found by random
 //! search per algorithm — reproducing the paper's search protocol.
 
-use fedprox_bench::{fashion_federation, parse_args, write_json, Scale};
+use fedprox_bench::{fashion_federation, parse_args, write_json, Scale, TraceSession};
 use fedprox_core::search::{random_search, SearchSpace};
 use fedprox_core::{Algorithm, FedConfig};
 use fedprox_models::MultinomialLogistic;
@@ -10,6 +10,7 @@ use fedprox_optim::estimator::EstimatorKind;
 
 fn main() {
     let args = parse_args("table1_convex", std::env::args().skip(1));
+    let trace = TraceSession::start_with_health(args.trace.as_deref(), args.health.as_deref());
     let (devices_n, lo, hi, trials, space) = match args.scale {
         Scale::Paper => (
             100,
@@ -77,4 +78,5 @@ fn main() {
     if let Some(dir) = &args.out {
         write_json(dir, "table1_convex", &results);
     }
+    trace.finish();
 }

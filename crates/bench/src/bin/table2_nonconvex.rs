@@ -1,7 +1,7 @@
 //! Table 2: best-hyper-parameter test accuracies on the non-convex task
 //! (two-layer CNN, MNIST-like), found by random search per algorithm.
 
-use fedprox_bench::{mnist_federation, parse_args, write_json, Scale};
+use fedprox_bench::{mnist_federation, parse_args, write_json, Scale, TraceSession};
 use fedprox_core::search::{random_search, SearchSpace};
 use fedprox_core::{Algorithm, FedConfig};
 use fedprox_models::{Cnn, CnnSpec};
@@ -9,6 +9,7 @@ use fedprox_optim::estimator::EstimatorKind;
 
 fn main() {
     let args = parse_args("table2_nonconvex", std::env::args().skip(1));
+    let trace = TraceSession::start_with_health(args.trace.as_deref(), args.health.as_deref());
     let (devices_n, lo, hi, trials, spec, space) = match args.scale {
         Scale::Paper => (
             10,
@@ -106,4 +107,5 @@ fn main() {
     if let Some(dir) = &args.out {
         write_json(dir, "table2_nonconvex", &results);
     }
+    trace.finish();
 }

@@ -257,7 +257,7 @@ mod tests {
                     grad_evals: 0,
                 })
                 .collect(),
-            diverged: false,
+            divergence: fedprox_core::DivergenceCause::None,
             rounds_run: losses.len(),
             total_sim_time: 0.0,
             final_model: vec![],

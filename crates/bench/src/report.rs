@@ -47,7 +47,7 @@ pub fn print_histories(title: &str, histories: &[(String, &History)]) {
             "-- {label}: best acc {:.2}%, final loss {}, diverged: {}",
             h.best_accuracy() * 100.0,
             h.final_loss().map_or("n/a".into(), |l| format!("{l:.5}")),
-            h.diverged
+            h.diverged()
         );
     }
 }

@@ -241,7 +241,7 @@ mod tests {
         let results = spec.run();
         assert_eq!(results.len(), 2);
         for (name, h) in &results {
-            assert!(!h.diverged, "{name} diverged");
+            assert!(!h.diverged(), "{name} diverged");
             assert_eq!(h.rounds_run, 4);
         }
     }
@@ -276,6 +276,6 @@ mod tests {
         spec.model = ModelSpec::Mlp { hidden: 8 };
         spec.rounds = 2;
         let results = spec.run();
-        assert!(!results[0].1.diverged);
+        assert!(!results[0].1.diverged());
     }
 }

@@ -1,61 +1,90 @@
-//! `--trace` support: arm the fedtrace collector for the duration of a
-//! run, then drain the events to a JSONL file and print the aggregated
-//! per-run summary (the same tables the standalone `fedtrace` binary
-//! renders from a saved trace).
+//! `--trace` / `--health` support: arm the fedtrace collector for the
+//! duration of a run, then drain the events once and fan them out — the
+//! full event stream to the `--trace` JSONL (plus the aggregated per-run
+//! summary tables), and just the `health` / `anomaly` events to the
+//! `--health` JSONL for the `fedscope` binary.
 //!
 //! The session is a no-op when built without the `telemetry` feature —
-//! it warns once that the flag was ignored — and when no `--trace` path
-//! was given, so binaries can call it unconditionally.
+//! it warns once per requested flag that it was ignored — and when no
+//! path was given, so binaries can call it unconditionally.
 
 /// Scoped tracing for one experiment run.
 ///
 /// ```ignore
-/// let trace = TraceSession::start(args.trace.as_deref());
+/// let trace = TraceSession::start_with_health(args.trace.as_deref(), args.health.as_deref());
 /// // ... run the experiment ...
-/// trace.finish(); // writes JSONL + prints the summary
+/// trace.finish(); // writes JSONL file(s) + prints the summary
 /// ```
 #[derive(Debug)]
 pub struct TraceSession {
     path: Option<String>,
+    health_path: Option<String>,
 }
 
 impl TraceSession {
     /// Arm the collector if a trace path was requested (and the
-    /// instrumentation is compiled in).
+    /// instrumentation is compiled in). Equivalent to
+    /// [`TraceSession::start_with_health`] with no health path.
     pub fn start(path: Option<&str>) -> Self {
+        Self::start_with_health(path, None)
+    }
+
+    /// Arm the collector if either a full-trace or a health-trace path
+    /// was requested (and the instrumentation is compiled in).
+    pub fn start_with_health(path: Option<&str>, health: Option<&str>) -> Self {
         #[cfg(feature = "telemetry")]
-        if path.is_some() {
+        if path.is_some() || health.is_some() {
             fedprox_telemetry::collector::arm();
         }
         #[cfg(not(feature = "telemetry"))]
-        if path.is_some() {
-            eprintln!(
-                "warning: --trace ignored: telemetry instrumentation not compiled in \
-                 (rebuild with `--features telemetry`)"
-            );
+        for (flag, requested) in [("--trace", path.is_some()), ("--health", health.is_some())] {
+            if requested {
+                eprintln!(
+                    "warning: {flag} ignored: telemetry instrumentation not compiled in \
+                     (rebuild with `--features telemetry`)"
+                );
+            }
         }
-        TraceSession { path: path.map(str::to_string) }
+        TraceSession { path: path.map(str::to_string), health_path: health.map(str::to_string) }
     }
 
     /// Whether this session is actually recording.
     pub fn active(&self) -> bool {
-        cfg!(feature = "telemetry") && self.path.is_some()
+        cfg!(feature = "telemetry") && (self.path.is_some() || self.health_path.is_some())
     }
 
-    /// Drain the collector, write the JSONL trace, and print the
-    /// aggregated summary tables. A no-op for inactive sessions.
+    /// Drain the collector once, write the requested JSONL file(s), and
+    /// print the aggregated summary tables (full-trace sessions only).
+    /// A no-op for inactive sessions.
     pub fn finish(self) {
         #[cfg(feature = "telemetry")]
-        if let Some(path) = &self.path {
+        if self.path.is_some() || self.health_path.is_some() {
+            use fedprox_telemetry::event::Event;
             use fedprox_telemetry::{collector, jsonl, summary};
             let events = collector::drain();
             collector::disarm();
-            match std::fs::write(path, jsonl::to_jsonl(&events)) {
-                Ok(()) => println!("trace: {} events written to {path}", events.len()),
-                Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+            if let Some(path) = &self.path {
+                match std::fs::write(path, jsonl::to_jsonl(&events)) {
+                    Ok(()) => println!("trace: {} events written to {path}", events.len()),
+                    Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+                }
+                let report = summary::TelemetryReport::from_events(&events);
+                print!("{}", report.render(10));
             }
-            let report = summary::TelemetryReport::from_events(&events);
-            print!("{}", report.render(10));
+            if let Some(path) = &self.health_path {
+                let health: Vec<Event> = events
+                    .iter()
+                    .filter(|e| matches!(e, Event::Health { .. } | Event::Anomaly { .. }))
+                    .cloned()
+                    .collect();
+                match std::fs::write(path, jsonl::to_jsonl(&health)) {
+                    Ok(()) => println!(
+                        "health: {} events written to {path} (inspect with `fedscope {path}`)",
+                        health.len()
+                    ),
+                    Err(e) => eprintln!("health: failed to write {path}: {e}"),
+                }
+            }
         }
     }
 }
@@ -64,16 +93,29 @@ impl TraceSession {
 mod tests {
     use super::*;
 
+    // The collector is process-global; serialize the tests that arm it.
+    #[cfg(feature = "telemetry")]
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[cfg(feature = "telemetry")]
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn inactive_without_path() {
         let t = TraceSession::start(None);
         assert!(!t.active());
         t.finish(); // must be a no-op either way
+        let t2 = TraceSession::start_with_health(None, None);
+        assert!(!t2.active());
+        t2.finish();
     }
 
     #[cfg(feature = "telemetry")]
     #[test]
     fn active_roundtrip_writes_jsonl() {
+        let _serial = guard();
         let dir = std::env::temp_dir().join("fedprox_trace_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.jsonl");
@@ -88,6 +130,33 @@ mod tests {
             e,
             fedprox_telemetry::event::Event::Counter { name, value: 3 } if name == "bench.test_marker"
         )));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn health_file_contains_only_health_events() {
+        let _serial = guard();
+        use fedprox_telemetry::event::{AnomalyRule, Event};
+        let dir = std::env::temp_dir().join("fedprox_health_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let t = TraceSession::start_with_health(None, Some(&path_str));
+        assert!(t.active());
+        fedprox_telemetry::counter!("bench.noise_marker", 1u32);
+        fedprox_telemetry::collector::record_event(Event::Anomaly {
+            round: 2,
+            rule: AnomalyRule::LossGuard,
+            device: None,
+            value: 12.0,
+            limit: 9.0,
+        });
+        t.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = fedprox_telemetry::jsonl::parse(&text).unwrap();
+        assert_eq!(events.len(), 1, "counters must be filtered out: {events:?}");
+        assert!(matches!(events[0], Event::Anomaly { round: 2, .. }));
         std::fs::remove_file(&path).ok();
     }
 }

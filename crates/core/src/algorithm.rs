@@ -3,7 +3,7 @@
 
 use crate::config::{FedConfig, NetRunnerOptions, RunnerKind};
 use crate::device::Device;
-use crate::metrics::{History, RoundRecord, RunningTotal};
+use crate::metrics::{DivergenceCause, History, RoundRecord, RunningTotal};
 use crate::{eval, runner, server};
 use fedprox_data::Dataset;
 use fedprox_models::LossModel;
@@ -99,13 +99,21 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
         let mut global = w0;
         let mut agg = vec![0.0; global.len()];
         let mut records = Vec::new();
-        let mut diverged = false;
+        let mut divergence = DivergenceCause::None;
         let mut total_grad_evals = RunningTotal::new();
         let mut rounds_run = 0;
 
         // Round 0: the initial global model, so every curve starts from
         // the same baseline (and divergence is visible as an *increase*).
         records.push(self.evaluate(0, &global, None, 0, 0.0, 0));
+
+        #[cfg(feature = "telemetry")]
+        let mut monitor = self.health_monitor(&global);
+        #[cfg(feature = "telemetry")]
+        if let Some(m) = monitor.as_mut() {
+            let r = &records[0];
+            m.observe_eval(0, r.train_loss, r.grad_norm_sq, None);
+        }
 
         let n = self.devices.len();
         for s in 1..=self.cfg.rounds {
@@ -149,6 +157,16 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
             for u in &updates {
                 total_grad_evals.add(u.grad_evals as u64);
             }
+            #[cfg(feature = "telemetry")]
+            if let Some(m) = monitor.as_mut() {
+                let mut dir = fedprox_optim::DirectionStats::default();
+                let mut work: Vec<(usize, u64)> = Vec::with_capacity(updates.len());
+                for (&i, u) in participants.iter().zip(&updates) {
+                    dir.merge(&u.dir_stats);
+                    work.push((i, u.grad_evals as u64));
+                }
+                m.note_round(s, &dir, &work);
+            }
 
             // Optional θ measurement against the pre-aggregation global.
             let theta = if self.cfg.measure_theta {
@@ -174,28 +192,77 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
             rounds_run = s;
 
             if !vecops::all_finite(&global) {
-                diverged = true;
+                // Attribute the blowup to the first participating device
+                // whose local model was itself non-finite, when any was
+                // (aggregation-only blowups report no device).
+                let device = participants
+                    .iter()
+                    .zip(&updates)
+                    .find(|(_, u)| !vecops::all_finite(&u.w))
+                    .map(|(&i, _)| i);
+                divergence = DivergenceCause::NonFinite { round: s, device };
+                #[cfg(feature = "telemetry")]
+                if let Some(m) = monitor.as_mut() {
+                    m.observe_non_finite(s, device);
+                }
                 records.push(self.divergence_record(s, theta, total_grad_evals.get()));
                 break;
             }
             if s.is_multiple_of(self.cfg.eval_every) || s == self.cfg.rounds {
                 let rec = self.evaluate(s, &global, theta, total_grad_evals.get(), 0.0, 0);
                 let bad = !rec.train_loss.is_finite() || rec.train_loss > self.cfg.loss_guard;
+                #[cfg(feature = "telemetry")]
+                if let Some(m) = monitor.as_mut() {
+                    if bad {
+                        m.observe_loss_guard(s, rec.train_loss, self.cfg.loss_guard);
+                    } else {
+                        m.observe_eval(s, rec.train_loss, rec.grad_norm_sq, rec.theta_measured);
+                    }
+                }
                 records.push(rec);
                 if bad {
-                    diverged = true;
+                    divergence = DivergenceCause::LossGuard { round: s };
                     break;
                 }
             }
         }
 
+        #[cfg(feature = "telemetry")]
+        Self::flush_monitor(monitor);
+
         History {
             config: self.cfg.summary(),
             records,
-            diverged,
+            divergence,
             rounds_run,
             total_sim_time: 0.0,
             final_model: global,
+        }
+    }
+
+    /// Build the fedscope health monitor for an armed-telemetry run;
+    /// `None` (zero cost) otherwise. The σ̄² measurement it performs is
+    /// read-only on model and data — it draws from no RNG stream — so
+    /// arming cannot perturb the training trajectory.
+    #[cfg(feature = "telemetry")]
+    fn health_monitor(&self, w0: &[f64]) -> Option<crate::health::HealthMonitor> {
+        if !fedprox_telemetry::collector::is_armed() {
+            return None;
+        }
+        let sigma = eval::empirical_sigma_bar_sq(self.model, self.devices, w0);
+        Some(crate::health::HealthMonitor::new(crate::health::HealthConfig::from_run(
+            &self.cfg, sigma,
+        )))
+    }
+
+    /// Hand a monitor's accumulated samples and anomalies to the armed
+    /// collector at the end of a run.
+    #[cfg(feature = "telemetry")]
+    fn flush_monitor(monitor: Option<crate::health::HealthMonitor>) {
+        if let Some(m) = monitor {
+            for e in m.into_events() {
+                fedprox_telemetry::collector::record_event(e);
+            }
         }
     }
 
@@ -235,9 +302,20 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
             .collect();
 
         let mut records = Vec::new();
-        let mut diverged = false;
+        let mut divergence = DivergenceCause::None;
         let cfg = &self.cfg;
         records.push(self.evaluate(0, &w0, None, 0, 0.0, 0));
+        // Device-level direction probes never cross the simulated wire
+        // (the frame format must not depend on telemetry state), so the
+        // networked monitor carries zero direction statistics and gets
+        // its straggler skew backfilled from the clock afterwards.
+        #[cfg(feature = "telemetry")]
+        let mut monitor = self.health_monitor(&w0);
+        #[cfg(feature = "telemetry")]
+        if let Some(m) = monitor.as_mut() {
+            let r = &records[0];
+            m.observe_eval(0, r.train_loss, r.grad_norm_sq, None);
+        }
         let report = NetworkRuntime.run(
             workers,
             w0,
@@ -246,16 +324,28 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
             |round, global| {
                 let s = round as usize + 1;
                 if !vecops::all_finite(global) {
-                    diverged = true;
+                    divergence = DivergenceCause::NonFinite { round: s, device: None };
+                    #[cfg(feature = "telemetry")]
+                    if let Some(m) = monitor.as_mut() {
+                        m.observe_non_finite(s, None);
+                    }
                     records.push(self.divergence_record(s, None, 0));
                     return false;
                 }
                 if s.is_multiple_of(cfg.eval_every) || s == cfg.rounds {
                     let rec = self.evaluate(s, global, None, 0, 0.0, 0);
                     let bad = !rec.train_loss.is_finite() || rec.train_loss > cfg.loss_guard;
+                    #[cfg(feature = "telemetry")]
+                    if let Some(m) = monitor.as_mut() {
+                        if bad {
+                            m.observe_loss_guard(s, rec.train_loss, cfg.loss_guard);
+                        } else {
+                            m.observe_eval(s, rec.train_loss, rec.grad_norm_sq, None);
+                        }
+                    }
                     records.push(rec);
                     if bad {
-                        diverged = true;
+                        divergence = DivergenceCause::LossGuard { round: s };
                         return false;
                     }
                 }
@@ -267,6 +357,14 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
         // meaningful History to hand back for them.
         // fedlint: allow(no-panic) — NetError from the simulated transport is an unrecoverable bug; fail loudly rather than fabricate a History
         let report = report.expect("networked backend transport failure");
+
+        #[cfg(feature = "telemetry")]
+        {
+            if let Some(m) = monitor.as_mut() {
+                m.set_skews(&report.round_skews);
+            }
+            Self::flush_monitor(monitor);
+        }
 
         // Patch per-round simulated time and traffic into the records.
         let mut cumulative = Vec::with_capacity(report.round_durations.len());
@@ -291,7 +389,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
         History {
             config: self.cfg.summary(),
             records,
-            diverged,
+            divergence,
             rounds_run: report.rounds_run as usize,
             total_sim_time: report.clock.now(),
             final_model: report.final_model,
@@ -372,7 +470,7 @@ mod tests {
         ] {
             let trainer = FederatedTrainer::new(&model, &devices, &test, base_cfg(alg));
             let h = trainer.run();
-            assert!(!h.diverged, "{} diverged", alg.name());
+            assert!(!h.diverged(), "{} diverged", alg.name());
             assert_eq!(h.rounds_run, 10);
             let first = h.records.first().unwrap().train_loss;
             let last = h.final_loss().unwrap();
@@ -449,7 +547,7 @@ mod tests {
         let (devices, test, model) = federation(9);
         for alg in [Algorithm::FedProx, Algorithm::Fsvrg] {
             let h = FederatedTrainer::new(&model, &devices, &test, base_cfg(alg)).run();
-            assert!(!h.diverged, "{} diverged", alg.name());
+            assert!(!h.diverged(), "{} diverged", alg.name());
             assert!(
                 h.final_loss().unwrap() < h.records[0].train_loss,
                 "{} failed to learn",
@@ -501,7 +599,7 @@ mod tests {
             base_cfg(Algorithm::FedAvg).with_rounds(6).with_participation(0.5),
         )
         .run();
-        assert!(!half.diverged);
+        assert!(!half.diverged());
         // Different device subsets ⇒ different trajectory.
         assert_ne!(
             full.final_loss().unwrap(),

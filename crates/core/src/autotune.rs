@@ -186,7 +186,7 @@ mod tests {
             .with_eval_every(8)
             .with_runner(RunnerKind::Parallel);
         let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
-        assert!(!h.diverged, "tuned config diverged");
+        assert!(!h.diverged(), "tuned config diverged");
         assert!(
             h.final_loss().unwrap() < h.records[0].train_loss,
             "tuned config failed to make progress"

@@ -25,6 +25,9 @@ pub struct LocalUpdate {
     pub w: Vec<f64>,
     /// Per-sample gradient evaluations spent.
     pub grad_evals: usize,
+    /// Estimator direction-norm statistics from the solve's probe
+    /// (all-zero unless the telemetry collector was armed).
+    pub dir_stats: fedprox_optim::DirectionStats,
 }
 
 impl Device {
@@ -137,7 +140,7 @@ impl Device {
                 }
             }
         };
-        LocalUpdate { w: outcome.w, grad_evals: outcome.grad_evals }
+        LocalUpdate { w: outcome.w, grad_evals: outcome.grad_evals, dir_stats: outcome.dir_stats }
     }
 
     /// Measure the empirical local accuracy ratio of criterion (11):

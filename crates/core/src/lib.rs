@@ -8,6 +8,8 @@
 //!   backends producing identical trajectories for a fixed seed,
 //! * [`eval`] — global loss / accuracy / gradient-norm / σ̄² measurement,
 //! * [`metrics`] — per-round records and JSON/CSV export,
+//! * [`health`] — the [`health::HealthMonitor`] behind `fedscope`:
+//!   per-round convergence diagnostics and typed anomaly rules,
 //! * [`theory`] — Lemma 1 bounds, Theorem 1's federated factor Θ,
 //!   Corollary 1's iteration bound,
 //! * [`paramopt`] — the Section 4.3 training-time minimisation
@@ -21,6 +23,7 @@ pub mod autotune;
 pub mod config;
 pub mod device;
 pub mod eval;
+pub mod health;
 pub mod metrics;
 pub mod paramopt;
 pub mod runner;
@@ -31,4 +34,5 @@ pub mod theory;
 pub use algorithm::{Algorithm, FederatedTrainer};
 pub use config::{FedConfig, RunnerKind};
 pub use device::Device;
-pub use metrics::{History, RoundRecord};
+pub use health::{HealthConfig, HealthMonitor};
+pub use metrics::{DivergenceCause, History, RoundRecord};

@@ -48,6 +48,50 @@ pub struct RoundRecord {
     pub grad_evals: u64,
 }
 
+/// Why (and where) a run was recorded as diverged — the typed
+/// replacement for the old bare `diverged: bool` flag. Serialized into
+/// results JSON; old files without the field deserialize as
+/// [`DivergenceCause::None`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DivergenceCause {
+    /// The run completed without tripping a divergence check.
+    #[default]
+    None,
+    /// Aggregated parameters went non-finite. `device` names the first
+    /// participating device whose local update was itself non-finite,
+    /// when one could be attributed (the networked backend and
+    /// aggregation-only blowups report `None`).
+    NonFinite {
+        /// Global round the check tripped on.
+        round: usize,
+        /// First offending device, when attributable.
+        device: Option<usize>,
+    },
+    /// Evaluated training loss crossed the configured loss guard (or
+    /// went non-finite while the parameters stayed finite).
+    LossGuard {
+        /// Global round the check tripped on.
+        round: usize,
+    },
+}
+
+impl DivergenceCause {
+    /// True for any cause other than [`DivergenceCause::None`].
+    pub fn is_diverged(&self) -> bool {
+        !matches!(self, DivergenceCause::None)
+    }
+
+    /// The round the divergence was detected on, if any.
+    pub fn round(&self) -> Option<usize> {
+        match self {
+            DivergenceCause::None => None,
+            DivergenceCause::NonFinite { round, .. } | DivergenceCause::LossGuard { round } => {
+                Some(*round)
+            }
+        }
+    }
+}
+
 /// The full trajectory of one training run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct History {
@@ -55,8 +99,10 @@ pub struct History {
     pub config: ConfigSummary,
     /// Evaluated rounds, in order.
     pub records: Vec<RoundRecord>,
-    /// True when the loss guard tripped or parameters became non-finite.
-    pub diverged: bool,
+    /// Divergence cause (round, device, rule); `None` for a clean run.
+    /// Results JSON predating this field deserializes to `None`.
+    #[serde(default)]
+    pub divergence: DivergenceCause,
     /// Rounds actually executed (≤ configured when diverged).
     pub rounds_run: usize,
     /// Final simulated training time (networked backend only).
@@ -68,6 +114,12 @@ pub struct History {
 }
 
 impl History {
+    /// Whether the run diverged (compatibility accessor over
+    /// [`History::divergence`]).
+    pub fn diverged(&self) -> bool {
+        self.divergence.is_diverged()
+    }
+
     /// Best test accuracy seen at any evaluated round.
     pub fn best_accuracy(&self) -> f64 {
         self.records.iter().map(|r| r.test_accuracy).fold(0.0, f64::max)
@@ -161,7 +213,7 @@ mod tests {
                 uniform_random_iterate: false,
             },
             records: vec![record(1, 2.0, 0.3), record(2, 1.0, 0.6), record(3, 0.5, 0.55)],
-            diverged: false,
+            divergence: DivergenceCause::None,
             rounds_run: 3,
             total_sim_time: 0.0,
             final_model: vec![0.5, -0.5],
@@ -236,6 +288,42 @@ mod tests {
             assert!(pair[1].bytes >= pair[0].bytes, "bytes decreased");
         }
         assert_eq!(records.last().unwrap().grad_evals, u64::MAX);
+    }
+
+    #[test]
+    fn divergence_cause_roundtrips_and_accessors() {
+        for cause in [
+            DivergenceCause::None,
+            DivergenceCause::NonFinite { round: 7, device: Some(2) },
+            DivergenceCause::NonFinite { round: 3, device: None },
+            DivergenceCause::LossGuard { round: 11 },
+        ] {
+            let mut h = history();
+            h.divergence = cause;
+            let back = History::from_json(&h.to_json()).unwrap();
+            assert_eq!(back.divergence, cause);
+            assert_eq!(back.diverged(), cause.is_diverged());
+        }
+        assert!(!DivergenceCause::None.is_diverged());
+        assert_eq!(DivergenceCause::None.round(), None);
+        assert_eq!(DivergenceCause::LossGuard { round: 4 }.round(), Some(4));
+        assert_eq!(
+            DivergenceCause::NonFinite { round: 9, device: Some(1) }.round(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn legacy_json_without_divergence_field_parses_clean() {
+        // Results files written before the DivergenceCause change carry
+        // `"diverged": bool` and no `divergence` key; they must still
+        // parse, defaulting to no divergence.
+        let mut legacy = history().to_json();
+        legacy = legacy.replace("\"divergence\": \"None\"", "\"diverged\": false");
+        assert!(legacy.contains("\"diverged\""), "substitution failed: {legacy}");
+        let h = History::from_json(&legacy).unwrap();
+        assert_eq!(h.divergence, DivergenceCause::None);
+        assert!(!h.diverged());
     }
 
     #[test]

@@ -124,7 +124,7 @@ pub fn random_search<M: LossModel>(
             batch,
             rounds,
             accuracy: history.best_accuracy(),
-            diverged: history.diverged,
+            diverged: history.diverged(),
         });
     }
     let best = trials

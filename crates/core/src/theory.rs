@@ -176,6 +176,24 @@ impl Lemma1 {
         Some(BetaStar { beta, tau: Self::tau_upper_sarah(beta) })
     }
 
+    /// Inverse of eq. (55): the smallest local accuracy θ a device can
+    /// certify with `tau` local iterations,
+    /// `θ_min = √(3 (β²L² + μ²) / (τ μ̃ L (β − 3)))`. Solving eq. (55)
+    /// for θ instead of τ gives fedscope a *lower* edge for the measured
+    /// accuracy ratio: a θ below this was not earned by Lemma 1's
+    /// budget. Requires β > 3, μ̃ > 0, τ ≥ 1; returns `None` otherwise.
+    pub fn theta_min_for_tau(p: &TheoryParams, beta: f64, tau: usize) -> Option<f64> {
+        if beta <= 3.0 || !p.valid() || tau == 0 {
+            return None;
+        }
+        let l = p.smoothness;
+        Some(
+            (3.0 * (beta * beta * l * l + p.mu * p.mu)
+                / (tau as f64 * p.mu_tilde() * l * (beta - 3.0)))
+                .sqrt(),
+        )
+    }
+
     /// eq. (22): θ² when τ is pinned to the SARAH upper bound:
     /// `θ² = 24 (β²L² + μ²) / (μ̃ L (5β² − 4β)(β − 3))`.
     pub fn theta_sq_at_upper(p: &TheoryParams, beta: f64) -> Option<f64> {
@@ -377,6 +395,31 @@ mod tests {
         let b1 = Lemma1::beta_min_sarah(&pp, 0.5, 1e5).unwrap().beta;
         let b2 = Lemma1::beta_min_sarah(&pp, 0.1, 1e5).unwrap().beta;
         assert!(b2 > b1, "{b2} <= {b1}");
+    }
+
+    #[test]
+    fn theta_min_inverts_tau_lower() {
+        let pp = p(2.0);
+        let beta = 10.0;
+        // θ_min(τ_lower(θ)) = θ for any admissible θ (exact inverse).
+        for theta in [0.1, 0.3, 0.5] {
+            let tau = Lemma1::tau_lower(&pp, beta, theta).unwrap().ceil() as usize;
+            let back = Lemma1::theta_min_for_tau(&pp, beta, tau).unwrap();
+            // τ was rounded up, so the recovered θ is at most the original.
+            assert!(back <= theta + 1e-12, "theta={theta} back={back}");
+            // And with the un-rounded τ it matches to fp precision.
+            let tau_exact = Lemma1::tau_lower(&pp, beta, theta).unwrap();
+            let exact = (3.0 * (beta * beta + 4.0) / (tau_exact * 1.5 * (beta - 3.0))).sqrt();
+            assert!((exact - theta).abs() < 1e-9);
+        }
+        // More local work certifies a tighter (smaller) θ.
+        let a = Lemma1::theta_min_for_tau(&pp, beta, 10).unwrap();
+        let b = Lemma1::theta_min_for_tau(&pp, beta, 40).unwrap();
+        assert!((a / b - 2.0).abs() < 1e-9, "Ω(1/√τ) scaling: {a} vs {b}");
+        // Guard rails.
+        assert!(Lemma1::theta_min_for_tau(&pp, 3.0, 10).is_none());
+        assert!(Lemma1::theta_min_for_tau(&pp, 10.0, 0).is_none());
+        assert!(Lemma1::theta_min_for_tau(&TheoryParams::fig1(0.4, 1.0), 10.0, 10).is_none());
     }
 
     #[test]

@@ -176,6 +176,11 @@ pub struct NetReport {
     pub retransmissions: u64,
     /// Duration of each completed round.
     pub round_durations: Vec<f64>,
+    /// Per-round straggler skew: the slowest device finish over the
+    /// round's median finish, minus one (0 when all devices tie, or the
+    /// median is zero). Deterministic for a fixed seed — derived from
+    /// the same virtual-clock timings as `round_durations`.
+    pub round_skews: Vec<f64>,
     /// Rounds actually executed (callback may stop early).
     pub rounds_run: u32,
 }
@@ -220,6 +225,7 @@ impl NetworkRuntime {
         let mut clock = VirtualClock::new();
         let mut retransmissions = 0u64;
         let mut round_durations = Vec::new();
+        let mut round_skews = Vec::new();
         let mut global = initial;
         let mut rounds_run = 0;
 
@@ -388,6 +394,7 @@ impl NetworkRuntime {
                     }
                     global = agg;
                     round_durations.push(clock.advance_round(&timings));
+                    round_skews.push(round_skew(&timings));
                     rounds_run = round + 1;
                     #[cfg(feature = "telemetry")]
                     record_round_telemetry(
@@ -416,7 +423,35 @@ impl NetworkRuntime {
             Err(_panic) => return Err(NetError::WorkerPanic { device: None }),
         }
 
-        Ok(NetReport { final_model: global, clock, retransmissions, round_durations, rounds_run })
+        Ok(NetReport {
+            final_model: global,
+            clock,
+            retransmissions,
+            round_durations,
+            round_skews,
+            rounds_run,
+        })
+    }
+}
+
+/// Straggler skew of one round: slowest finish over median finish, minus
+/// one. Computed for every run (armed or not) so the report's shape never
+/// depends on telemetry state.
+fn round_skew(timings: &[DeviceRoundTiming]) -> f64 {
+    let mut finishes: Vec<f64> =
+        timings.iter().map(|t| t.download + t.compute + t.upload).collect();
+    finishes.sort_by(f64::total_cmp);
+    let m = finishes.len();
+    let median = if m % 2 == 1 {
+        finishes[m / 2]
+    } else {
+        0.5 * (finishes[m / 2 - 1] + finishes[m / 2])
+    };
+    let max = finishes[m - 1];
+    if median > 0.0 && max.is_finite() {
+        max / median - 1.0
+    } else {
+        0.0
     }
 }
 
@@ -532,6 +567,9 @@ mod tests {
         assert!((report.final_model[1] - 0.0).abs() < 1e-6);
         assert_eq!(report.rounds_run, 60);
         assert_eq!(report.clock.rounds(), 60);
+        // Symmetric devices over constant links: no straggler skew.
+        assert_eq!(report.round_skews.len(), 60);
+        assert!(report.round_skews.iter().all(|&s| s.abs() < 1e-12));
     }
 
     #[test]
@@ -604,6 +642,11 @@ mod tests {
         // compute 0.01 × 50 = 0.5 per round.
         assert!((report.clock.now() - 2.5).abs() < 1e-9);
         assert!(report.clock.straggler_waste() > 1.0);
+        // Skew: finishes {0.01, 0.5}, median 0.255 → 0.5/0.255 − 1 ≈ 0.961.
+        assert_eq!(report.round_skews.len(), 5);
+        for &s in &report.round_skews {
+            assert!((s - (0.5 / 0.255 - 1.0)).abs() < 1e-9, "skew {s}");
+        }
     }
 
     #[test]

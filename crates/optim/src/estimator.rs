@@ -48,6 +48,60 @@ impl EstimatorKind {
     }
 }
 
+/// Running statistics of squared estimator direction norms `‖v^{(t)}‖²`
+/// over the inner steps of one or more local solves — the raw material
+/// for the health layer's variance-reduction-effectiveness rule.
+///
+/// Filled only when the `telemetry` feature is compiled in **and** the
+/// collector is armed at runtime; otherwise every field stays zero and
+/// the probe costs nothing. The probe reads the direction, never writes
+/// it, so armed and disarmed runs stay bitwise identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DirectionStats {
+    /// Local solves contributing (1 per armed restart; summed by merge).
+    pub solves: u64,
+    /// Inner steps observed across those solves.
+    pub steps: u64,
+    /// Running mean of `‖v^{(t)}‖²` over the observed steps.
+    pub mean_sq: f64,
+    /// Welford M2 of `‖v^{(t)}‖²` (population variance × `steps`).
+    pub m2_sq: f64,
+    /// Summed anchor norms `‖v^{(0)}‖²`, one term per solve (divide by
+    /// `solves` for the mean anchor second moment).
+    pub anchor_sq: f64,
+}
+
+impl DirectionStats {
+    /// Begin one solve's observation with its anchor `‖v^{(0)}‖²`.
+    pub fn start(&mut self, anchor_norm_sq: f64) {
+        self.solves += 1;
+        self.anchor_sq += anchor_norm_sq;
+    }
+
+    /// Record one inner step's `‖v^{(t)}‖²` (Welford update).
+    pub fn push(&mut self, norm_sq: f64) {
+        self.steps += 1;
+        let delta = norm_sq - self.mean_sq;
+        self.mean_sq += delta / self.steps as f64;
+        self.m2_sq += delta * (norm_sq - self.mean_sq);
+    }
+
+    /// Merge another solve's statistics into this accumulator
+    /// (Chan et al. parallel Welford combination).
+    pub fn merge(&mut self, other: &DirectionStats) {
+        if other.steps > 0 {
+            let (na, nb) = (self.steps as f64, other.steps as f64);
+            let delta = other.mean_sq - self.mean_sq;
+            let n = na + nb;
+            self.mean_sq += delta * nb / n;
+            self.m2_sq += other.m2_sq + delta * delta * na * nb / n;
+            self.steps += other.steps;
+        }
+        self.solves += other.solves;
+        self.anchor_sq += other.anchor_sq;
+    }
+}
+
 /// Stateful gradient estimator for one device within one global iteration.
 ///
 /// ```
@@ -87,6 +141,23 @@ pub struct Estimator {
     scratch: GradScratch,
     /// Count of per-sample gradient evaluations (for the cost model).
     grad_evals: usize,
+    /// Direction-norm probe for the health layer; stays zero unless the
+    /// `telemetry` feature is on and the collector is armed.
+    probe: DirectionStats,
+}
+
+/// True when the direction probe should record: telemetry compiled in
+/// and the collector armed. Constant `false` in default builds.
+#[inline]
+fn probe_armed() -> bool {
+    #[cfg(feature = "telemetry")]
+    {
+        fedprox_telemetry::collector::is_armed()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        false
+    }
 }
 
 impl Estimator {
@@ -104,6 +175,7 @@ impl Estimator {
             scratch_b: vec![0.0; dim],
             scratch: GradScratch::new(),
             grad_evals: 0,
+            probe: DirectionStats::default(),
         }
     }
 
@@ -140,6 +212,10 @@ impl Estimator {
         self.w_prev.copy_from_slice(w0);
         self.anchor.copy_from_slice(w0);
         self.grad_evals = data.len();
+        self.probe = DirectionStats::default();
+        if probe_armed() {
+            self.probe.start(vecops::norm_sq(&self.v));
+        }
     }
 
     /// Start an epoch with an *externally supplied* anchor gradient
@@ -176,6 +252,10 @@ impl Estimator {
         self.anchor.copy_from_slice(w0);
         self.anchor_grad.copy_from_slice(anchor_grad);
         self.grad_evals = 0;
+        self.probe = DirectionStats::default();
+        if probe_armed() {
+            self.probe.start(vecops::norm_sq(&self.v));
+        }
     }
 
     /// Start an SGD epoch *without* the anchor full gradient: the first
@@ -206,6 +286,10 @@ impl Estimator {
         self.anchor.copy_from_slice(w0);
         self.anchor_grad.fill(0.0);
         self.grad_evals = batch.len();
+        self.probe = DirectionStats::default();
+        if probe_armed() {
+            self.probe.start(vecops::norm_sq(&self.v));
+        }
     }
 
     /// The estimator kind.
@@ -227,6 +311,13 @@ impl Estimator {
     /// Total per-sample gradient evaluations so far.
     pub fn grad_evals(&self) -> usize {
         self.grad_evals
+    }
+
+    /// The direction-norm probe accumulated since the last restart.
+    /// All-zero unless the `telemetry` feature is compiled in and the
+    /// collector was armed when the solve ran.
+    pub fn direction_stats(&self) -> DirectionStats {
+        self.probe
     }
 
     /// Advance to local step `t` at the new iterate `w_t` using mini-batch
@@ -272,6 +363,9 @@ impl Estimator {
             EstimatorKind::Sarah => "SARAH direction (8b)",
         };
         fedprox_tensor::guard::check_finite(op, &self.v);
+        if probe_armed() {
+            self.probe.push(vecops::norm_sq(&self.v));
+        }
     }
 
     /// `‖v − ∇F_n(w_t)‖` — the estimator error, used by the variance
@@ -439,6 +533,68 @@ mod tests {
         let mut sgd = Estimator::begin(EstimatorKind::Sgd, &m, &d, &w);
         sgd.step(&m, &d, &[0, 1], &w);
         assert_eq!(sgd.grad_evals(), 12);
+    }
+
+    #[test]
+    fn direction_stats_welford_matches_direct() {
+        let xs = [4.0, 1.0, 9.0, 2.0, 2.0];
+        let mut st = DirectionStats::default();
+        st.start(3.0);
+        for x in xs {
+            st.push(x);
+        }
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let m2: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+        assert!((st.mean_sq - mean).abs() < 1e-12);
+        assert!((st.m2_sq - m2).abs() < 1e-12);
+        assert_eq!(st.steps, 5);
+        assert_eq!(st.solves, 1);
+        assert!((st.anchor_sq - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_stats_merge_equals_pooled() {
+        let xs = [4.0, 1.0, 9.0, 2.0, 2.0, 7.5, 0.25];
+        let mut pooled = DirectionStats::default();
+        pooled.start(1.0);
+        let (mut a, mut b) = (DirectionStats::default(), DirectionStats::default());
+        a.start(0.25);
+        b.start(0.75);
+        for (i, x) in xs.iter().enumerate() {
+            pooled.push(*x);
+            if i < 3 {
+                a.push(*x);
+            } else {
+                b.push(*x);
+            }
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.steps, pooled.steps);
+        assert_eq!(merged.solves, 2);
+        assert!((merged.mean_sq - pooled.mean_sq).abs() < 1e-12);
+        assert!((merged.m2_sq - pooled.m2_sq).abs() < 1e-12);
+        assert!((merged.anchor_sq - 1.0).abs() < 1e-12);
+        // Merging into an empty accumulator copies the other side.
+        let mut empty = DirectionStats::default();
+        empty.merge(&pooled);
+        assert!((empty.mean_sq - pooled.mean_sq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_is_zero_when_disarmed() {
+        // Without the telemetry feature, or with it compiled but the
+        // collector disarmed, the probe must never record.
+        let d = toy_data(6);
+        let m = LinearRegression::new(2);
+        let mut est = Estimator::begin(EstimatorKind::Svrg, &m, &d, &[0.1, 0.2]);
+        est.step(&m, &d, &[0, 1], &[0.2, 0.1]);
+        #[cfg(not(feature = "telemetry"))]
+        assert_eq!(est.direction_stats(), DirectionStats::default());
+        #[cfg(feature = "telemetry")]
+        if !fedprox_telemetry::collector::is_armed() {
+            assert_eq!(est.direction_stats(), DirectionStats::default());
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod prox;
 pub mod solver;
 pub mod step;
 
-pub use estimator::{Estimator, EstimatorKind};
+pub use estimator::{DirectionStats, Estimator, EstimatorKind};
 pub use prox::{ElasticNetProx, IterativeProx, L1Prox, Proximal, QuadraticProx, SparseQuadraticProx, ZeroProx};
 pub use solver::{LocalOutcome, LocalSolver, LocalSolverConfig, SolveScratch};
 pub use step::StepSize;

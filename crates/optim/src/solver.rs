@@ -56,6 +56,9 @@ pub struct LocalOutcome {
     pub chosen_t: usize,
     /// Total per-sample gradient evaluations (compute-cost model input).
     pub grad_evals: usize,
+    /// Direction-norm probe for the health layer; all-zero unless the
+    /// `telemetry` feature is on and the collector was armed.
+    pub dir_stats: crate::estimator::DirectionStats,
 }
 
 /// Reusable buffers for repeated local solves (the per-round hot path):
@@ -236,7 +239,12 @@ impl LocalSolver {
             // always recorded; the fallback is the last iterate.
             IterateChoice::UniformRandom => kept.unwrap_or_else(|| scratch.w_t.clone()),
         };
-        LocalOutcome { w, chosen_t, grad_evals: est.grad_evals() }
+        LocalOutcome {
+            w,
+            chosen_t,
+            grad_evals: est.grad_evals(),
+            dir_stats: est.direction_stats(),
+        }
     }
 
     /// `‖∇J_n(w)‖` where `J_n = F_n + h` — the quantity the local accuracy

@@ -1,0 +1,162 @@
+//! `fedscope`: algorithm-health reports and run diffs from FedProxVR
+//! health JSONL traces.
+//!
+//! ```text
+//! fedscope report <health.jsonl> [--strict]   render health summary + timeline
+//! fedscope check  <health.jsonl>              schema validation (CI)
+//! fedscope diff   <a.jsonl> <b.jsonl>         regression view, b vs baseline a
+//! fedscope <health.jsonl>                     shorthand for `report`
+//! ```
+//!
+//! Exit codes are CI-gateable: `check` fails on schema violations,
+//! `diff` fails when the candidate run raises anomalies the baseline
+//! lacks, and `report --strict` fails when any anomaly is present.
+//! Works on any file produced by `--health` on the bench binaries;
+//! needs no cargo features.
+
+use fedprox_telemetry::jsonl;
+use fedprox_telemetry::scope::{self, HealthReport};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fedscope [report] <health.jsonl> [--strict]\n\
+                     \u{20}      fedscope check <health.jsonl>\n\
+                     \u{20}      fedscope diff <baseline.jsonl> <candidate.jsonl>";
+
+enum Cmd {
+    Report { path: String, strict: bool },
+    Check { path: String },
+    Diff { baseline: String, candidate: String },
+}
+
+fn parse_args(argv: &[String]) -> Result<Cmd, String> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut strict = false;
+    let mut sub: Option<&str> = None;
+    for (i, arg) in argv.iter().enumerate() {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "report" | "check" | "diff" if i == 0 => sub = Some(arg.as_str()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    match (sub, positional.as_slice()) {
+        (None | Some("report"), [path]) => Ok(Cmd::Report { path: path.clone(), strict }),
+        (Some("check"), [path]) => Ok(Cmd::Check { path: path.clone() }),
+        (Some("diff"), [a, b]) => Ok(Cmd::Diff { baseline: a.clone(), candidate: b.clone() }),
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn load(path: &str) -> Result<HealthReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let events = jsonl::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(HealthReport::from_events(&events))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_args(&argv) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(cmd) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("fedscope: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: Cmd) -> Result<ExitCode, String> {
+    match cmd {
+        Cmd::Report { path, strict } => {
+            let report = load(&path)?;
+            print!("{}", report.render());
+            if strict && !report.anomalies.is_empty() {
+                eprintln!("fedscope: --strict and {} anomalies present", report.anomalies.len());
+                return Ok(ExitCode::FAILURE);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Cmd::Check { path } => {
+            let report = load(&path)?;
+            let problems = report.validate();
+            if problems.is_empty() {
+                println!(
+                    "fedscope check: ok ({} samples, {} anomalies)",
+                    report.samples.len(),
+                    report.anomalies.len()
+                );
+                Ok(ExitCode::SUCCESS)
+            } else {
+                for p in &problems {
+                    eprintln!("fedscope check: {p}");
+                }
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        Cmd::Diff { baseline, candidate } => {
+            let base = load(&baseline)?;
+            let cand = load(&candidate)?;
+            let d = scope::diff(&base, &cand);
+            print!("{}", d.render());
+            Ok(if d.has_regression() { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn bare_path_is_report() {
+        match parse_args(&s(&["h.jsonl"])).unwrap() {
+            Cmd::Report { path, strict } => {
+                assert_eq!(path, "h.jsonl");
+                assert!(!strict);
+            }
+            _ => panic!("expected report"),
+        }
+    }
+
+    #[test]
+    fn report_strict_flag() {
+        match parse_args(&s(&["report", "h.jsonl", "--strict"])).unwrap() {
+            Cmd::Report { strict, .. } => assert!(strict),
+            _ => panic!("expected report"),
+        }
+    }
+
+    #[test]
+    fn diff_takes_two_paths() {
+        match parse_args(&s(&["diff", "a.jsonl", "b.jsonl"])).unwrap() {
+            Cmd::Diff { baseline, candidate } => {
+                assert_eq!(baseline, "a.jsonl");
+                assert_eq!(candidate, "b.jsonl");
+            }
+            _ => panic!("expected diff"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(parse_args(&s(&[])).is_err());
+        assert!(parse_args(&s(&["diff", "a.jsonl"])).is_err());
+        assert!(parse_args(&s(&["check", "a", "b"])).is_err());
+        assert!(parse_args(&s(&["--nope"])).is_err());
+        assert!(parse_args(&s(&["report", "a", "b"])).is_err());
+    }
+}

@@ -105,12 +105,125 @@ pub enum Event {
         /// Virtual-clock time at the end of the round.
         sim_time_s: f64,
     },
+    /// Per-round algorithm-health sample assembled by the core
+    /// `HealthMonitor`. Every field is derived from the deterministic
+    /// training trajectory (losses, gradient norms, virtual clock), so
+    /// health samples are bitwise-reproducible across armed runs with
+    /// the same seed. Optional fields encode as JSON `null` when absent.
+    Health {
+        /// Global round index (1-based; round 0 is the initial model).
+        round: u32,
+        /// Training loss at this round (always finite — rounds that
+        /// cannot produce a finite sample emit an [`Event::Anomaly`]
+        /// instead).
+        train_loss: f64,
+        /// `train_loss` minus the previous sampled round's loss
+        /// (0.0 on the first sample).
+        loss_delta: f64,
+        /// Squared gradient-mapping norm, the paper's eq. (12) gap.
+        grad_norm_sq: f64,
+        /// Measured local accuracy θ of criterion (11), when enabled.
+        theta: Option<f64>,
+        /// Lemma 1 admissible lower bound on θ for the configured τ
+        /// (inverse of eq. (55)); `None` when β ≤ 3.
+        theta_lo: Option<f64>,
+        /// Remark 2(1) admissible upper bound `θ_max(σ̄²)`.
+        theta_hi: Option<f64>,
+        /// Theorem 1 predicted stationarity envelope `Δ/(Θ·round)`,
+        /// when the federated factor Θ is positive.
+        bound: Option<f64>,
+        /// Mean squared estimator direction norm `‖v‖²` across all
+        /// inner steps of this round's participating local solves.
+        dir_mean_sq: f64,
+        /// Welford M2 of the squared direction norms (variance · n).
+        dir_m2: f64,
+        /// Mean squared anchor direction norm `‖v⁰‖²` across the
+        /// round's local solves (the variance-reduction reference).
+        dir_anchor_sq: f64,
+        /// Inner steps contributing to the direction statistics
+        /// (0 when probes were unavailable, e.g. networked backend).
+        dir_steps: u64,
+        /// Straggler skew from the sim clock: the round's slowest
+        /// device finish over the median finish, minus one. `None`
+        /// for local (non-networked) backends.
+        skew: Option<f64>,
+    },
+    /// A typed algorithm-health anomaly raised by a `HealthMonitor`
+    /// rule. Like [`Event::Health`], anomalies are derived only from
+    /// the deterministic trajectory.
+    Anomaly {
+        /// Global round index the rule fired on (1-based).
+        round: u32,
+        /// Which rule fired.
+        rule: AnomalyRule,
+        /// Offending device id, when the rule attributes one.
+        device: Option<u32>,
+        /// Rule-specific measured value (always finite; non-finite
+        /// measurements are clamped to `f64::MAX` by the monitor).
+        value: f64,
+        /// Rule-specific threshold the value was compared against.
+        limit: f64,
+    },
     /// Events discarded because a buffer cap was hit. Aggregates
     /// ([`Event::SpanStat`], [`Event::Counter`]) are never dropped.
     Dropped {
         /// Number of discarded events.
         count: u64,
     },
+}
+
+/// The fixed vocabulary of health-anomaly rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AnomalyRule {
+    /// Non-finite model parameters after aggregation.
+    NonFinite,
+    /// Training loss crossed the configured loss guard (or went
+    /// non-finite while parameters stayed finite).
+    LossGuard,
+    /// Measured θ exceeded the admissible Remark 2(1) ceiling.
+    ThetaViolation,
+    /// SVRG/SARAH direction second moment not shrinking relative to
+    /// its anchor: variance reduction is buying nothing.
+    VrIneffective,
+    /// A participating device contributed almost no gradient work
+    /// relative to the round's busiest device.
+    Starvation,
+}
+
+impl AnomalyRule {
+    /// Stable wire name used in the JSONL encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnomalyRule::NonFinite => "non_finite",
+            AnomalyRule::LossGuard => "loss_guard",
+            AnomalyRule::ThetaViolation => "theta_violation",
+            AnomalyRule::VrIneffective => "vr_ineffective",
+            AnomalyRule::Starvation => "starvation",
+        }
+    }
+
+    /// Inverse of [`AnomalyRule::name`]; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "non_finite" => Some(AnomalyRule::NonFinite),
+            "loss_guard" => Some(AnomalyRule::LossGuard),
+            "theta_violation" => Some(AnomalyRule::ThetaViolation),
+            "vr_ineffective" => Some(AnomalyRule::VrIneffective),
+            "starvation" => Some(AnomalyRule::Starvation),
+            _ => None,
+        }
+    }
+
+    /// Every rule, in a stable order (for report tables).
+    pub fn all() -> [AnomalyRule; 5] {
+        [
+            AnomalyRule::NonFinite,
+            AnomalyRule::LossGuard,
+            AnomalyRule::ThetaViolation,
+            AnomalyRule::VrIneffective,
+            AnomalyRule::Starvation,
+        ]
+    }
 }
 
 impl Event {
@@ -125,6 +238,8 @@ impl Event {
             Event::DeviceRound { .. } => "device_round",
             Event::Bytes { .. } => "bytes",
             Event::RoundEnd { .. } => "round_end",
+            Event::Health { .. } => "health",
+            Event::Anomaly { .. } => "anomaly",
             Event::Dropped { .. } => "dropped",
         }
     }
@@ -159,11 +274,41 @@ mod tests {
             },
             Event::Bytes { round: 0, kind: "k".into(), direction: "d".into(), bytes: 0 },
             Event::RoundEnd { round: 0, sim_time_s: 0.0 },
+            Event::Health {
+                round: 0,
+                train_loss: 0.0,
+                loss_delta: 0.0,
+                grad_norm_sq: 0.0,
+                theta: None,
+                theta_lo: None,
+                theta_hi: None,
+                bound: None,
+                dir_mean_sq: 0.0,
+                dir_m2: 0.0,
+                dir_anchor_sq: 0.0,
+                dir_steps: 0,
+                skew: None,
+            },
+            Event::Anomaly {
+                round: 0,
+                rule: AnomalyRule::NonFinite,
+                device: None,
+                value: 0.0,
+                limit: 0.0,
+            },
             Event::Dropped { count: 0 },
         ];
         let mut kinds: Vec<&str> = events.iter().map(Event::kind).collect();
         kinds.sort_unstable();
         kinds.dedup();
         assert_eq!(kinds.len(), events.len());
+    }
+
+    #[test]
+    fn anomaly_rule_names_roundtrip() {
+        for rule in AnomalyRule::all() {
+            assert_eq!(AnomalyRule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(AnomalyRule::from_name("nope"), None);
     }
 }

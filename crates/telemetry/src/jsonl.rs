@@ -7,7 +7,7 @@
 //! a `"t"` tag (see [`Event::kind`]); the parser accepts exactly the
 //! subset of JSON the writer emits (objects, arrays, strings, numbers).
 
-use crate::event::Event;
+use crate::event::{AnomalyRule, Event};
 use std::fmt::Write as _;
 
 // ---------------------------------------------------------------------------
@@ -39,6 +39,22 @@ fn push_f64(out: &mut String, v: f64) {
         let _ = write!(out, "{v}");
     } else {
         out.push_str("null");
+    }
+}
+
+fn push_opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => push_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+fn push_opt_u32(out: &mut String, v: Option<u32>) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
     }
 }
 
@@ -129,6 +145,52 @@ pub fn write_line(event: &Event) -> String {
         Event::RoundEnd { round, sim_time_s } => {
             let _ = write!(s, ",\"round\":{round},\"sim_time_s\":");
             push_f64(&mut s, *sim_time_s);
+        }
+        Event::Health {
+            round,
+            train_loss,
+            loss_delta,
+            grad_norm_sq,
+            theta,
+            theta_lo,
+            theta_hi,
+            bound,
+            dir_mean_sq,
+            dir_m2,
+            dir_anchor_sq,
+            dir_steps,
+            skew,
+        } => {
+            let _ = write!(s, ",\"round\":{round},\"loss\":");
+            push_f64(&mut s, *train_loss);
+            s.push_str(",\"dloss\":");
+            push_f64(&mut s, *loss_delta);
+            s.push_str(",\"gap\":");
+            push_f64(&mut s, *grad_norm_sq);
+            s.push_str(",\"theta\":");
+            push_opt_f64(&mut s, *theta);
+            s.push_str(",\"theta_lo\":");
+            push_opt_f64(&mut s, *theta_lo);
+            s.push_str(",\"theta_hi\":");
+            push_opt_f64(&mut s, *theta_hi);
+            s.push_str(",\"bound\":");
+            push_opt_f64(&mut s, *bound);
+            s.push_str(",\"dir_mean_sq\":");
+            push_f64(&mut s, *dir_mean_sq);
+            s.push_str(",\"dir_m2\":");
+            push_f64(&mut s, *dir_m2);
+            s.push_str(",\"dir_anchor_sq\":");
+            push_f64(&mut s, *dir_anchor_sq);
+            let _ = write!(s, ",\"dir_steps\":{dir_steps},\"skew\":");
+            push_opt_f64(&mut s, *skew);
+        }
+        Event::Anomaly { round, rule, device, value, limit } => {
+            let _ = write!(s, ",\"round\":{round},\"rule\":\"{}\",\"device\":", rule.name());
+            push_opt_u32(&mut s, *device);
+            s.push_str(",\"value\":");
+            push_f64(&mut s, *value);
+            s.push_str(",\"limit\":");
+            push_f64(&mut s, *limit);
         }
         Event::Dropped { count } => {
             let _ = write!(s, ",\"count\":{count}");
@@ -399,6 +461,30 @@ fn u32_field(obj: &Json, key: &str) -> Result<u32, String> {
         .map_err(|_| format!("field `{key}` exceeds u32"))
 }
 
+/// Optional number: JSON `null` parses to `None` (distinct from
+/// [`Json::as_f64`]'s `null` → NaN, so `Option<f64>` fields round-trip
+/// under `PartialEq`).
+fn opt_f64_field(obj: &Json, key: &str) -> Result<Option<f64>, String> {
+    match field(obj, key)? {
+        Json::Null => Ok(None),
+        other => other
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` is not a number or null")),
+    }
+}
+
+fn opt_u32_field(obj: &Json, key: &str) -> Result<Option<u32>, String> {
+    match field(obj, key)? {
+        Json::Null => Ok(None),
+        other => other
+            .as_u64()
+            .and_then(|v| u32::try_from(v).ok())
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` is not a u32 or null")),
+    }
+}
+
 fn str_field(obj: &Json, key: &str) -> Result<String, String> {
     Ok(field(obj, key)?
         .as_str()
@@ -479,6 +565,33 @@ fn event_from_json(obj: &Json) -> Result<Event, String> {
             round: u32_field(obj, "round")?,
             sim_time_s: f64_field(obj, "sim_time_s")?,
         }),
+        "health" => Ok(Event::Health {
+            round: u32_field(obj, "round")?,
+            train_loss: f64_field(obj, "loss")?,
+            loss_delta: f64_field(obj, "dloss")?,
+            grad_norm_sq: f64_field(obj, "gap")?,
+            theta: opt_f64_field(obj, "theta")?,
+            theta_lo: opt_f64_field(obj, "theta_lo")?,
+            theta_hi: opt_f64_field(obj, "theta_hi")?,
+            bound: opt_f64_field(obj, "bound")?,
+            dir_mean_sq: f64_field(obj, "dir_mean_sq")?,
+            dir_m2: f64_field(obj, "dir_m2")?,
+            dir_anchor_sq: f64_field(obj, "dir_anchor_sq")?,
+            dir_steps: u64_field(obj, "dir_steps")?,
+            skew: opt_f64_field(obj, "skew")?,
+        }),
+        "anomaly" => {
+            let rule_name = str_field(obj, "rule")?;
+            let rule = AnomalyRule::from_name(&rule_name)
+                .ok_or_else(|| format!("unknown anomaly rule `{rule_name}`"))?;
+            Ok(Event::Anomaly {
+                round: u32_field(obj, "round")?,
+                rule,
+                device: opt_u32_field(obj, "device")?,
+                value: f64_field(obj, "value")?,
+                limit: f64_field(obj, "limit")?,
+            })
+        }
         "dropped" => Ok(Event::Dropped { count: u64_field(obj, "count")? }),
         other => Err(format!("unknown event tag `{other}`")),
     }
@@ -547,6 +660,50 @@ mod tests {
             },
             Event::Bytes { round: 2, kind: "global_model".into(), direction: "down".into(), bytes: 4885 },
             Event::RoundEnd { round: 2, sim_time_s: 1.5 },
+            Event::Health {
+                round: 3,
+                train_loss: 0.61,
+                loss_delta: -0.02,
+                grad_norm_sq: 0.004,
+                theta: Some(0.31),
+                theta_lo: Some(0.12),
+                theta_hi: Some(0.71),
+                bound: Some(1.25),
+                dir_mean_sq: 0.9,
+                dir_m2: 0.04,
+                dir_anchor_sq: 1.1,
+                dir_steps: 80,
+                skew: Some(0.5),
+            },
+            Event::Health {
+                round: 4,
+                train_loss: 0.6,
+                loss_delta: -0.01,
+                grad_norm_sq: 0.003,
+                theta: None,
+                theta_lo: None,
+                theta_hi: None,
+                bound: None,
+                dir_mean_sq: 0.0,
+                dir_m2: 0.0,
+                dir_anchor_sq: 0.0,
+                dir_steps: 0,
+                skew: None,
+            },
+            Event::Anomaly {
+                round: 5,
+                rule: AnomalyRule::LossGuard,
+                device: None,
+                value: 2.0e9,
+                limit: 1.0e9,
+            },
+            Event::Anomaly {
+                round: 5,
+                rule: AnomalyRule::Starvation,
+                device: Some(3),
+                value: 4.0,
+                limit: 12.0,
+            },
             Event::Dropped { count: 7 },
         ]
     }
@@ -574,6 +731,20 @@ mod tests {
     #[test]
     fn unknown_tag_rejected() {
         assert!(parse_line("{\"t\":\"mystery\"}").is_err());
+    }
+
+    #[test]
+    fn every_anomaly_rule_roundtrips() {
+        for rule in AnomalyRule::all() {
+            let ev = Event::Anomaly { round: 1, rule, device: Some(0), value: 1.0, limit: 2.0 };
+            assert_eq!(parse_line(&write_line(&ev)).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn unknown_anomaly_rule_rejected() {
+        let line = "{\"t\":\"anomaly\",\"round\":1,\"rule\":\"gremlins\",\"device\":null,\"value\":1,\"limit\":2}";
+        assert!(parse_line(line).is_err());
     }
 
     #[test]

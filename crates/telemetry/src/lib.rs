@@ -22,10 +22,13 @@
 //!
 //! The event model lives in [`event`], the JSONL codec in [`jsonl`], and
 //! the aggregated per-run summary in [`summary`]. The `fedtrace` binary
-//! renders top-N tables from a JSONL trace.
+//! renders top-N tables from a JSONL trace; the `fedscope` binary reads
+//! the algorithm-health event family (built in [`scope`]) and diffs two
+//! runs for CI regression gating.
 
 pub mod event;
 pub mod jsonl;
+pub mod scope;
 pub mod summary;
 
 #[cfg(feature = "enabled")]

@@ -21,6 +21,13 @@ pub struct OpStat {
     pub total_micros: f64,
     /// Longest single activation in microseconds.
     pub max_micros: f64,
+    /// Median activation in microseconds, computed from the raw span
+    /// events present in the trace (a capped sample when the collector
+    /// hit its buffer limit). `None` when no raw spans were recorded.
+    pub p50_micros: Option<f64>,
+    /// 95th-percentile activation in microseconds (nearest-rank over
+    /// the same raw sample as `p50_micros`).
+    pub p95_micros: Option<f64>,
 }
 
 /// Per-device work and straggler summary (simulated seconds).
@@ -75,6 +82,19 @@ pub struct TelemetryReport {
     pub span_events: u64,
     /// Events discarded at the buffer cap.
     pub dropped: u64,
+    /// Algorithm-health samples present in the trace (see `fedscope`).
+    pub health_samples: u64,
+    /// Algorithm-health anomalies present in the trace (see `fedscope`).
+    pub anomalies: u64,
+}
+
+/// Nearest-rank percentile of an unsorted sample; `None` when empty.
+fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
 
 impl TelemetryReport {
@@ -91,20 +111,27 @@ impl TelemetryReport {
         let mut devices: BTreeMap<u32, DeviceStat> = BTreeMap::new();
         let mut bytes: BTreeMap<(String, String), BytesStat> = BTreeMap::new();
         let mut histograms: BTreeMap<String, (Vec<f64>, Vec<u64>)> = BTreeMap::new();
+        let mut durations: BTreeMap<(String, String), Vec<f64>> = BTreeMap::new();
         let mut rounds = 0u64;
         let mut span_events = 0u64;
         let mut dropped = 0u64;
+        let mut health_samples = 0u64;
+        let mut anomalies = 0u64;
 
         for ev in events {
             match ev {
                 Event::Span { layer, name, micros, .. } => {
                     span_events += 1;
-                    let e = raw.entry((layer.clone(), name.clone())).or_insert_with(|| OpStat {
+                    let key = (layer.clone(), name.clone());
+                    durations.entry(key.clone()).or_default().push(*micros);
+                    let e = raw.entry(key).or_insert_with(|| OpStat {
                         layer: layer.clone(),
                         name: name.clone(),
                         count: 0,
                         total_micros: 0.0,
                         max_micros: 0.0,
+                        p50_micros: None,
+                        p95_micros: None,
                     });
                     e.count = e.count.saturating_add(1);
                     e.total_micros += micros;
@@ -117,6 +144,8 @@ impl TelemetryReport {
                         count: 0,
                         total_micros: 0.0,
                         max_micros: 0.0,
+                        p50_micros: None,
+                        p95_micros: None,
                     });
                     e.count = e.count.saturating_add(*count);
                     e.total_micros += total_micros;
@@ -167,12 +196,23 @@ impl TelemetryReport {
                     e.rounds = e.rounds.saturating_add(1);
                 }
                 Event::RoundEnd { .. } => rounds = rounds.saturating_add(1),
+                Event::Health { .. } => health_samples = health_samples.saturating_add(1),
+                Event::Anomaly { .. } => anomalies = anomalies.saturating_add(1),
                 Event::Dropped { count } => dropped = dropped.saturating_add(*count),
             }
         }
 
         let mut ops: Vec<OpStat> =
             if stats.is_empty() { raw } else { stats }.into_values().collect();
+        // Percentiles always come from the raw sample (span_stat records
+        // carry no distribution), so attach them to whichever map won.
+        for op in &mut ops {
+            if let Some(sample) = durations.get_mut(&(op.layer.clone(), op.name.clone())) {
+                sample.sort_by(f64::total_cmp);
+                op.p50_micros = percentile(sample, 0.50);
+                op.p95_micros = percentile(sample, 0.95);
+            }
+        }
         ops.sort_by(|a, b| {
             b.total_micros
                 .total_cmp(&a.total_micros)
@@ -196,6 +236,8 @@ impl TelemetryReport {
             rounds,
             span_events,
             dropped,
+            health_samples,
+            anomalies,
         }
     }
 
@@ -207,24 +249,37 @@ impl TelemetryReport {
             "fedtrace summary: {} rounds, {} raw span events, {} dropped",
             self.rounds, self.span_events, self.dropped
         );
+        if self.health_samples > 0 || self.anomalies > 0 {
+            let _ = writeln!(
+                s,
+                "health: {} samples, {} anomalies (see `fedscope` for the full report)",
+                self.health_samples, self.anomalies
+            );
+        }
 
         if !self.ops.is_empty() {
             let _ = writeln!(s, "\n== slowest ops (top {top_n} by total time) ==");
             let _ = writeln!(
                 s,
-                "{:<8} {:<16} {:>10} {:>12} {:>10} {:>10}",
-                "layer", "op", "count", "total_ms", "mean_us", "max_us"
+                "{:<8} {:<16} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                "layer", "op", "count", "total_ms", "mean_us", "p50_us", "p95_us", "max_us"
             );
+            let fmt_pct = |p: Option<f64>| match p {
+                Some(v) => format!("{v:>10.2}"),
+                None => format!("{:>10}", "-"),
+            };
             for op in self.ops.iter().take(top_n) {
                 let mean = if op.count > 0 { op.total_micros / op.count as f64 } else { 0.0 };
                 let _ = writeln!(
                     s,
-                    "{:<8} {:<16} {:>10} {:>12.3} {:>10.2} {:>10.2}",
+                    "{:<8} {:<16} {:>10} {:>12.3} {:>10.2} {} {} {:>10.2}",
                     op.layer,
                     op.name,
                     op.count,
                     op.total_micros / 1000.0,
                     mean,
+                    fmt_pct(op.p50_micros),
+                    fmt_pct(op.p95_micros),
                     op.max_micros
                 );
             }
@@ -364,6 +419,67 @@ mod tests {
         assert_eq!(r.ops.len(), 1);
         assert_eq!(r.ops[0].count, 2);
         assert!((r.ops[0].total_micros - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_from_raw_spans() {
+        // 1..=100 µs: nearest-rank p50 = 50, p95 = 95.
+        let events: Vec<Event> = (1..=100)
+            .map(|i| Event::Span {
+                layer: "t".into(),
+                name: "a".into(),
+                micros: i as f64,
+                attrs: vec![],
+            })
+            .collect();
+        let r = TelemetryReport::from_events(&events);
+        assert_eq!(r.ops[0].p50_micros, Some(50.0));
+        assert_eq!(r.ops[0].p95_micros, Some(95.0));
+    }
+
+    #[test]
+    fn percentiles_attach_to_span_stats_when_raw_present() {
+        let r = TelemetryReport::from_events(&trace());
+        // softmax has one raw span (5.0 µs) plus an authoritative stat:
+        // totals come from the stat, percentiles from the raw sample.
+        let softmax = r.ops.iter().find(|o| o.name == "softmax").unwrap();
+        assert_eq!(softmax.count, 10);
+        assert_eq!(softmax.p50_micros, Some(5.0));
+        assert_eq!(softmax.p95_micros, Some(5.0));
+        // core.round has no raw spans at all → no percentiles.
+        let round = r.ops.iter().find(|o| o.name == "round").unwrap();
+        assert_eq!(round.p50_micros, None);
+    }
+
+    #[test]
+    fn health_events_counted() {
+        let mut events = trace();
+        events.push(Event::Health {
+            round: 1,
+            train_loss: 0.5,
+            loss_delta: 0.0,
+            grad_norm_sq: 0.1,
+            theta: None,
+            theta_lo: None,
+            theta_hi: None,
+            bound: None,
+            dir_mean_sq: 0.0,
+            dir_m2: 0.0,
+            dir_anchor_sq: 0.0,
+            dir_steps: 0,
+            skew: None,
+        });
+        events.push(Event::Anomaly {
+            round: 1,
+            rule: crate::event::AnomalyRule::LossGuard,
+            device: None,
+            value: 2.0,
+            limit: 1.0,
+        });
+        let r = TelemetryReport::from_events(&events);
+        assert_eq!(r.health_samples, 1);
+        assert_eq!(r.anomalies, 1);
+        assert!(r.render(5).contains("1 anomalies"));
     }
 
     #[test]

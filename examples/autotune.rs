@@ -66,5 +66,5 @@ fn main() {
             r.test_accuracy * 100.0
         );
     }
-    assert!(!h.diverged);
+    assert!(!h.diverged());
 }

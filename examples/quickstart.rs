@@ -76,7 +76,7 @@ fn main() {
         println!(
             "  best accuracy {:.1}%  (diverged: {})\n",
             history.best_accuracy() * 100.0,
-            history.diverged
+            history.diverged()
         );
     }
 

@@ -53,7 +53,7 @@ fn fingerprint(h: &History) -> Vec<(usize, u64, u64, u64, u64)> {
 fn same_seed_runs_are_bitwise_identical() {
     let a = run(1, 42);
     let b = run(1, 42);
-    assert!(!a.diverged && !b.diverged);
+    assert!(!a.diverged() && !b.diverged());
     assert!(!a.records.is_empty());
     assert_eq!(fingerprint(&a), fingerprint(&b), "same-seed runs drifted");
 }
@@ -69,6 +69,11 @@ fn different_seed_runs_differ() {
     );
 }
 
+/// The collector is process-global; the armed tests below must not
+/// interleave.
+#[cfg(feature = "telemetry")]
+static COLLECTOR_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Telemetry is observation, never perturbation: arming the collector
 /// mid-process must leave the training math bitwise-untouched. (The
 /// telemetry-off build is covered by the tests above being byte-for-byte
@@ -76,7 +81,9 @@ fn different_seed_runs_differ() {
 #[cfg(feature = "telemetry")]
 #[test]
 fn armed_telemetry_does_not_perturb_the_trajectory() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let plain = run(1, 42);
+    fedprox_telemetry::collector::reset();
     fedprox_telemetry::collector::arm();
     let traced = run(1, 42);
     let events = fedprox_telemetry::collector::drain();
@@ -87,4 +94,32 @@ fn armed_telemetry_does_not_perturb_the_trajectory() {
         fingerprint(&traced),
         "recording telemetry changed the training trajectory"
     );
+}
+
+/// The fedscope health stream is part of the determinism contract:
+/// health samples and anomalies derive only from the seeded trajectory
+/// (never from wall clocks), so two armed same-seed runs must serialize
+/// to byte-identical `--health` JSONL.
+#[cfg(feature = "telemetry")]
+#[test]
+fn armed_health_stream_is_bitwise_reproducible() {
+    use fedprox_telemetry::event::Event;
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let health_jsonl = || {
+        fedprox_telemetry::collector::reset();
+        fedprox_telemetry::collector::arm();
+        let h = run(1, 42);
+        let events = fedprox_telemetry::collector::drain();
+        fedprox_telemetry::collector::disarm();
+        let health: Vec<Event> = events
+            .into_iter()
+            .filter(|e| matches!(e, Event::Health { .. } | Event::Anomaly { .. }))
+            .collect();
+        (h, fedprox_telemetry::jsonl::to_jsonl(&health))
+    };
+    let (ha, a) = health_jsonl();
+    let (hb, b) = health_jsonl();
+    assert!(!ha.diverged() && !hb.diverged());
+    assert!(!a.is_empty(), "armed run produced no health samples");
+    assert_eq!(a, b, "same-seed health streams serialized differently");
 }

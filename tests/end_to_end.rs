@@ -38,7 +38,7 @@ fn all_algorithms_learn_synthetic_logistic() {
         Algorithm::FedProxVr(EstimatorKind::Sarah),
     ] {
         let h = FederatedTrainer::new(&model, &devices, &test, cfg(alg)).run();
-        assert!(!h.diverged, "{} diverged", alg.name());
+        assert!(!h.diverged(), "{} diverged", alg.name());
         let first = h.records[0].train_loss;
         let last = h.final_loss().unwrap();
         assert!(last < first * 0.9, "{}: {first:.3} -> {last:.3}", alg.name());
@@ -57,7 +57,7 @@ fn nonconvex_mlp_learns_federatedly() {
         cfg(Algorithm::FedProxVr(EstimatorKind::Svrg)).with_rounds(20),
     )
     .run();
-    assert!(!h.diverged);
+    assert!(!h.diverged());
     assert!(h.final_loss().unwrap() < h.records[0].train_loss);
 }
 
@@ -110,7 +110,7 @@ fn single_sample_devices_work() {
         cfg(Algorithm::FedProxVr(EstimatorKind::Svrg)).with_batch_size(4).with_rounds(5),
     )
     .run();
-    assert!(!h.diverged);
+    assert!(!h.diverged());
     assert_eq!(h.rounds_run, 5);
 }
 

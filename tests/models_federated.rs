@@ -74,7 +74,7 @@ fn linear_regression_federated() {
         cfg(Algorithm::FedProxVr(EstimatorKind::Sarah)),
     )
     .run();
-    assert!(!h.diverged);
+    assert!(!h.diverged());
     assert!(
         h.final_loss().unwrap() < 0.1 * h.records[0].train_loss,
         "linreg: {} -> {}",
@@ -94,7 +94,7 @@ fn svm_federated_reaches_high_accuracy() {
         cfg(Algorithm::FedProxVr(EstimatorKind::Svrg)),
     )
     .run();
-    assert!(!h.diverged);
+    assert!(!h.diverged());
     assert!(h.best_accuracy() > 0.95, "svm acc {}", h.best_accuracy());
 }
 
@@ -104,7 +104,7 @@ fn mlp_federated_all_algorithms() {
     let model = Mlp::new(2, 8, 2);
     for alg in [Algorithm::FedAvg, Algorithm::FedProx, Algorithm::Fsvrg] {
         let h = FederatedTrainer::new(&model, &devices, &test, cfg(alg)).run();
-        assert!(!h.diverged, "{}", alg.name());
+        assert!(!h.diverged(), "{}", alg.name());
         assert!(
             h.final_loss().unwrap() < h.records[0].train_loss,
             "{} did not descend",
@@ -143,7 +143,7 @@ fn hidden_cnn_federated() {
         cfg(Algorithm::FedProxVr(EstimatorKind::Svrg)).with_rounds(10).with_smoothness(2.0),
     )
     .run();
-    assert!(!h.diverged);
+    assert!(!h.diverged());
     assert!(h.final_loss().unwrap() < h.records[0].train_loss);
 }
 

@@ -87,7 +87,7 @@ fn span_count(events: &[Event], which_layer: &str, which_name: &str) -> u64 {
 fn sequential_run_produces_exact_aggregate_counts() {
     let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let (h, events) = traced_run(RunnerKind::Sequential);
-    assert!(!h.diverged);
+    assert!(!h.diverged());
 
     let r = ROUNDS as u64;
     let rn = (ROUNDS * DEVICES) as u64;
@@ -129,7 +129,7 @@ fn parallel_and_sequential_runs_count_identically() {
 fn networked_run_emits_per_round_simulation_events() {
     let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let (h, events) = traced_run(RunnerKind::Network(NetRunnerOptions::default()));
-    assert!(!h.diverged);
+    assert!(!h.diverged());
 
     let r = ROUNDS as u64;
     let rn = (ROUNDS * DEVICES) as u64;

@@ -175,7 +175,7 @@ fn theorem1_bound_holds_end_to_end() {
         .with_iterate_choice(IterateChoice::UniformRandom)
         .with_seed(42);
     let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
-    assert!(!h.diverged);
+    assert!(!h.diverged());
 
     // Δ(w̄⁰) upper estimate: initial loss minus the best loss seen (the
     // true optimum is below it, which only loosens the bound's numerator
