@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # CI gate: build → test (default / check / telemetry) → clippy → fedlint →
-# fedtrace smoke → perf-smoke → fedscope-smoke. Any failing stage fails
-# the run.
+# fedtrace smoke → perf-smoke → fedscope-smoke → fedresil-smoke. Any
+# failing stage fails the run.
 set -eu
 
 echo "==> cargo build --release"
@@ -69,5 +69,17 @@ cargo build -q --release -p fedprox-telemetry
 ./target/release/fedscope check "$PERF_TMP/health.jsonl"
 ./target/release/fedscope report "$PERF_TMP/health.jsonl" >/dev/null
 ./target/release/fedscope diff "$PERF_TMP/health.jsonl" "$PERF_TMP/health.jsonl" >/dev/null
+
+# fedresil-smoke: a short seeded faulted scenario (device crash at round 3
+# plus a 20% flaky link) must complete, record exactly the expected
+# participation (1 crashed device, 0 skipped rounds — enforced by the
+# --expect-* flags), and produce a health stream `fedscope check` accepts.
+# Reuses the telemetry-enabled bench build from the fedscope stage.
+echo "==> fedresil-smoke (seeded faulted scenario -> expected participation)"
+./target/release/fedresil --devices 4 --rounds 6 --seed 11 \
+    --crash 1:3 --flaky 2:0.2:1:6 \
+    --health "$PERF_TMP/resil_health.jsonl" \
+    --expect-crashed 1 --expect-skipped 0 >/dev/null
+./target/release/fedscope check "$PERF_TMP/resil_health.jsonl"
 
 echo "CI green."

@@ -261,6 +261,7 @@ mod tests {
             rounds_run: losses.len(),
             total_sim_time: 0.0,
             final_model: vec![],
+            participation: Vec::new(),
         }
     }
 

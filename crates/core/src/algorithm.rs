@@ -6,6 +6,7 @@ use crate::device::Device;
 use crate::metrics::{DivergenceCause, History, RoundRecord, RunningTotal};
 use crate::{eval, runner, server};
 use fedprox_data::Dataset;
+use fedprox_faults::{DeviceOutcome, RoundParticipation};
 use fedprox_models::LossModel;
 use fedprox_net::runtime::FnWorker;
 use fedprox_net::{DeviceReply, NetworkRuntime};
@@ -116,6 +117,9 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
         }
 
         let n = self.devices.len();
+        let resil = self.cfg.resilience.as_ref();
+        let mut participation: Vec<RoundParticipation> = Vec::new();
+        let mut dead = vec![false; n];
         for s in 1..=self.cfg.rounds {
             fedprox_telemetry::span!("core", "round", "s" => s);
             // Partial participation: sample ⌈pN⌉ devices for this round
@@ -130,6 +134,57 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
                     s as u64,
                 );
                 rand::seq::index::sample(&mut rng, n, k).into_vec()
+            };
+            // Resilience: apply the fault plan to the round's sample —
+            // crashed devices drop out for good, offline windows sit the
+            // round out — then gate on quorum before any local work. A
+            // round without enough responding weight is skipped (global
+            // model unchanged) and counted, never fatal.
+            let participants = if let Some(r) = resil {
+                let mut outcomes = vec![DeviceOutcome::NotSelected; n];
+                let mut active = Vec::with_capacity(participants.len());
+                for &i in &participants {
+                    if dead[i] || r.plan.is_crashed(i, s) {
+                        dead[i] = true;
+                        outcomes[i] = DeviceOutcome::Crashed;
+                    } else if r.plan.is_offline(i, s) {
+                        outcomes[i] = DeviceOutcome::Offline;
+                    } else {
+                        outcomes[i] = DeviceOutcome::Responded;
+                        active.push(i);
+                    }
+                }
+                let weight_sum: f64 = active.iter().map(|&i| weights[i]).sum();
+                let quorum_ok = r.quorum.met(weight_sum, active.len());
+                participation.push(RoundParticipation {
+                    round: s,
+                    outcomes,
+                    responder_weight: weight_sum,
+                    skipped: !quorum_ok,
+                });
+                #[cfg(feature = "telemetry")]
+                if let Some(m) = monitor.as_mut() {
+                    // `participation` is non-empty: pushed just above.
+                    if let Some(p) = participation.last() {
+                        m.note_participation(s, p.responder_fraction());
+                    }
+                }
+                if !quorum_ok {
+                    rounds_run = s;
+                    if s.is_multiple_of(self.cfg.eval_every) || s == self.cfg.rounds {
+                        let rec =
+                            self.evaluate(s, &global, None, total_grad_evals.get(), 0.0, 0);
+                        #[cfg(feature = "telemetry")]
+                        if let Some(m) = monitor.as_mut() {
+                            m.observe_eval(s, rec.train_loss, rec.grad_norm_sq, None);
+                        }
+                        records.push(rec);
+                    }
+                    continue;
+                }
+                active
+            } else {
+                participants
             };
             // FSVRG: the server aggregates and re-distributes the global
             // gradient before the local updates (one extra exchange).
@@ -237,6 +292,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
             rounds_run,
             total_sim_time: 0.0,
             final_model: global,
+            participation,
         }
     }
 
@@ -316,11 +372,17 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
             let r = &records[0];
             m.observe_eval(0, r.train_loss, r.grad_norm_sq, None);
         }
+        // The runtime's own resilience option wins when both are set;
+        // otherwise the trainer-level policy is handed down.
+        let mut net_opts = opts.net.clone();
+        if net_opts.resilience.is_none() {
+            net_opts.resilience = self.cfg.resilience.clone();
+        }
         let report = NetworkRuntime.run(
             workers,
             w0,
             cfg.rounds as u32,
-            &opts.net,
+            &net_opts,
             |round, global| {
                 let s = round as usize + 1;
                 if !vecops::all_finite(global) {
@@ -362,6 +424,9 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
         {
             if let Some(m) = monitor.as_mut() {
                 m.set_skews(&report.round_skews);
+                for p in &report.participation {
+                    m.note_participation(p.round, p.responder_fraction());
+                }
             }
             Self::flush_monitor(monitor);
         }
@@ -393,6 +458,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
             rounds_run: report.rounds_run as usize,
             total_sim_time: report.clock.now(),
             final_model: report.final_model,
+            participation: report.participation,
         }
     }
 
@@ -627,6 +693,84 @@ mod tests {
             .with_participation(0.5)
             .with_runner(RunnerKind::Network(NetRunnerOptions::default()));
         let _ = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+    }
+
+    #[test]
+    fn local_crash_excludes_device_and_records_participation() {
+        use fedprox_faults::{FaultPlan, Resilience};
+        let (devices, test, model) = federation(12);
+        let cfg = base_cfg(Algorithm::FedProxVr(EstimatorKind::Svrg)).with_rounds(6);
+        let faulted = cfg
+            .clone()
+            .with_resilience(Resilience::with_plan(FaultPlan::new().crash(2, 3)));
+        let h = FederatedTrainer::new(&model, &devices, &test, faulted.clone()).run();
+        assert!(!h.diverged());
+        assert_eq!(h.rounds_run, 6);
+        assert_eq!(h.participation.len(), 6);
+        for p in &h.participation {
+            assert!(!p.skipped);
+            if p.round >= 3 {
+                assert_eq!(p.outcomes[2], DeviceOutcome::Crashed);
+                assert_eq!(p.responders(), 3);
+                assert!(p.responder_weight < 1.0);
+            } else {
+                assert_eq!(p.responders(), 4);
+                assert!((p.responder_weight - 1.0).abs() < 1e-12);
+            }
+        }
+        // The faulted trajectory differs from the clean one…
+        let clean = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        assert!(clean.participation.is_empty());
+        assert_ne!(clean.final_loss(), h.final_loss());
+        // …and is reproducible bit-for-bit.
+        let h2 = FederatedTrainer::new(&model, &devices, &test, faulted).run();
+        assert_eq!(h.records, h2.records);
+        assert_eq!(h.participation, h2.participation);
+    }
+
+    #[test]
+    fn local_quorum_shortfall_skips_rounds_without_error() {
+        use fedprox_faults::{FaultPlan, QuorumPolicy, Resilience};
+        let (devices, test, model) = federation(13);
+        // Device 1 holds 90 of 270 training samples; while it is offline
+        // the responding weight 2/3 misses a 0.9 quorum and the round is
+        // skipped with the global model untouched.
+        let resil = Resilience::with_plan(FaultPlan::new().offline(1, 2, 3))
+            .with_quorum(QuorumPolicy::weight_fraction(0.9));
+        let cfg = base_cfg(Algorithm::FedAvg).with_rounds(5).with_resilience(resil);
+        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        assert!(!h.diverged());
+        assert_eq!(h.rounds_run, 5);
+        let skipped: Vec<usize> =
+            h.participation.iter().filter(|p| p.skipped).map(|p| p.round).collect();
+        assert_eq!(skipped, vec![2, 3]);
+        // eval_every = 1: skipped rounds leave the evaluated loss
+        // bitwise unchanged.
+        assert_eq!(h.records[1].round, 1);
+        assert_eq!(h.records[2].train_loss.to_bits(), h.records[1].train_loss.to_bits());
+        assert_eq!(h.records[3].train_loss.to_bits(), h.records[1].train_loss.to_bits());
+        assert_ne!(h.records[4].train_loss.to_bits(), h.records[3].train_loss.to_bits());
+    }
+
+    #[test]
+    fn local_zero_fault_resilience_matches_strict_run() {
+        use fedprox_faults::Resilience;
+        let (devices, test, model) = federation(14);
+        let cfg = base_cfg(Algorithm::FedProxVr(EstimatorKind::Sarah));
+        let strict = FederatedTrainer::new(&model, &devices, &test, cfg.clone()).run();
+        let resilient = FederatedTrainer::new(
+            &model,
+            &devices,
+            &test,
+            cfg.with_resilience(Resilience::default()),
+        )
+        .run();
+        assert_eq!(strict.records, resilient.records);
+        for (a, b) in strict.final_model.iter().zip(&resilient.final_model) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(resilient.participation.len(), 10);
+        assert!(resilient.participation.iter().all(|p| p.responders() == 4 && !p.skipped));
     }
 
     #[test]

@@ -5,6 +5,11 @@ use fedprox_net::NetOptions;
 use serde::{Deserialize, Serialize};
 
 /// Which execution backend runs the devices.
+// `Network` carries the full `NetOptions` (links, retry policy, optional
+// resilience plan) and dwarfs the unit variants; a run holds exactly one
+// `RunnerKind` inside its `FedConfig`, so the size gap never multiplies
+// and boxing would only add churn at every construction site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum RunnerKind {
     /// One device after another on the calling thread — fully
@@ -83,6 +88,13 @@ pub struct FedConfig {
     /// the non-smooth composite setting ProxSVRG/ProxSARAH were built
     /// for). 0 (default) recovers the paper's surrogate exactly.
     pub l1: f64,
+    /// Fault-injection plan and graceful-degradation policy (fedresil).
+    /// `None` (the default) keeps strict semantics: every sampled device
+    /// must respond and any worker failure aborts the run. `Some` runs
+    /// the round under the plan's device faults, excludes non-responders
+    /// with aggregation weights renormalized over the rest, and records
+    /// per-round participation in the [`crate::metrics::History`].
+    pub resilience: Option<fedprox_faults::Resilience>,
 }
 
 impl FedConfig {
@@ -105,6 +117,7 @@ impl FedConfig {
             participation: 1.0,
             step_override: None,
             l1: 0.0,
+            resilience: None,
         }
     }
 
@@ -188,6 +201,12 @@ impl FedConfig {
     pub fn with_l1(mut self, l1: f64) -> Self {
         assert!(l1 >= 0.0, "l1 must be non-negative");
         self.l1 = l1;
+        self
+    }
+    /// Run under a fault plan with graceful degradation (see the field
+    /// docs).
+    pub fn with_resilience(mut self, resilience: fedprox_faults::Resilience) -> Self {
+        self.resilience = Some(resilience);
         self
     }
 

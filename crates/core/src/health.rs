@@ -46,6 +46,12 @@ pub struct HealthConfig {
     /// Starvation fires for a device whose per-round gradient work falls
     /// below this share of the round's maximum.
     pub starvation_share: f64,
+    /// Participation-gap floor on the per-round responder fraction;
+    /// `None` (non-resilient runs) disables the rule.
+    pub participation_floor: Option<f64>,
+    /// Consecutive rounds the responder fraction must stay below the
+    /// floor before the participation-gap rule fires (once per run).
+    pub participation_window: usize,
 }
 
 impl Default for HealthConfig {
@@ -57,6 +63,8 @@ impl Default for HealthConfig {
             vr_active: false,
             vr_ratio_limit: 16.0,
             starvation_share: 0.1,
+            participation_floor: None,
+            participation_window: 3,
         }
     }
 }
@@ -84,7 +92,21 @@ impl HealthConfig {
         let theta_lo =
             theory.as_ref().and_then(|p| Lemma1::theta_min_for_tau(p, cfg.beta, cfg.tau));
         let theta_hi = sigma_bar_sq.map(theory::theta_max);
-        HealthConfig { theta_lo, theta_hi, theory, vr_active, ..Default::default() }
+        // Resilient runs watch for sustained participation shortfalls
+        // just above where the quorum policy would start skipping
+        // rounds: a quorum-adjacent floor, never below half the fleet.
+        let participation_floor = cfg
+            .resilience
+            .as_ref()
+            .map(|r| (1.25 * r.quorum.min_weight).clamp(0.5, 1.0));
+        HealthConfig {
+            theta_lo,
+            theta_hi,
+            theory,
+            vr_active,
+            participation_floor,
+            ..Default::default()
+        }
     }
 }
 
@@ -108,6 +130,8 @@ pub struct HealthMonitor {
     prev_loss: Option<f64>,
     delta0: Option<f64>,
     theta_ref: Option<f64>,
+    gap_streak: usize,
+    gap_fired: bool,
 }
 
 impl HealthMonitor {
@@ -121,6 +145,8 @@ impl HealthMonitor {
             prev_loss: None,
             delta0: None,
             theta_ref: None,
+            gap_streak: 0,
+            gap_fired: false,
         }
     }
 
@@ -238,6 +264,33 @@ impl HealthMonitor {
             dir_steps: dir.steps,
             skew: None,
         });
+    }
+
+    /// Feed one round's responder fraction (resilient runs only; local
+    /// backends call this as rounds finish, the networked backend
+    /// backfills from the runtime's participation records). The
+    /// participation-gap rule fires once per run, when the fraction has
+    /// stayed below the configured floor for `participation_window`
+    /// consecutive rounds.
+    pub fn note_participation(&mut self, round: usize, fraction: f64) {
+        let Some(floor) = self.cfg.participation_floor else {
+            return;
+        };
+        if fraction < floor {
+            self.gap_streak += 1;
+            if !self.gap_fired && self.gap_streak >= self.cfg.participation_window.max(1) {
+                self.gap_fired = true;
+                self.anomalies.push(Event::Anomaly {
+                    round: round as u32,
+                    rule: AnomalyRule::ParticipationGap,
+                    device: None,
+                    value: clamp_finite(fraction),
+                    limit: floor,
+                });
+            }
+        } else {
+            self.gap_streak = 0;
+        }
     }
 
     /// Forward the trainer's non-finite-parameters divergence check.
@@ -453,6 +506,65 @@ mod tests {
                 assert_eq!(*bound, None);
             }
         }
+    }
+
+    #[test]
+    fn participation_gap_needs_a_sustained_shortfall() {
+        let cfg = HealthConfig {
+            participation_floor: Some(0.75),
+            participation_window: 3,
+            ..Default::default()
+        };
+        let mut m = HealthMonitor::new(cfg);
+        // Two short dips separated by a recovery: streak resets, no fire.
+        m.note_participation(1, 0.5);
+        m.note_participation(2, 0.5);
+        m.note_participation(3, 1.0);
+        m.note_participation(4, 0.5);
+        m.note_participation(5, 0.5);
+        assert_eq!(m.anomaly_count(), 0);
+        // Third consecutive round below the floor fires, exactly once.
+        m.note_participation(6, 0.25);
+        m.note_participation(7, 0.25);
+        assert_eq!(m.anomaly_count(), 1);
+        let events = m.into_events();
+        assert_eq!(rule_rounds(&events, AnomalyRule::ParticipationGap), vec![6]);
+        match &events[0] {
+            Event::Anomaly { value, limit, device, .. } => {
+                assert_eq!(*value, 0.25);
+                assert_eq!(*limit, 0.75);
+                assert_eq!(*device, None);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn participation_gap_disabled_without_floor() {
+        let mut m = HealthMonitor::new(HealthConfig::default());
+        for r in 1..=10 {
+            m.note_participation(r, 0.0);
+        }
+        assert_eq!(m.anomaly_count(), 0);
+    }
+
+    #[test]
+    fn from_run_derives_quorum_adjacent_participation_floor() {
+        use crate::algorithm::Algorithm;
+        use fedprox_faults::{QuorumPolicy, Resilience};
+        let plain = FedConfig::new(Algorithm::FedAvg);
+        assert!(HealthConfig::from_run(&plain, None).participation_floor.is_none());
+        let resilient = plain
+            .clone()
+            .with_resilience(Resilience::default().with_quorum(QuorumPolicy::weight_fraction(0.6)));
+        let floor = HealthConfig::from_run(&resilient, None)
+            .participation_floor
+            .expect("resilient run must enable the rule");
+        assert!((floor - 0.75).abs() < 1e-12, "floor {floor}");
+        // A permissive quorum still gets the half-fleet default floor.
+        let lax = plain.with_resilience(Resilience::default());
+        let floor = HealthConfig::from_run(&lax, None).participation_floor.unwrap();
+        assert_eq!(floor, 0.5);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Per-round metric records and export.
 
 use crate::config::ConfigSummary;
+use fedprox_faults::RoundParticipation;
 use serde::{Deserialize, Serialize};
 
 /// Overflow-safe running total for the cumulative [`RoundRecord`] fields
@@ -111,6 +112,12 @@ pub struct History {
     /// no rounds).
     #[serde(default)]
     pub final_model: Vec<f64>,
+    /// Per-round device participation, one entry per executed round —
+    /// recorded only by resilient runs (a configured
+    /// [`fedprox_faults::Resilience`]); empty otherwise, and for results
+    /// JSON predating the field.
+    #[serde(default)]
+    pub participation: Vec<RoundParticipation>,
 }
 
 impl History {
@@ -217,6 +224,7 @@ mod tests {
             rounds_run: 3,
             total_sim_time: 0.0,
             final_model: vec![0.5, -0.5],
+            participation: Vec::new(),
         }
     }
 
@@ -324,6 +332,35 @@ mod tests {
         let h = History::from_json(&legacy).unwrap();
         assert_eq!(h.divergence, DivergenceCause::None);
         assert!(!h.diverged());
+    }
+
+    #[test]
+    fn participation_records_roundtrip_and_default_empty() {
+        use fedprox_faults::DeviceOutcome;
+        let mut h = history();
+        h.participation = vec![
+            RoundParticipation {
+                round: 1,
+                outcomes: vec![DeviceOutcome::Responded, DeviceOutcome::Responded],
+                responder_weight: 1.0,
+                skipped: false,
+            },
+            RoundParticipation {
+                round: 2,
+                outcomes: vec![DeviceOutcome::Responded, DeviceOutcome::Crashed],
+                responder_weight: 0.6,
+                skipped: true,
+            },
+        ];
+        let back = History::from_json(&h.to_json()).unwrap();
+        assert_eq!(back.participation, h.participation);
+        // Results JSON predating fedresil carries no participation key;
+        // it must parse with the field defaulting to empty.
+        let compact = serde_json::to_string(&history()).unwrap();
+        let legacy = compact.replace("\"participation\":[]", "\"pre_fedresil_probe\":[]");
+        assert_ne!(legacy, compact, "substitution failed: {compact}");
+        let h = History::from_json(&legacy).unwrap();
+        assert!(h.participation.is_empty());
     }
 
     #[test]

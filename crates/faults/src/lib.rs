@@ -1,0 +1,39 @@
+//! Deterministic fault injection and graceful degradation — `fedresil`.
+//!
+//! The paper's evaluation assumes every device finishes every round, but
+//! its own premise — heterogeneous, unreliable edge devices — is exactly
+//! the regime where devices crash, stall, and rejoin. This crate gives
+//! the simulation a real fault model without giving up the repo's
+//! determinism contract:
+//!
+//! * [`plan`] — a typed, serializable **fault schedule** per device
+//!   (crash-at-round, offline windows with rejoin, compute slowdowns,
+//!   flaky links) plus a seeded random-plan generator, so "20% of the
+//!   fleet is unreliable" is a reproducible experiment, not a dice roll,
+//! * [`policy`] — the server-side **degradation policies**: a retry /
+//!   capped-exponential-backoff policy for transfers, a per-round
+//!   simulated-time deadline, and a quorum rule deciding when a round
+//!   with missing devices still aggregates (weights renormalized over
+//!   the responders) versus being skipped-and-counted,
+//! * [`participation`] — the per-round **participation record** (who
+//!   responded, who crashed, who was offline, who missed the deadline)
+//!   that runs carry in their `History`.
+//!
+//! Everything here is driven by seeds and round indices only — no wall
+//! clocks, no ambient entropy — so a faulted run is bitwise-reproducible:
+//! same seed + same fault plan ⇒ identical trajectory, identical
+//! participation records, identical simulated time.
+//!
+//! Round indices in this crate are the **1-based global round `s`** of
+//! Algorithm 1 (round 0 is the initial model and cannot fault); the net
+//! runtime's internal 0-based wire round converts at the boundary.
+
+#![warn(missing_docs)]
+
+pub mod participation;
+pub mod plan;
+pub mod policy;
+
+pub use participation::{summarize, DeviceOutcome, ParticipationSummary, RoundParticipation};
+pub use plan::{stream_rng, DeviceFault, FaultPlan, FaultRates, PlannedFault};
+pub use policy::{QuorumPolicy, Resilience, RetryPolicy};

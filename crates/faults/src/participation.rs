@@ -1,0 +1,189 @@
+//! Per-round participation records: who responded, who didn't, and why.
+//!
+//! Backends running with a [`Resilience`] policy produce one
+//! [`RoundParticipation`] per global round; `History` carries the list
+//! so a finished run documents exactly which devices contributed to
+//! each aggregation — the ground truth the resilience experiments and
+//! the `participation_gap` health rule read.
+//!
+//! [`Resilience`]: crate::policy::Resilience
+
+use serde::{Deserialize, Serialize};
+
+/// What one device did in one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DeviceOutcome {
+    /// Finished its local work and was included in the aggregation (or
+    /// would have been, had the round met quorum).
+    Responded,
+    /// Permanently dead — planned crash or panicked worker under a
+    /// crash-tolerant policy. Never returns in later rounds.
+    Crashed,
+    /// Inside a planned offline window; will rejoin when it ends.
+    Offline,
+    /// Finished after the round deadline and was excluded.
+    DeadlineMiss,
+    /// Its link exhausted the retry policy this round; the device is
+    /// back next round.
+    LinkFailed,
+    /// Not sampled into this round's participant set (partial
+    /// participation in the local backends).
+    NotSelected,
+}
+
+impl DeviceOutcome {
+    /// Stable snake_case name, matching the serialized form.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceOutcome::Responded => "responded",
+            DeviceOutcome::Crashed => "crashed",
+            DeviceOutcome::Offline => "offline",
+            DeviceOutcome::DeadlineMiss => "deadline_miss",
+            DeviceOutcome::LinkFailed => "link_failed",
+            DeviceOutcome::NotSelected => "not_selected",
+        }
+    }
+}
+
+/// The participation record of one global round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundParticipation {
+    /// 1-based global round `s`.
+    pub round: usize,
+    /// Outcome per device, indexed by device id.
+    pub outcomes: Vec<DeviceOutcome>,
+    /// Responding fraction of the total federation aggregation weight
+    /// (`Σ D_n/D` over responders), in `[0, 1]`.
+    pub responder_weight: f64,
+    /// True when the round failed quorum and was skipped: the global
+    /// model was left unchanged and no aggregation happened.
+    #[serde(default)]
+    pub skipped: bool,
+}
+
+impl RoundParticipation {
+    /// Number of devices that responded.
+    pub fn responders(&self) -> usize {
+        self.count(DeviceOutcome::Responded)
+    }
+
+    /// Number of devices with the given outcome.
+    pub fn count(&self, outcome: DeviceOutcome) -> usize {
+        self.outcomes.iter().filter(|&&o| o == outcome).count()
+    }
+
+    /// Responding fraction of the device count (not weight), ignoring
+    /// devices the sampler never selected.
+    pub fn responder_fraction(&self) -> f64 {
+        let eligible = self.outcomes.len() - self.count(DeviceOutcome::NotSelected);
+        if eligible == 0 {
+            return 0.0;
+        }
+        self.responders() as f64 / eligible as f64
+    }
+}
+
+/// Aggregate view over a run's participation records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParticipationSummary {
+    /// Rounds covered.
+    pub rounds: usize,
+    /// Rounds skipped for failing quorum.
+    pub skipped_rounds: usize,
+    /// Distinct devices that ended the run crashed.
+    pub crashed_devices: usize,
+    /// Mean over rounds of the responding weight fraction.
+    pub mean_responder_weight: f64,
+    /// Total deadline misses across all rounds and devices.
+    pub deadline_misses: usize,
+    /// Total retry-exhausted link failures across all rounds and devices.
+    pub link_failures: usize,
+}
+
+/// Summarize a run's participation records. An empty slice gives the
+/// all-zero summary with `mean_responder_weight` 0.0.
+pub fn summarize(records: &[RoundParticipation]) -> ParticipationSummary {
+    let rounds = records.len();
+    let skipped_rounds = records.iter().filter(|r| r.skipped).count();
+    let crashed_devices = records
+        .last()
+        .map(|r| r.count(DeviceOutcome::Crashed))
+        .unwrap_or(0);
+    let mean_responder_weight = if rounds == 0 {
+        0.0
+    } else {
+        records.iter().map(|r| r.responder_weight).sum::<f64>() / rounds as f64
+    };
+    let deadline_misses = records.iter().map(|r| r.count(DeviceOutcome::DeadlineMiss)).sum();
+    let link_failures = records.iter().map(|r| r.count(DeviceOutcome::LinkFailed)).sum();
+    ParticipationSummary {
+        rounds,
+        skipped_rounds,
+        crashed_devices,
+        mean_responder_weight,
+        deadline_misses,
+        link_failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, outcomes: Vec<DeviceOutcome>, weight: f64) -> RoundParticipation {
+        RoundParticipation { round, outcomes, responder_weight: weight, skipped: false }
+    }
+
+    #[test]
+    fn counts_and_fractions() {
+        use DeviceOutcome::*;
+        let r = record(1, vec![Responded, Crashed, Responded, NotSelected], 0.6);
+        assert_eq!(r.responders(), 2);
+        assert_eq!(r.count(Crashed), 1);
+        assert!((r.responder_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_reads_crashes_from_final_round() {
+        use DeviceOutcome::*;
+        let records = vec![
+            record(1, vec![Responded, Responded, Responded], 1.0),
+            record(2, vec![Responded, LinkFailed, Responded], 0.7),
+            RoundParticipation {
+                round: 3,
+                outcomes: vec![Responded, Crashed, DeadlineMiss],
+                responder_weight: 0.3,
+                skipped: true,
+            },
+        ];
+        let s = summarize(&records);
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.skipped_rounds, 1);
+        assert_eq!(s.crashed_devices, 1);
+        assert_eq!(s.deadline_misses, 1);
+        assert_eq!(s.link_failures, 1);
+        assert!((s.mean_responder_weight - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_records_summarize_to_zero() {
+        let s = summarize(&[]);
+        assert_eq!(s.rounds, 0);
+        assert_eq!(s.mean_responder_weight, 0.0);
+    }
+
+    #[test]
+    fn outcomes_roundtrip_snake_case() {
+        let r = RoundParticipation {
+            round: 2,
+            outcomes: vec![DeviceOutcome::Responded, DeviceOutcome::DeadlineMiss],
+            responder_weight: 0.5,
+            skipped: true,
+        };
+        let json = serde_json::to_string(&r).unwrap_or_default();
+        assert!(json.contains("\"deadline_miss\""), "snake_case encoding missing: {json}");
+        let back: Result<RoundParticipation, _> = serde_json::from_str(&json);
+        assert_eq!(back.ok(), Some(r));
+    }
+}

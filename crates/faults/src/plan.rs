@@ -1,0 +1,372 @@
+//! The fault-schedule DSL: typed per-device fault plans and the seeded
+//! random-plan generator.
+//!
+//! A [`FaultPlan`] is data, not behaviour — it answers point queries
+//! ("is device 3 offline in round 5?", "what is device 1's effective
+//! link drop probability this round?") that the runtime backends consult
+//! each round. Plans serialize to JSON so a resilience scenario can be
+//! checked into an experiment spec and replayed exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One typed fault on one device. Round indices are 1-based global
+/// rounds (matching `History::records`); windows are inclusive on both
+/// ends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum DeviceFault {
+    /// The device dies at the start of `round` and never returns: it is
+    /// excluded from `round` and every later round.
+    CrashAtRound {
+        /// First round the device is gone (1-based).
+        round: usize,
+    },
+    /// The device is unreachable for rounds `from..=to` and rejoins at
+    /// `to + 1` (the federated "device left the charger" case).
+    OfflineWindow {
+        /// First offline round (1-based).
+        from: usize,
+        /// Last offline round (inclusive).
+        to: usize,
+    },
+    /// The device's compute time is multiplied by `mult` during rounds
+    /// `from..=to` (thermal throttling, background load). Overlapping
+    /// slow factors multiply.
+    SlowFactor {
+        /// Compute-time multiplier (≥ 1 for a slowdown).
+        mult: f64,
+        /// First affected round (1-based).
+        from: usize,
+        /// Last affected round (inclusive).
+        to: usize,
+    },
+    /// The device's link drops each transmission attempt with
+    /// probability `drop_prob` during rounds `from..=to`. Combines with
+    /// the global link drop probability by taking the maximum.
+    FlakyLink {
+        /// Per-attempt drop probability in `[0, 1)`.
+        drop_prob: f64,
+        /// First affected round (1-based).
+        from: usize,
+        /// Last affected round (inclusive).
+        to: usize,
+    },
+}
+
+/// A [`DeviceFault`] bound to the device it afflicts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannedFault {
+    /// Device id (position in the federation).
+    pub device: usize,
+    /// The fault.
+    pub fault: DeviceFault,
+}
+
+/// A full fault schedule: any number of faults over any devices.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Every planned fault. Order is irrelevant to the semantics.
+    #[serde(default)]
+    pub faults: Vec<PlannedFault>,
+}
+
+/// Per-device probabilities for [`FaultPlan::random`]. Each device
+/// independently draws at most one fault of each kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// Probability a device crashes at some uniformly-drawn round.
+    pub crash_prob: f64,
+    /// Probability a device has one offline window.
+    pub offline_prob: f64,
+    /// Probability a device has one slow window.
+    pub slow_prob: f64,
+    /// Probability a device has one flaky-link window.
+    pub flaky_prob: f64,
+    /// Slow-window multipliers are drawn uniformly from `[2, max]`.
+    pub max_slow_mult: f64,
+    /// Flaky-window drop probabilities are drawn uniformly from
+    /// `(0, max]`.
+    pub max_drop_prob: f64,
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates {
+            crash_prob: 0.1,
+            offline_prob: 0.1,
+            slow_prob: 0.2,
+            flaky_prob: 0.1,
+            max_slow_mult: 10.0,
+            max_drop_prob: 0.3,
+        }
+    }
+}
+
+/// Deterministic per-(round, device) RNG stream: mixes a master seed
+/// with both indices via SplitMix64, so draws are independent of
+/// arrival order and of every other stream. This is the same
+/// construction as `fedprox_data::synthetic::device_rng`, extended to
+/// two stream indices (the crates deliberately do not depend on each
+/// other).
+pub fn stream_rng(seed: u64, round: u64, device: u64) -> StdRng {
+    let mut z = seed
+        ^ round.wrapping_mul(0x9E3779B97F4A7C15)
+        ^ device.wrapping_mul(0xD1B54A32D192ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — every backend treats it exactly like
+    /// no plan at all).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Builder: add a crash.
+    pub fn crash(mut self, device: usize, round: usize) -> Self {
+        assert!(round >= 1, "fault rounds are 1-based");
+        self.faults.push(PlannedFault { device, fault: DeviceFault::CrashAtRound { round } });
+        self
+    }
+
+    /// Builder: add an offline window (inclusive; rejoin at `to + 1`).
+    pub fn offline(mut self, device: usize, from: usize, to: usize) -> Self {
+        assert!(from >= 1 && from <= to, "offline window must be a non-empty 1-based range");
+        self.faults.push(PlannedFault { device, fault: DeviceFault::OfflineWindow { from, to } });
+        self
+    }
+
+    /// Builder: add a slow window.
+    pub fn slow(mut self, device: usize, mult: f64, from: usize, to: usize) -> Self {
+        assert!(mult > 0.0 && mult.is_finite(), "slow multiplier must be positive and finite");
+        assert!(from >= 1 && from <= to, "slow window must be a non-empty 1-based range");
+        self.faults
+            .push(PlannedFault { device, fault: DeviceFault::SlowFactor { mult, from, to } });
+        self
+    }
+
+    /// Builder: add a flaky-link window.
+    pub fn flaky(mut self, device: usize, drop_prob: f64, from: usize, to: usize) -> Self {
+        assert!(
+            (0.0..1.0).contains(&drop_prob),
+            "flaky drop probability must be in [0, 1)"
+        );
+        assert!(from >= 1 && from <= to, "flaky window must be a non-empty 1-based range");
+        self.faults
+            .push(PlannedFault { device, fault: DeviceFault::FlakyLink { drop_prob, from, to } });
+        self
+    }
+
+    /// The round `device` crashes at, if any (the earliest, when several
+    /// crashes were scheduled).
+    pub fn crash_round(&self, device: usize) -> Option<usize> {
+        self.faults
+            .iter()
+            .filter(|f| f.device == device)
+            .filter_map(|f| match f.fault {
+                DeviceFault::CrashAtRound { round } => Some(round),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Whether `device` has crashed by global round `s` (1-based).
+    pub fn is_crashed(&self, device: usize, s: usize) -> bool {
+        self.crash_round(device).is_some_and(|r| s >= r)
+    }
+
+    /// Whether `device` is inside an offline window in round `s`.
+    pub fn is_offline(&self, device: usize, s: usize) -> bool {
+        self.faults.iter().filter(|f| f.device == device).any(|f| match f.fault {
+            DeviceFault::OfflineWindow { from, to } => (from..=to).contains(&s),
+            _ => false,
+        })
+    }
+
+    /// The compute-time multiplier for `device` in round `s` (product of
+    /// overlapping slow windows; 1.0 when none apply).
+    pub fn slow_factor(&self, device: usize, s: usize) -> f64 {
+        self.faults
+            .iter()
+            .filter(|f| f.device == device)
+            .filter_map(|f| match f.fault {
+                DeviceFault::SlowFactor { mult, from, to } if (from..=to).contains(&s) => {
+                    Some(mult)
+                }
+                _ => None,
+            })
+            .product()
+    }
+
+    /// The plan's per-attempt link drop probability for `device` in
+    /// round `s` (max over overlapping flaky windows; 0.0 when none).
+    pub fn drop_prob(&self, device: usize, s: usize) -> f64 {
+        self.faults
+            .iter()
+            .filter(|f| f.device == device)
+            .filter_map(|f| match f.fault {
+                DeviceFault::FlakyLink { drop_prob, from, to } if (from..=to).contains(&s) => {
+                    Some(drop_prob)
+                }
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Seeded random plan over `devices` devices and `rounds` rounds:
+    /// each device independently draws at most one fault of each kind
+    /// according to `rates`, from its own SplitMix64 stream, so the plan
+    /// is identical for identical `(seed, devices, rounds, rates)`
+    /// regardless of call order.
+    pub fn random(seed: u64, devices: usize, rounds: usize, rates: &FaultRates) -> Self {
+        let mut plan = FaultPlan::new();
+        if rounds == 0 {
+            return plan;
+        }
+        for d in 0..devices {
+            let mut rng = stream_rng(seed ^ 0x4653_5241, d as u64, 0);
+            if rates.crash_prob > 0.0 && rng.gen_range(0.0..1.0) < rates.crash_prob {
+                let round = rng.gen_range(1..=rounds);
+                plan = plan.crash(d, round);
+            }
+            if rates.offline_prob > 0.0 && rng.gen_range(0.0..1.0) < rates.offline_prob {
+                let from = rng.gen_range(1..=rounds);
+                let to = rng.gen_range(from..=rounds);
+                plan = plan.offline(d, from, to);
+            }
+            if rates.slow_prob > 0.0 && rng.gen_range(0.0..1.0) < rates.slow_prob {
+                let from = rng.gen_range(1..=rounds);
+                let to = rng.gen_range(from..=rounds);
+                let mult = rng.gen_range(2.0..=rates.max_slow_mult.max(2.0));
+                plan = plan.slow(d, mult, from, to);
+            }
+            let drop_cap = rates.max_drop_prob.clamp(0.0, 0.95);
+            if rates.flaky_prob > 0.0
+                && drop_cap > 0.0
+                && rng.gen_range(0.0..1.0) < rates.flaky_prob
+            {
+                let from = rng.gen_range(1..=rounds);
+                let to = rng.gen_range(from..=rounds);
+                let p = rng.gen_range(0.0..drop_cap);
+                plan = plan.flaky(d, p, from, to);
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_is_permanent_from_its_round() {
+        let plan = FaultPlan::new().crash(2, 3);
+        assert_eq!(plan.crash_round(2), Some(3));
+        assert!(!plan.is_crashed(2, 1));
+        assert!(!plan.is_crashed(2, 2));
+        assert!(plan.is_crashed(2, 3));
+        assert!(plan.is_crashed(2, 100));
+        assert!(!plan.is_crashed(0, 100));
+        // Earliest crash wins when several were scheduled.
+        let plan = plan.crash(2, 1);
+        assert_eq!(plan.crash_round(2), Some(1));
+    }
+
+    #[test]
+    fn offline_window_is_inclusive_and_rejoins() {
+        let plan = FaultPlan::new().offline(1, 2, 4);
+        assert!(!plan.is_offline(1, 1));
+        assert!(plan.is_offline(1, 2));
+        assert!(plan.is_offline(1, 4));
+        assert!(!plan.is_offline(1, 5)); // rejoined
+        assert!(!plan.is_offline(0, 3));
+    }
+
+    #[test]
+    fn slow_factors_multiply_and_drop_probs_max() {
+        let plan = FaultPlan::new()
+            .slow(0, 2.0, 1, 5)
+            .slow(0, 3.0, 4, 6)
+            .flaky(0, 0.2, 1, 3)
+            .flaky(0, 0.5, 3, 4);
+        assert_eq!(plan.slow_factor(0, 1), 2.0);
+        assert_eq!(plan.slow_factor(0, 4), 6.0); // overlap: 2 × 3
+        assert_eq!(plan.slow_factor(0, 6), 3.0);
+        assert_eq!(plan.slow_factor(0, 7), 1.0);
+        assert_eq!(plan.drop_prob(0, 1), 0.2);
+        assert_eq!(plan.drop_prob(0, 3), 0.5); // overlap: max
+        assert_eq!(plan.drop_prob(0, 5), 0.0);
+        assert_eq!(plan.slow_factor(1, 4), 1.0);
+    }
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let plan = FaultPlan::new()
+            .crash(0, 3)
+            .offline(1, 2, 4)
+            .slow(2, 5.0, 1, 10)
+            .flaky(3, 0.25, 2, 8);
+        let json = serde_json::to_string(&plan).unwrap_or_default();
+        assert!(json.contains("crash_at_round"), "tagged encoding missing: {json}");
+        let back: FaultPlan = serde_json::from_str(&json).unwrap_or_default();
+        assert_eq!(back, plan);
+        // An empty JSON object parses as an empty plan.
+        let empty: FaultPlan = serde_json::from_str("{}").unwrap_or_default();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let rates = FaultRates { crash_prob: 0.5, ..Default::default() };
+        let a = FaultPlan::random(7, 20, 10, &rates);
+        let b = FaultPlan::random(7, 20, 10, &rates);
+        assert_eq!(a, b, "same seed must give the same plan");
+        let c = FaultPlan::random(8, 20, 10, &rates);
+        assert_ne!(a, c, "different seeds should differ (20 devices at 50% crash)");
+        assert!(!a.is_empty(), "50% crash over 20 devices drew nothing");
+        // Every scheduled fault stays inside the round horizon.
+        for f in &a.faults {
+            match f.fault {
+                DeviceFault::CrashAtRound { round } => assert!((1..=10).contains(&round)),
+                DeviceFault::OfflineWindow { from, to }
+                | DeviceFault::SlowFactor { from, to, .. }
+                | DeviceFault::FlakyLink { from, to, .. } => {
+                    assert!(from >= 1 && from <= to && to <= 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rates_give_an_empty_plan() {
+        let rates = FaultRates {
+            crash_prob: 0.0,
+            offline_prob: 0.0,
+            slow_prob: 0.0,
+            flaky_prob: 0.0,
+            ..Default::default()
+        };
+        assert!(FaultPlan::random(1, 50, 10, &rates).is_empty());
+        assert!(FaultPlan::random(1, 50, 0, &FaultRates::default()).is_empty());
+    }
+
+    #[test]
+    fn stream_rng_is_order_independent() {
+        let draw = |r: u64, d: u64| stream_rng(9, r, d).gen_range(0.0..1.0);
+        let a = (draw(1, 0), draw(1, 1), draw(2, 0));
+        let b = (draw(1, 0), draw(1, 1), draw(2, 0));
+        assert_eq!(a, b);
+        assert_ne!(draw(1, 0), draw(1, 1), "streams must be independent");
+        assert_ne!(draw(1, 0), draw(2, 0), "streams must be independent");
+    }
+}

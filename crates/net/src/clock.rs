@@ -59,6 +59,29 @@ impl VirtualClock {
         max
     }
 
+    /// Advance by one synchronous round in which only some devices took
+    /// part. `candidates` holds each participating device's elapsed time
+    /// — a responder's finish, a missed round deadline, a failed link's
+    /// wasted transfer time — and the round lasts as long as the slowest
+    /// of them, or no time at all when nobody participated (the round
+    /// still counts). Waste accounting matches
+    /// [`VirtualClock::advance_round`] over the same candidates.
+    pub fn advance_partial_round(&mut self, candidates: &[f64]) -> f64 {
+        let mut max = 0.0f64;
+        let mut sum = 0.0f64;
+        for &c in candidates {
+            debug_assert!(c >= 0.0 && c.is_finite());
+            max = max.max(c);
+            sum += c;
+        }
+        self.now += max;
+        self.rounds += 1;
+        if !candidates.is_empty() {
+            self.straggler_waste += max - sum / candidates.len() as f64;
+        }
+        max
+    }
+
     /// Record traffic (bytes pushed server→devices and devices→server).
     pub fn record_traffic(&mut self, down: u64, up: u64) {
         self.bytes_down += down;
@@ -157,5 +180,29 @@ mod tests {
     #[should_panic(expected = "no devices")]
     fn empty_round_panics() {
         VirtualClock::new().advance_round(&[]);
+    }
+
+    #[test]
+    fn partial_round_matches_full_round_over_same_candidates() {
+        let mut full = VirtualClock::new();
+        full.advance_round(&[
+            DeviceRoundTiming { download: 0.25, compute: 0.5, upload: 0.25 },
+            DeviceRoundTiming { download: 0.25, compute: 2.0, upload: 0.25 },
+        ]);
+        let mut partial = VirtualClock::new();
+        let dur = partial.advance_partial_round(&[1.0, 2.5]);
+        assert!((dur - 2.5).abs() < 1e-12);
+        assert_eq!(partial.now().to_bits(), full.now().to_bits());
+        assert_eq!(partial.straggler_waste().to_bits(), full.straggler_waste().to_bits());
+        assert_eq!(partial.rounds(), 1);
+    }
+
+    #[test]
+    fn empty_partial_round_counts_but_costs_nothing() {
+        let mut clock = VirtualClock::new();
+        assert_eq!(clock.advance_partial_round(&[]), 0.0);
+        assert_eq!(clock.rounds(), 1);
+        assert_eq!(clock.now(), 0.0);
+        assert_eq!(clock.straggler_waste(), 0.0);
     }
 }

@@ -14,8 +14,11 @@
 //!   *maximum* over devices of (download + compute + upload), matching the
 //!   synchronous aggregation of Algorithm 1,
 //! * [`runtime`] — a thread-per-device actor runtime over crossbeam
-//!   channels, with failure injection (message drops with retransmission,
-//!   stragglers).
+//!   channels, with failure injection (message drops with bounded
+//!   retransmission, per-device compute multipliers) and an optional
+//!   graceful-degradation mode driven by `fedprox_faults`: planned
+//!   crashes/offline windows, round deadlines, and quorum aggregation
+//!   over the responder set.
 //!
 //! Virtual time — never wall-clock time — drives every experiment, so γ
 //! sweeps (Fig. 1) are exact and reproducible.

@@ -8,9 +8,20 @@
 //!
 //! Failure injection: links may drop messages with probability
 //! `drop_prob` — a drop costs one extra latency sample and is counted as
-//! a retransmission (the payload always arrives eventually, as a
-//! reliable transport would ensure); one device may be designated a
-//! straggler with a compute-time multiplier.
+//! a retransmission, bounded by the configurable [`RetryPolicy`] — and
+//! any number of devices may carry compute-time multipliers
+//! ([`NetOptions::compute_multipliers`]).
+//!
+//! With a [`Resilience`] policy attached the runtime switches into
+//! graceful-degradation mode: the fault plan removes crashed/offline
+//! devices before traffic happens, exhausted retries and missed round
+//! deadlines exclude a device from the round instead of erroring the
+//! run, aggregation renormalizes weights over the responder set, and
+//! rounds below quorum are skipped-and-counted. Every round then yields
+//! a [`RoundParticipation`] record in the report. Randomness in this
+//! mode comes from per-(round, device) streams ([`stream_rng`]) consumed
+//! in a fixed intra-device order (downlink → uplink → jitter), so reply
+//! arrival order cannot perturb the draw sequence.
 
 use crate::clock::{DeviceRoundTiming, VirtualClock};
 use crate::codec;
@@ -19,6 +30,7 @@ use crate::delay::LinkSpec;
 use crate::message::Message;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use fedprox_faults::{stream_rng, DeviceOutcome, Resilience, RetryPolicy, RoundParticipation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -53,8 +65,9 @@ pub enum NetError {
     UnexpectedMessage,
     /// Aggregation weights summed to zero.
     ZeroAggregationWeight,
-    /// A transfer was dropped more than the retry limit allows
-    /// (`drop_prob` too close to 1).
+    /// A transfer exhausted the [`RetryPolicy`] in strict (non-resilient)
+    /// mode, where a device that cannot be reached is fatal
+    /// (`drop_prob` too close to 1, or `max_retries` too small).
     RetryLimit,
     /// A device worker panicked inside the actor scope.
     WorkerPanic {
@@ -142,12 +155,23 @@ pub struct NetOptions {
     pub uplink: LinkSpec,
     /// Probability that any single transmission attempt is dropped.
     pub drop_prob: f64,
-    /// Optional straggler: `(device index, compute multiplier)`.
-    pub straggler: Option<(usize, f64)>,
+    /// Per-device compute-time multipliers `(device index, multiplier)`.
+    /// Any number of devices may be slowed (or sped up); entries naming
+    /// the same device multiply. [`NetOptions::with_straggler`] keeps the
+    /// classic single-straggler form.
+    pub compute_multipliers: Vec<(usize, f64)>,
     /// Optional per-round multiplicative compute jitter applied to every
     /// device's reported compute time (e.g. a LogNormal with μ = 0 models
     /// CPU contention on real handsets). Sampled per (device, round).
     pub compute_jitter: Option<crate::delay::DelayModel>,
+    /// Retry/backoff policy for every simulated transfer. The default
+    /// reproduces the historical hardcoded retransmit loop draw-for-draw
+    /// (up to 1000 retries, no backoff), so existing runs are unchanged.
+    pub retry: RetryPolicy,
+    /// Graceful-degradation mode (fault plan, round deadline, quorum).
+    /// `None` — the default — keeps the strict legacy behaviour: every
+    /// device must answer every round and any failure is fatal.
+    pub resilience: Option<Resilience>,
     /// Seed for the delay/drop randomness.
     pub seed: u64,
 }
@@ -158,10 +182,27 @@ impl Default for NetOptions {
             downlink: LinkSpec::constant(0.05),
             uplink: LinkSpec::constant(0.05),
             drop_prob: 0.0,
-            straggler: None,
+            compute_multipliers: Vec::new(),
             compute_jitter: None,
+            retry: RetryPolicy::default(),
+            resilience: None,
             seed: 0,
         }
+    }
+}
+
+impl NetOptions {
+    /// The classic single-straggler setup: multiply `device`'s compute
+    /// time by `mult` every round.
+    pub fn with_straggler(mut self, device: usize, mult: f64) -> Self {
+        self.compute_multipliers.push((device, mult));
+        self
+    }
+
+    /// Attach a graceful-degradation policy (see [`Resilience`]).
+    pub fn with_resilience(mut self, resilience: Resilience) -> Self {
+        self.resilience = Some(resilience);
+        self
     }
 }
 
@@ -183,6 +224,10 @@ pub struct NetReport {
     pub round_skews: Vec<f64>,
     /// Rounds actually executed (callback may stop early).
     pub rounds_run: u32,
+    /// Per-round participation records. Empty in strict mode
+    /// (`NetOptions::resilience` unset); one entry per executed round in
+    /// graceful-degradation mode, including skipped rounds.
+    pub participation: Vec<RoundParticipation>,
 }
 
 /// The actor runtime.
@@ -226,8 +271,13 @@ impl NetworkRuntime {
         let mut retransmissions = 0u64;
         let mut round_durations = Vec::new();
         let mut round_skews = Vec::new();
+        let mut participation: Vec<RoundParticipation> = Vec::new();
         let mut global = initial;
         let mut rounds_run = 0;
+        let resil = opts.resilience.as_ref();
+        // Devices gone for good: planned crashes once their round
+        // arrives, plus panicked workers under a crash-tolerant policy.
+        let mut dead = vec![false; n];
 
         let scope_outcome = crossbeam::scope(|scope| -> Result<(), NetError> {
             // Device actors.
@@ -289,6 +339,9 @@ impl NetworkRuntime {
             // forever and the scope would never join.
             let served = (|| -> Result<(), NetError> {
                 'rounds: for round in 0..rounds {
+                    // 1-based global round `s` of Algorithm 1, the index
+                    // every fault-plan query speaks.
+                    let s = round as usize + 1;
                     #[cfg(feature = "telemetry")]
                     let traffic_before = (clock.bytes_down(), clock.bytes_up());
                     let broadcast = {
@@ -297,20 +350,92 @@ impl NetworkRuntime {
                     };
                     let down_len = broadcast.len();
 
-                    // Simulate downlink per device (retransmit on drop).
+                    // Tentative outcome per device: the fault plan removes
+                    // crashed and offline devices before any traffic
+                    // happens; everyone else starts as a responder and may
+                    // be demoted below. In strict mode everyone responds
+                    // or the run errors.
+                    let mut outcomes: Vec<DeviceOutcome> = if let Some(resil) = resil {
+                        dead.iter_mut()
+                            .enumerate()
+                            .map(|(d, dead_d)| {
+                                if *dead_d || resil.plan.is_crashed(d, s) {
+                                    *dead_d = true;
+                                    DeviceOutcome::Crashed
+                                } else if resil.plan.is_offline(d, s) {
+                                    DeviceOutcome::Offline
+                                } else {
+                                    DeviceOutcome::Responded
+                                }
+                            })
+                            .collect()
+                    } else {
+                        vec![DeviceOutcome::Responded; n]
+                    };
+
+                    // Simulate downlink per reachable device (bounded
+                    // retransmit on drop) and hand the frame over.
                     let mut downloads = vec![0.0f64; n];
-                    for (d, dl) in downloads.iter_mut().enumerate() {
-                        let (delay, re) =
-                            simulate_transfer(&opts.downlink, down_len, opts.drop_prob, &mut rng)?;
-                        *dl = delay;
-                        retransmissions += re;
-                        clock.record_traffic((re + 1) * down_len as u64, 0);
-                        to_device[d]
-                            .send(broadcast.clone())
-                            .map_err(|_| NetError::ChannelClosed("device command channel"))?;
+                    let mut failed_elapsed = vec![0.0f64; n];
+                    let mut streams: Vec<Option<StdRng>> = (0..n).map(|_| None).collect();
+                    let mut sent = 0usize;
+                    for (d, outcome) in outcomes.iter_mut().enumerate() {
+                        if *outcome != DeviceOutcome::Responded {
+                            continue;
+                        }
+                        let transfer = if let Some(resil) = resil {
+                            // Per-(round, device) stream, consumed in a
+                            // fixed order (downlink now, uplink and jitter
+                            // at reply time), so draws are independent of
+                            // reply arrival order.
+                            let mut dev_rng =
+                                stream_rng(opts.seed ^ 0x6E75, s as u64, d as u64);
+                            let p = opts.drop_prob.max(resil.plan.drop_prob(d, s));
+                            let t = simulate_transfer(
+                                &opts.downlink,
+                                down_len,
+                                p,
+                                &mut dev_rng,
+                                &opts.retry,
+                            );
+                            streams[d] = Some(dev_rng);
+                            t
+                        } else {
+                            simulate_transfer(
+                                &opts.downlink,
+                                down_len,
+                                opts.drop_prob,
+                                &mut rng,
+                                &opts.retry,
+                            )
+                        };
+                        match transfer {
+                            Transfer::Delivered { delay, retries } => {
+                                downloads[d] = delay;
+                                retransmissions += retries;
+                                clock.record_traffic((retries + 1) * down_len as u64, 0);
+                                to_device[d]
+                                    .send(broadcast.clone())
+                                    .map_err(|_| NetError::ChannelClosed("device command channel"))?;
+                                sent += 1;
+                            }
+                            Transfer::Exhausted { wasted, retries } => {
+                                if resil.is_none() {
+                                    return Err(NetError::RetryLimit);
+                                }
+                                // The attempts still burned air time and
+                                // bandwidth; the device never gets the
+                                // model this round and rejoins next round.
+                                retransmissions += retries;
+                                clock.record_traffic((retries + 1) * down_len as u64, 0);
+                                *outcome = DeviceOutcome::LinkFailed;
+                                failed_elapsed[d] = wasted;
+                            }
+                        }
                     }
 
-                    // Collect all local models.
+                    // Collect the local models we are owed (one reply per
+                    // frame actually delivered).
                     let mut timings = vec![
                         DeviceRoundTiming { download: 0.0, compute: 0.0, upload: 0.0 };
                         n
@@ -320,7 +445,7 @@ impl NetworkRuntime {
                     // associative, and the sequential/parallel backends sum in
                     // id order, so this keeps all three backends bit-identical.
                     let mut slots: Vec<Option<(Vec<f64>, f64)>> = vec![None; n];
-                    for _ in 0..n {
+                    for _ in 0..sent {
                         let frame = {
                             fedprox_telemetry::span!("net", "recv_wait", "round" => round);
                             reply_rx
@@ -344,68 +469,208 @@ impl NetworkRuntime {
                                     });
                                 }
                                 let d = device as usize;
-                                let (up_delay, re) = simulate_transfer(
-                                    &opts.uplink,
-                                    up_len,
-                                    opts.drop_prob,
-                                    &mut rng,
-                                )?;
-                                retransmissions += re;
-                                clock.record_traffic(0, (re + 1) * up_len as u64);
                                 let mut compute = compute_time;
-                                if let Some((straggler, mult)) = opts.straggler {
-                                    if d == straggler {
+                                for &(dev, mult) in &opts.compute_multipliers {
+                                    if dev == d {
                                         compute *= mult;
                                     }
                                 }
-                                if let Some(jitter) = &opts.compute_jitter {
-                                    compute *= jitter.sample(&mut rng);
+                                if let Some(resil) = resil {
+                                    compute *= resil.plan.slow_factor(d, s);
+                                    let dev_rng = streams[d]
+                                        .as_mut()
+                                        .ok_or(NetError::UnexpectedMessage)?;
+                                    let p = opts.drop_prob.max(resil.plan.drop_prob(d, s));
+                                    let transfer = simulate_transfer(
+                                        &opts.uplink,
+                                        up_len,
+                                        p,
+                                        dev_rng,
+                                        &opts.retry,
+                                    );
+                                    if let Some(jitter) = &opts.compute_jitter {
+                                        compute *= jitter.sample(dev_rng);
+                                    }
+                                    match transfer {
+                                        Transfer::Delivered { delay, retries } => {
+                                            retransmissions += retries;
+                                            clock.record_traffic(0, (retries + 1) * up_len as u64);
+                                            let timing = DeviceRoundTiming {
+                                                download: downloads[d],
+                                                compute,
+                                                upload: delay,
+                                            };
+                                            let missed = resil
+                                                .deadline_s
+                                                .is_some_and(|deadline| timing.total() > deadline);
+                                            timings[d] = timing;
+                                            if missed {
+                                                outcomes[d] = DeviceOutcome::DeadlineMiss;
+                                            } else {
+                                                slots[d] = Some((params, weight));
+                                            }
+                                        }
+                                        Transfer::Exhausted { wasted, retries } => {
+                                            retransmissions += retries;
+                                            clock.record_traffic(0, (retries + 1) * up_len as u64);
+                                            outcomes[d] = DeviceOutcome::LinkFailed;
+                                            failed_elapsed[d] = downloads[d] + compute + wasted;
+                                        }
+                                    }
+                                } else {
+                                    match simulate_transfer(
+                                        &opts.uplink,
+                                        up_len,
+                                        opts.drop_prob,
+                                        &mut rng,
+                                        &opts.retry,
+                                    ) {
+                                        Transfer::Delivered { delay, retries } => {
+                                            retransmissions += retries;
+                                            clock.record_traffic(0, (retries + 1) * up_len as u64);
+                                            if let Some(jitter) = &opts.compute_jitter {
+                                                compute *= jitter.sample(&mut rng);
+                                            }
+                                            timings[d] = DeviceRoundTiming {
+                                                download: downloads[d],
+                                                compute,
+                                                upload: delay,
+                                            };
+                                            slots[d] = Some((params, weight));
+                                        }
+                                        Transfer::Exhausted { .. } => {
+                                            return Err(NetError::RetryLimit);
+                                        }
+                                    }
                                 }
-                                timings[d] = DeviceRoundTiming {
-                                    download: downloads[d],
-                                    compute,
-                                    upload: up_delay,
-                                };
-                                slots[d] = Some((params, weight));
                             }
                             Message::Panicked { device, .. } => {
-                                return Err(NetError::WorkerPanic { device: Some(device) });
+                                let tolerate = resil.is_some_and(|r| r.crash_on_panic);
+                                if !tolerate {
+                                    return Err(NetError::WorkerPanic { device: Some(device) });
+                                }
+                                let d = device as usize;
+                                dead[d] = true;
+                                outcomes[d] = DeviceOutcome::Crashed;
                             }
                             Message::GlobalModel { .. } | Message::Shutdown => {
                                 return Err(NetError::UnexpectedMessage);
                             }
                         }
                     }
-                    let mut agg = vec![0.0f64; dim];
-                    let mut weight_sum = 0.0;
-                    for (d, slot) in slots.iter().enumerate() {
-                        let (params, weight) =
-                            slot.as_ref().ok_or(NetError::MissingReply { device: d })?;
-                        for (a, p) in agg.iter_mut().zip(params) {
-                            *a += weight * p;
+
+                    if let Some(resil) = resil {
+                        // Aggregate over the responder set, weights
+                        // renormalized over responders; below quorum the
+                        // round is skipped-and-counted (global unchanged).
+                        let mut agg = vec![0.0f64; dim];
+                        let mut weight_sum = 0.0;
+                        let mut responders = 0usize;
+                        for (params, weight) in slots.iter().flatten() {
+                            for (a, p) in agg.iter_mut().zip(params) {
+                                *a += weight * p;
+                            }
+                            weight_sum += weight;
+                            responders += 1;
                         }
-                        weight_sum += weight;
-                    }
-                    if weight_sum <= 0.0 {
-                        return Err(NetError::ZeroAggregationWeight);
-                    }
-                    for a in agg.iter_mut() {
-                        *a /= weight_sum;
-                    }
-                    global = agg;
-                    round_durations.push(clock.advance_round(&timings));
-                    round_skews.push(round_skew(&timings));
-                    rounds_run = round + 1;
-                    #[cfg(feature = "telemetry")]
-                    record_round_telemetry(
-                        round,
-                        &timings,
-                        clock.bytes_down() - traffic_before.0,
-                        clock.bytes_up() - traffic_before.1,
-                        clock.now(),
-                    );
-                    if !on_round(round, &global) {
-                        break 'rounds;
+                        let quorum_ok = resil.quorum.met(weight_sum, responders);
+                        if quorum_ok {
+                            for a in agg.iter_mut() {
+                                *a /= weight_sum;
+                            }
+                            global = agg;
+                        }
+                        // Round duration: responders contribute their
+                        // finish, deadline misses the deadline itself (the
+                        // server stops waiting there), failed links their
+                        // wasted transfer time capped at the deadline.
+                        let mut candidates = Vec::with_capacity(n);
+                        let mut finishes = Vec::with_capacity(n);
+                        for (d, outcome) in outcomes.iter().enumerate() {
+                            match outcome {
+                                DeviceOutcome::Responded => {
+                                    let f = timings[d].total();
+                                    candidates.push(f);
+                                    finishes.push(f);
+                                }
+                                DeviceOutcome::DeadlineMiss => {
+                                    if let Some(deadline) = resil.deadline_s {
+                                        candidates.push(deadline);
+                                    }
+                                }
+                                DeviceOutcome::LinkFailed => {
+                                    let e = failed_elapsed[d];
+                                    candidates.push(match resil.deadline_s {
+                                        Some(deadline) => e.min(deadline),
+                                        None => e,
+                                    });
+                                }
+                                _ => {}
+                            }
+                        }
+                        round_durations.push(clock.advance_partial_round(&candidates));
+                        round_skews.push(skew_from_finishes(finishes));
+                        participation.push(RoundParticipation {
+                            round: s,
+                            outcomes: outcomes.clone(),
+                            responder_weight: weight_sum,
+                            skipped: !quorum_ok,
+                        });
+                        rounds_run = round + 1;
+                        #[cfg(feature = "telemetry")]
+                        {
+                            let responder_timings: Vec<(usize, DeviceRoundTiming)> = outcomes
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, o)| **o == DeviceOutcome::Responded)
+                                .map(|(d, _)| (d, timings[d]))
+                                .collect();
+                            record_round_telemetry(
+                                round,
+                                &responder_timings,
+                                clock.bytes_down() - traffic_before.0,
+                                clock.bytes_up() - traffic_before.1,
+                                clock.now(),
+                            );
+                            if let Some(rec) = participation.last() {
+                                record_participation_telemetry(rec);
+                            }
+                        }
+                        if !on_round(round, &global) {
+                            break 'rounds;
+                        }
+                    } else {
+                        let mut agg = vec![0.0f64; dim];
+                        let mut weight_sum = 0.0;
+                        for (d, slot) in slots.iter().enumerate() {
+                            let (params, weight) =
+                                slot.as_ref().ok_or(NetError::MissingReply { device: d })?;
+                            for (a, p) in agg.iter_mut().zip(params) {
+                                *a += weight * p;
+                            }
+                            weight_sum += weight;
+                        }
+                        if weight_sum <= 0.0 {
+                            return Err(NetError::ZeroAggregationWeight);
+                        }
+                        for a in agg.iter_mut() {
+                            *a /= weight_sum;
+                        }
+                        global = agg;
+                        round_durations.push(clock.advance_round(&timings));
+                        round_skews.push(round_skew(&timings));
+                        rounds_run = round + 1;
+                        #[cfg(feature = "telemetry")]
+                        record_round_telemetry(
+                            round,
+                            &timings.iter().copied().enumerate().collect::<Vec<_>>(),
+                            clock.bytes_down() - traffic_before.0,
+                            clock.bytes_up() - traffic_before.1,
+                            clock.now(),
+                        );
+                        if !on_round(round, &global) {
+                            break 'rounds;
+                        }
                     }
                 }
                 Ok(())
@@ -430,6 +695,7 @@ impl NetworkRuntime {
             round_durations,
             round_skews,
             rounds_run,
+            participation,
         })
     }
 }
@@ -438,8 +704,15 @@ impl NetworkRuntime {
 /// one. Computed for every run (armed or not) so the report's shape never
 /// depends on telemetry state.
 fn round_skew(timings: &[DeviceRoundTiming]) -> f64 {
-    let mut finishes: Vec<f64> =
-        timings.iter().map(|t| t.download + t.compute + t.upload).collect();
+    skew_from_finishes(timings.iter().map(|t| t.download + t.compute + t.upload).collect())
+}
+
+/// Skew over an arbitrary set of finish times (only responders, in
+/// resilient rounds). Fewer than two finishes cannot skew.
+fn skew_from_finishes(mut finishes: Vec<f64>) -> f64 {
+    if finishes.len() < 2 {
+        return 0.0;
+    }
     finishes.sort_by(f64::total_cmp);
     let m = finishes.len();
     let median = if m % 2 == 1 {
@@ -467,7 +740,7 @@ fn round_skew(timings: &[DeviceRoundTiming]) -> f64 {
 #[cfg(feature = "telemetry")]
 fn record_round_telemetry(
     round: u32,
-    timings: &[DeviceRoundTiming],
+    timings: &[(usize, DeviceRoundTiming)],
     down_bytes: u64,
     up_bytes: u64,
     sim_now: f64,
@@ -478,27 +751,29 @@ fn record_round_telemetry(
         return;
     }
     let finishes: Vec<f64> =
-        timings.iter().map(|t| t.download + t.compute + t.upload).collect();
+        timings.iter().map(|(_, t)| t.download + t.compute + t.upload).collect();
     let mut sorted = finishes.clone();
     sorted.sort_by(f64::total_cmp);
     let m = sorted.len();
-    let median = if m % 2 == 1 {
-        sorted[m / 2]
-    } else {
-        0.5 * (sorted[m / 2 - 1] + sorted[m / 2])
-    };
-    for (d, t) in timings.iter().enumerate() {
-        let lag = finishes[d] - median;
-        collector::record_event(Event::DeviceRound {
-            round,
-            device: d as u32,
-            download_s: t.download,
-            compute_s: t.compute,
-            upload_s: t.upload,
-            finish_s: finishes[d],
-            lag_s: lag,
-        });
-        fedprox_telemetry::histogram!("net.straggler_lag_s", lag.max(0.0));
+    if m > 0 {
+        let median = if m % 2 == 1 {
+            sorted[m / 2]
+        } else {
+            0.5 * (sorted[m / 2 - 1] + sorted[m / 2])
+        };
+        for ((d, t), finish) in timings.iter().zip(&finishes) {
+            let lag = finish - median;
+            collector::record_event(Event::DeviceRound {
+                round,
+                device: *d as u32,
+                download_s: t.download,
+                compute_s: t.compute,
+                upload_s: t.upload,
+                finish_s: *finish,
+                lag_s: lag,
+            });
+            fedprox_telemetry::histogram!("net.straggler_lag_s", lag.max(0.0));
+        }
     }
     collector::record_event(Event::Bytes {
         round,
@@ -515,24 +790,92 @@ fn record_round_telemetry(
     collector::record_event(Event::RoundEnd { round, sim_time_s: sim_now });
 }
 
-/// One logical transfer over `link`: retries until a send succeeds, each
-/// attempt costing a fresh delay sample. Returns `(total delay, retries)`.
+/// Emit the participation observations of one resilient round: running
+/// outcome counters plus one structured [`Participation`] event carrying
+/// the round's responder weight and skip flag. Like every fedtrace
+/// emission this observes — it never perturbs the run.
+///
+/// [`Participation`]: fedprox_telemetry::event::Event::Participation
+#[cfg(feature = "telemetry")]
+fn record_participation_telemetry(rec: &RoundParticipation) {
+    use fedprox_telemetry::collector;
+    use fedprox_telemetry::event::Event;
+    if !collector::is_armed() {
+        return;
+    }
+    let responded = rec.responders();
+    let crashed = rec.count(DeviceOutcome::Crashed);
+    let offline = rec.count(DeviceOutcome::Offline);
+    let deadline_miss = rec.count(DeviceOutcome::DeadlineMiss);
+    let link_failed = rec.count(DeviceOutcome::LinkFailed);
+    fedprox_telemetry::counter!("net.participation.responded", responded as u64);
+    fedprox_telemetry::counter!("net.participation.crashed", crashed as u64);
+    fedprox_telemetry::counter!("net.participation.offline", offline as u64);
+    fedprox_telemetry::counter!("net.participation.link_failed", link_failed as u64);
+    fedprox_telemetry::counter!("net.round.deadline_miss", deadline_miss as u64);
+    if rec.skipped {
+        fedprox_telemetry::counter!("net.round.skipped", 1u64);
+    }
+    collector::record_event(Event::Participation {
+        round: rec.round as u32,
+        responded: responded as u32,
+        crashed: crashed as u32,
+        offline: offline as u32,
+        deadline_miss: deadline_miss as u32,
+        link_failed: link_failed as u32,
+        weight: rec.responder_weight,
+        skipped: u32::from(rec.skipped),
+    });
+}
+
+/// Result of one logical transfer.
+enum Transfer {
+    /// The payload arrived `delay` simulated seconds after the send
+    /// started (all attempts plus any policy backoff), after `retries`
+    /// retransmissions.
+    Delivered {
+        /// Total simulated delay.
+        delay: f64,
+        /// Dropped attempts before the one that got through.
+        retries: u64,
+    },
+    /// The retry policy gave up: every attempt was dropped, wasting
+    /// `wasted` simulated seconds of air time.
+    Exhausted {
+        /// Simulated time burned on the failed attempts.
+        wasted: f64,
+        /// Retransmissions performed before giving up.
+        retries: u64,
+    },
+}
+
+/// One logical transfer over `link`: resample on each drop, charging
+/// every attempt (plus any policy backoff before it) to the returned
+/// delay, until delivery or `policy` is exhausted. The default policy
+/// reproduces the historical hardcoded loop draw-for-draw: a zero
+/// backoff adds nothing, and the limit check sits after the retry
+/// sample exactly as before.
 fn simulate_transfer(
     link: &LinkSpec,
     bytes: usize,
     drop_prob: f64,
     rng: &mut StdRng,
-) -> Result<(f64, u64), NetError> {
+    policy: &RetryPolicy,
+) -> Transfer {
     let mut total = link.transfer_time(bytes, rng);
     let mut retries = 0u64;
     while drop_prob > 0.0 && rng.gen_range(0.0..1.0) < drop_prob {
         retries += 1;
+        let backoff = policy.backoff_before(retries);
+        if backoff > 0.0 {
+            total += backoff;
+        }
         total += link.transfer_time(bytes, rng);
-        if retries > 1000 {
-            return Err(NetError::RetryLimit);
+        if retries > policy.max_retries {
+            return Transfer::Exhausted { wasted: total, retries };
         }
     }
-    Ok((total, retries))
+    Transfer::Delivered { delay: total, retries }
 }
 
 #[cfg(test)]
@@ -631,11 +974,11 @@ mod tests {
     #[test]
     fn straggler_dominates_round_duration() {
         let opts = NetOptions {
-            straggler: Some((1, 50.0)),
             downlink: LinkSpec::constant(0.0),
             uplink: LinkSpec::constant(0.0),
             ..Default::default()
-        };
+        }
+        .with_straggler(1, 50.0);
         let workers: Vec<Box<dyn DeviceWorker>> =
             vec![toward(vec![0.0], 0.5), toward(vec![0.0], 0.5)];
         let report = NetworkRuntime.run(workers, vec![1.0], 5, &opts, |_, _| true).expect("runtime");
@@ -709,5 +1052,238 @@ mod tests {
         let durs = &report.round_durations;
         let mean = durs.iter().sum::<f64>() / durs.len() as f64;
         assert!(durs.iter().any(|&d| (d - mean).abs() > 1e-6), "rounds identical");
+    }
+
+    #[test]
+    fn multiple_stragglers_all_apply() {
+        let opts = NetOptions {
+            downlink: LinkSpec::constant(0.0),
+            uplink: LinkSpec::constant(0.0),
+            compute_multipliers: vec![(0, 10.0), (2, 30.0), (2, 2.0)],
+            ..Default::default()
+        };
+        let workers: Vec<Box<dyn DeviceWorker>> =
+            (0..3).map(|_| toward(vec![0.0], 1.0 / 3.0)).collect();
+        let report = NetworkRuntime.run(workers, vec![1.0], 4, &opts, |_, _| true).expect("runtime");
+        // Device 2 dominates: 0.01 × 30 × 2 = 0.6 per round.
+        assert!((report.clock.now() - 2.4).abs() < 1e-9, "{}", report.clock.now());
+    }
+
+    #[test]
+    fn strict_mode_report_has_no_participation() {
+        let workers: Vec<Box<dyn DeviceWorker>> = vec![toward(vec![0.0], 1.0)];
+        let report = NetworkRuntime
+            .run(workers, vec![1.0], 3, &NetOptions::default(), |_, _| true)
+            .expect("runtime");
+        assert!(report.participation.is_empty());
+    }
+
+    #[test]
+    fn planned_crash_excludes_device_and_renormalizes() {
+        use fedprox_faults::{FaultPlan, Resilience};
+        let pin = |target: f64, weight: f64| -> Box<dyn DeviceWorker> {
+            Box::new(FnWorker(move |_r: u32, _g: &[f64]| DeviceReply {
+                params: vec![target],
+                weight,
+                grad_evals: 1,
+                compute_time: 0.01,
+            }))
+        };
+        // Weights 0.5/0.3/0.2 pinning 0/10/20: full aggregation gives
+        // 0·0.5 + 10·0.3 + 20·0.2 = 7; without device 2 it renormalizes
+        // to (0·0.5 + 10·0.3)/0.8 = 3.75.
+        let workers: Vec<Box<dyn DeviceWorker>> =
+            vec![pin(0.0, 0.5), pin(10.0, 0.3), pin(20.0, 0.2)];
+        let opts = NetOptions::default()
+            .with_resilience(Resilience::with_plan(FaultPlan::new().crash(2, 2)));
+        let mut per_round = Vec::new();
+        let report = NetworkRuntime
+            .run(workers, vec![0.0], 3, &opts, |_, g| {
+                per_round.push(g[0]);
+                true
+            })
+            .expect("runtime");
+        assert!((per_round[0] - 7.0).abs() < 1e-12, "round 1 full: {per_round:?}");
+        assert!((per_round[1] - 3.75).abs() < 1e-12, "round 2 partial: {per_round:?}");
+        assert!((per_round[2] - 3.75).abs() < 1e-12);
+        assert_eq!(report.participation.len(), 3);
+        assert_eq!(report.participation[0].responders(), 3);
+        assert_eq!(report.participation[1].outcomes[2], DeviceOutcome::Crashed);
+        assert_eq!(report.participation[1].responders(), 2);
+        assert!((report.participation[1].responder_weight - 0.8).abs() < 1e-12);
+        assert!(!report.participation[1].skipped);
+    }
+
+    #[test]
+    fn offline_window_rejoins() {
+        use fedprox_faults::{FaultPlan, Resilience};
+        let workers: Vec<Box<dyn DeviceWorker>> =
+            vec![toward(vec![1.0], 0.5), toward(vec![1.0], 0.5)];
+        let opts = NetOptions::default()
+            .with_resilience(Resilience::with_plan(FaultPlan::new().offline(1, 2, 3)));
+        let report = NetworkRuntime.run(workers, vec![0.0], 5, &opts, |_, _| true).expect("runtime");
+        let outcomes: Vec<DeviceOutcome> =
+            report.participation.iter().map(|r| r.outcomes[1]).collect();
+        use DeviceOutcome::*;
+        assert_eq!(outcomes, vec![Responded, Offline, Offline, Responded, Responded]);
+        assert!(report.participation.iter().all(|r| !r.skipped));
+    }
+
+    #[test]
+    fn quorum_shortfall_skips_round_without_error() {
+        use fedprox_faults::{FaultPlan, QuorumPolicy, Resilience};
+        let workers: Vec<Box<dyn DeviceWorker>> =
+            vec![toward(vec![1.0], 0.6), toward(vec![1.0], 0.4)];
+        // Device 0 (60% of the weight) is offline in round 2: the 40%
+        // responder set misses the 50% quorum, so round 2 must leave the
+        // global model untouched and be counted as skipped.
+        let resil = Resilience::with_plan(FaultPlan::new().offline(0, 2, 2))
+            .with_quorum(QuorumPolicy::weight_fraction(0.5));
+        let opts = NetOptions::default().with_resilience(resil);
+        let mut per_round = Vec::new();
+        let report = NetworkRuntime
+            .run(workers, vec![0.0], 3, &opts, |_, g| {
+                per_round.push(g[0]);
+                true
+            })
+            .expect("runtime");
+        assert_eq!(report.rounds_run, 3);
+        assert_eq!(per_round.len(), 3);
+        assert_eq!(
+            per_round[1].to_bits(),
+            per_round[0].to_bits(),
+            "skipped round must not move the model"
+        );
+        assert!(per_round[2] > per_round[1], "training resumes after the skip");
+        assert!(report.participation[1].skipped);
+        assert!(!report.participation[0].skipped);
+        assert!(!report.participation[2].skipped);
+    }
+
+    #[test]
+    fn deadline_excludes_slow_device() {
+        use fedprox_faults::{FaultPlan, Resilience};
+        let pin = |target: f64, weight: f64| -> Box<dyn DeviceWorker> {
+            Box::new(FnWorker(move |_r: u32, _g: &[f64]| DeviceReply {
+                params: vec![target],
+                weight,
+                grad_evals: 1,
+                compute_time: 0.01,
+            }))
+        };
+        let workers: Vec<Box<dyn DeviceWorker>> = vec![pin(0.0, 0.5), pin(10.0, 0.5)];
+        // Device 1 is slowed ×100 (compute 1.0 s) past the 0.5 s
+        // deadline; links are free so device 0 finishes at 0.01 s.
+        let resil = Resilience::with_plan(FaultPlan::new().slow(1, 100.0, 1, 10))
+            .with_deadline(0.5);
+        let opts = NetOptions {
+            downlink: LinkSpec::constant(0.0),
+            uplink: LinkSpec::constant(0.0),
+            ..Default::default()
+        }
+        .with_resilience(resil);
+        let report = NetworkRuntime.run(workers, vec![5.0], 2, &opts, |_, _| true).expect("runtime");
+        assert!((report.final_model[0] - 0.0).abs() < 1e-12, "only device 0 aggregates");
+        for rec in &report.participation {
+            assert_eq!(rec.outcomes[1], DeviceOutcome::DeadlineMiss);
+            assert!((rec.responder_weight - 0.5).abs() < 1e-12);
+        }
+        // The server stops waiting at the deadline.
+        assert!(report.round_durations.iter().all(|&d| (d - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn flaky_link_exhaustion_degrades_to_link_failed() {
+        use fedprox_faults::{FaultPlan, Resilience, RetryPolicy};
+        let workers: Vec<Box<dyn DeviceWorker>> =
+            vec![toward(vec![1.0], 0.5), toward(vec![1.0], 0.5)];
+        // Device 1's link drops 90% of attempts and the policy allows no
+        // retries at all: with seed sweeps it will fail some rounds, and
+        // the run must complete anyway.
+        let resil = Resilience::with_plan(FaultPlan::new().flaky(1, 0.9, 1, 30));
+        let opts = NetOptions {
+            retry: RetryPolicy::attempts(0),
+            seed: 5,
+            ..Default::default()
+        }
+        .with_resilience(resil);
+        let report = NetworkRuntime.run(workers, vec![0.0], 30, &opts, |_, _| true).expect("runtime");
+        let failed: usize = report
+            .participation
+            .iter()
+            .map(|r| r.count(DeviceOutcome::LinkFailed))
+            .sum();
+        assert!(failed > 10, "90% drop with zero retries should fail most rounds: {failed}");
+        // Device 0's link is clean, so quorum (any responder) always holds
+        // and the model still converges toward the target.
+        assert!(report.participation.iter().all(|r| !r.skipped));
+        assert!((report.final_model[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn panicked_worker_becomes_crashed_participant() {
+        let ok = |weight: f64| -> Box<dyn DeviceWorker> {
+            Box::new(FnWorker(move |_r: u32, g: &[f64]| DeviceReply {
+                params: g.iter().map(|x| 0.5 * x).collect(),
+                weight,
+                grad_evals: 1,
+                compute_time: 0.01,
+            }))
+        };
+        let bad: Box<dyn DeviceWorker> = Box::new(FnWorker(|round: u32, g: &[f64]| {
+            // fedlint: allow(no-panic) — this worker exists to panic; the test asserts the runtime tolerates it
+            assert!(round < 1, "device fault injected at round 2");
+            DeviceReply {
+                params: g.to_vec(),
+                weight: 0.5,
+                grad_evals: 1,
+                compute_time: 0.01,
+            }
+        }));
+        let workers: Vec<Box<dyn DeviceWorker>> = vec![ok(0.5), bad];
+        let opts = NetOptions::default().with_resilience(fedprox_faults::Resilience::default());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = NetworkRuntime.run(workers, vec![4.0], 4, &opts, |_, _| true);
+        std::panic::set_hook(prev);
+        let report = report.expect("panic must degrade, not abort");
+        assert_eq!(report.rounds_run, 4);
+        assert_eq!(report.participation[0].responders(), 2);
+        use DeviceOutcome::*;
+        let dev1: Vec<DeviceOutcome> =
+            report.participation.iter().map(|r| r.outcomes[1]).collect();
+        assert_eq!(dev1, vec![Responded, Crashed, Crashed, Crashed]);
+    }
+
+    #[test]
+    fn zero_fault_resilience_keeps_the_model_trajectory() {
+        let run = |resilient: bool| {
+            let workers: Vec<Box<dyn DeviceWorker>> =
+                vec![toward(vec![1.0, -2.0], 0.7), toward(vec![3.0, 0.0], 0.3)];
+            let mut opts = NetOptions { drop_prob: 0.1, seed: 21, ..Default::default() };
+            if resilient {
+                opts = opts.with_resilience(fedprox_faults::Resilience::default());
+            }
+            let mut traj: Vec<u64> = Vec::new();
+            let report = NetworkRuntime
+                .run(workers, vec![0.0, 0.0], 15, &opts, |_, g| {
+                    traj.extend(g.iter().map(|x| x.to_bits()));
+                    true
+                })
+                .expect("runtime");
+            (traj, report)
+        };
+        let (strict_traj, strict) = run(false);
+        let (resil_traj, resil) = run(true);
+        // The model trajectory is bitwise-identical: delays never touch
+        // the math, and full participation aggregates in id order in both
+        // modes. (Simulated time differs — the RNG scheme changes.)
+        assert_eq!(strict_traj, resil_traj);
+        assert_eq!(
+            strict.final_model.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            resil.final_model.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(resil.participation.len(), 15);
+        assert!(resil.participation.iter().all(|r| r.responders() == 2 && !r.skipped));
     }
 }

@@ -164,6 +164,31 @@ pub enum Event {
         /// Rule-specific threshold the value was compared against.
         limit: f64,
     },
+    /// Per-round participation of a resilient (fault-injected) run: how
+    /// many devices landed in each outcome class, the responding weight
+    /// fraction, and whether the round was skipped for failing quorum.
+    /// Derived from the deterministic fault plan and virtual clock, so
+    /// bitwise-reproducible like the other simulation observations.
+    Participation {
+        /// Global round index (1-based, matching `History` records and
+        /// [`Event::Health`] — not the 0-based wire round).
+        round: u32,
+        /// Devices that responded in time.
+        responded: u32,
+        /// Devices permanently crashed (plan or tolerated panic).
+        crashed: u32,
+        /// Devices inside an offline window.
+        offline: u32,
+        /// Devices excluded for missing the round deadline.
+        deadline_miss: u32,
+        /// Devices whose link exhausted the retry policy this round.
+        link_failed: u32,
+        /// Responding fraction of the federation aggregation weight.
+        weight: f64,
+        /// 1 when the round failed quorum and was skipped, else 0
+        /// (an integer, not a bool, for the hand-rolled JSONL parser).
+        skipped: u32,
+    },
     /// Events discarded because a buffer cap was hit. Aggregates
     /// ([`Event::SpanStat`], [`Event::Counter`]) are never dropped.
     Dropped {
@@ -188,6 +213,11 @@ pub enum AnomalyRule {
     /// A participating device contributed almost no gradient work
     /// relative to the round's busiest device.
     Starvation,
+    /// The responding weight fraction of a resilient run stayed below
+    /// the configured participation floor for k consecutive rounds —
+    /// the federation is quorum-adjacent and aggregation quality is
+    /// degrading.
+    ParticipationGap,
 }
 
 impl AnomalyRule {
@@ -199,6 +229,7 @@ impl AnomalyRule {
             AnomalyRule::ThetaViolation => "theta_violation",
             AnomalyRule::VrIneffective => "vr_ineffective",
             AnomalyRule::Starvation => "starvation",
+            AnomalyRule::ParticipationGap => "participation_gap",
         }
     }
 
@@ -210,18 +241,20 @@ impl AnomalyRule {
             "theta_violation" => Some(AnomalyRule::ThetaViolation),
             "vr_ineffective" => Some(AnomalyRule::VrIneffective),
             "starvation" => Some(AnomalyRule::Starvation),
+            "participation_gap" => Some(AnomalyRule::ParticipationGap),
             _ => None,
         }
     }
 
     /// Every rule, in a stable order (for report tables).
-    pub fn all() -> [AnomalyRule; 5] {
+    pub fn all() -> [AnomalyRule; 6] {
         [
             AnomalyRule::NonFinite,
             AnomalyRule::LossGuard,
             AnomalyRule::ThetaViolation,
             AnomalyRule::VrIneffective,
             AnomalyRule::Starvation,
+            AnomalyRule::ParticipationGap,
         ]
     }
 }
@@ -240,6 +273,7 @@ impl Event {
             Event::RoundEnd { .. } => "round_end",
             Event::Health { .. } => "health",
             Event::Anomaly { .. } => "anomaly",
+            Event::Participation { .. } => "participation",
             Event::Dropped { .. } => "dropped",
         }
     }
@@ -295,6 +329,16 @@ mod tests {
                 device: None,
                 value: 0.0,
                 limit: 0.0,
+            },
+            Event::Participation {
+                round: 0,
+                responded: 0,
+                crashed: 0,
+                offline: 0,
+                deadline_miss: 0,
+                link_failed: 0,
+                weight: 0.0,
+                skipped: 0,
             },
             Event::Dropped { count: 0 },
         ];

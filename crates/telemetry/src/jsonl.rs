@@ -192,6 +192,23 @@ pub fn write_line(event: &Event) -> String {
             s.push_str(",\"limit\":");
             push_f64(&mut s, *limit);
         }
+        Event::Participation {
+            round,
+            responded,
+            crashed,
+            offline,
+            deadline_miss,
+            link_failed,
+            weight,
+            skipped,
+        } => {
+            let _ = write!(
+                s,
+                ",\"round\":{round},\"responded\":{responded},\"crashed\":{crashed},\"offline\":{offline},\"deadline_miss\":{deadline_miss},\"link_failed\":{link_failed},\"weight\":"
+            );
+            push_f64(&mut s, *weight);
+            let _ = write!(s, ",\"skipped\":{skipped}");
+        }
         Event::Dropped { count } => {
             let _ = write!(s, ",\"count\":{count}");
         }
@@ -592,6 +609,16 @@ fn event_from_json(obj: &Json) -> Result<Event, String> {
                 limit: f64_field(obj, "limit")?,
             })
         }
+        "participation" => Ok(Event::Participation {
+            round: u32_field(obj, "round")?,
+            responded: u32_field(obj, "responded")?,
+            crashed: u32_field(obj, "crashed")?,
+            offline: u32_field(obj, "offline")?,
+            deadline_miss: u32_field(obj, "deadline_miss")?,
+            link_failed: u32_field(obj, "link_failed")?,
+            weight: f64_field(obj, "weight")?,
+            skipped: u32_field(obj, "skipped")?,
+        }),
         "dropped" => Ok(Event::Dropped { count: u64_field(obj, "count")? }),
         other => Err(format!("unknown event tag `{other}`")),
     }
@@ -703,6 +730,16 @@ mod tests {
                 device: Some(3),
                 value: 4.0,
                 limit: 12.0,
+            },
+            Event::Participation {
+                round: 6,
+                responded: 3,
+                crashed: 1,
+                offline: 0,
+                deadline_miss: 1,
+                link_failed: 0,
+                weight: 0.55,
+                skipped: 1,
             },
             Event::Dropped { count: 7 },
         ]

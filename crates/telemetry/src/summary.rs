@@ -86,6 +86,11 @@ pub struct TelemetryReport {
     pub health_samples: u64,
     /// Algorithm-health anomalies present in the trace (see `fedscope`).
     pub anomalies: u64,
+    /// Per-round participation records from resilient (fault-injected)
+    /// runs.
+    pub participation_rounds: u64,
+    /// Rounds skipped for failing quorum.
+    pub skipped_rounds: u64,
 }
 
 /// Nearest-rank percentile of an unsorted sample; `None` when empty.
@@ -117,6 +122,8 @@ impl TelemetryReport {
         let mut dropped = 0u64;
         let mut health_samples = 0u64;
         let mut anomalies = 0u64;
+        let mut participation_rounds = 0u64;
+        let mut skipped_rounds = 0u64;
 
         for ev in events {
             match ev {
@@ -198,6 +205,12 @@ impl TelemetryReport {
                 Event::RoundEnd { .. } => rounds = rounds.saturating_add(1),
                 Event::Health { .. } => health_samples = health_samples.saturating_add(1),
                 Event::Anomaly { .. } => anomalies = anomalies.saturating_add(1),
+                Event::Participation { skipped, .. } => {
+                    participation_rounds = participation_rounds.saturating_add(1);
+                    if *skipped > 0 {
+                        skipped_rounds = skipped_rounds.saturating_add(1);
+                    }
+                }
                 Event::Dropped { count } => dropped = dropped.saturating_add(*count),
             }
         }
@@ -238,6 +251,8 @@ impl TelemetryReport {
             dropped,
             health_samples,
             anomalies,
+            participation_rounds,
+            skipped_rounds,
         }
     }
 
@@ -254,6 +269,13 @@ impl TelemetryReport {
                 s,
                 "health: {} samples, {} anomalies (see `fedscope` for the full report)",
                 self.health_samples, self.anomalies
+            );
+        }
+        if self.participation_rounds > 0 {
+            let _ = writeln!(
+                s,
+                "participation: {} resilient rounds, {} skipped below quorum",
+                self.participation_rounds, self.skipped_rounds
             );
         }
 

@@ -13,12 +13,15 @@
 //! * [`data`] — synthetic + image-like federated datasets and partitioners,
 //! * [`models`] — loss models with hand-written gradients,
 //! * [`optim`] — SGD/SVRG/SARAH estimators and the proximal inner solver,
+//! * [`faults`] — deterministic fault schedules and graceful-degradation
+//!   policies (deadlines, quorum, retry/backoff),
 //! * [`net`] — simulated federated network runtime (actors, delays, clock),
 //! * [`core`] — the FedProxVR algorithm, baselines, theory, and parameter
 //!   optimization.
 
 pub use fedprox_core as core;
 pub use fedprox_data as data;
+pub use fedprox_faults as faults;
 pub use fedprox_models as models;
 pub use fedprox_net as net;
 pub use fedprox_optim as optim;
@@ -33,6 +36,9 @@ pub mod prelude {
     pub use fedprox_core::theory::{self, Lemma1, TheoryParams};
     pub use fedprox_data::partition::{PartitionSpec, Partitioner};
     pub use fedprox_data::{Dataset, FederatedDataset};
+    pub use fedprox_faults::{
+        DeviceOutcome, FaultPlan, QuorumPolicy, Resilience, RetryPolicy, RoundParticipation,
+    };
     pub use fedprox_models::{LossModel, MODEL_SEED};
     pub use fedprox_optim::estimator::EstimatorKind;
 }

@@ -69,6 +69,96 @@ fn different_seed_runs_differ() {
     );
 }
 
+/// A networked run under a fault plan: device 1 crashes at round 3 and
+/// device 2's link drops 20% of attempts over the whole horizon.
+fn run_faulted(cfg_seed: u64) -> History {
+    let shards = generate(&SyntheticConfig { seed: 2, ..Default::default() }, &[80, 120, 60]);
+    let (train, test) = split_federation(&shards, 2);
+    let devices: Vec<Device> =
+        train.into_iter().enumerate().map(|(i, s)| Device::new(i, s)).collect();
+    let model = fedprox::models::MultinomialLogistic::new(60, 10);
+    let resil =
+        Resilience::with_plan(FaultPlan::new().crash(1, 3).flaky(2, 0.2, 1, 10));
+    let cfg = FedConfig::new(Algorithm::FedProxVr(EstimatorKind::Svrg))
+        .with_beta(5.0)
+        .with_smoothness(3.0)
+        .with_tau(8)
+        .with_mu(0.5)
+        .with_batch_size(8)
+        .with_rounds(10)
+        .with_eval_every(2)
+        .with_seed(cfg_seed)
+        .with_resilience(resil)
+        .with_runner(RunnerKind::Network(
+            fedprox::core::config::NetRunnerOptions::default(),
+        ));
+    FederatedTrainer::new(&model, &devices, &test, cfg).run()
+}
+
+/// The fault-injection machinery is part of the determinism contract:
+/// a faulted run re-executed with the same seed must reproduce the model
+/// trajectory, the simulated clock, and every participation record
+/// bit-for-bit.
+#[test]
+fn faulted_networked_runs_are_bitwise_identical() {
+    let a = run_faulted(9);
+    let b = run_faulted(9);
+    assert!(!a.diverged() && !b.diverged());
+    assert_eq!(a.participation.len(), 10);
+    assert!(
+        a.participation.iter().skip(2).all(|p| p.outcomes[1] == DeviceOutcome::Crashed),
+        "device 1 must stay crashed from round 3 on"
+    );
+    assert_eq!(fingerprint(&a), fingerprint(&b), "faulted same-seed runs drifted");
+    assert_eq!(a.participation, b.participation);
+    assert_eq!(a.total_sim_time.to_bits(), b.total_sim_time.to_bits());
+    assert_eq!(a.final_model.len(), b.final_model.len());
+    for (x, y) in a.final_model.iter().zip(&b.final_model) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    // And a different seed still changes the trajectory.
+    let c = run_faulted(10);
+    assert_ne!(fingerprint(&a), fingerprint(&c));
+}
+
+/// A zero-fault resilience policy must leave the *model* trajectory
+/// bitwise-identical to a strict run: every device responds every round
+/// and the renormalization weight sum is exactly 1. (Simulated time may
+/// differ — the resilient runtime draws its delays from per-(round,
+/// device) streams rather than the strict mode's single sequential
+/// stream — so only the math is compared.)
+#[test]
+fn zero_fault_resilience_keeps_the_strict_trajectory() {
+    let strict = run(1, 42);
+    let shards = generate(&SyntheticConfig { seed: 1, ..Default::default() }, &[80, 120, 60]);
+    let (train, test) = split_federation(&shards, 1);
+    let devices: Vec<Device> =
+        train.into_iter().enumerate().map(|(i, s)| Device::new(i, s)).collect();
+    let model = fedprox::models::MultinomialLogistic::new(60, 10);
+    let cfg = FedConfig::new(Algorithm::FedProxVr(EstimatorKind::Svrg))
+        .with_beta(5.0)
+        .with_smoothness(3.0)
+        .with_tau(8)
+        .with_mu(0.5)
+        .with_batch_size(8)
+        .with_rounds(10)
+        .with_eval_every(2)
+        .with_seed(42)
+        .with_resilience(Resilience::default());
+    let resilient = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+    assert_eq!(
+        fingerprint(&strict),
+        fingerprint(&resilient),
+        "an empty fault plan changed the training math"
+    );
+    for (x, y) in strict.final_model.iter().zip(&resilient.final_model) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    assert_eq!(resilient.participation.len(), 10);
+    assert!(resilient.participation.iter().all(|p| p.responders() == 3 && !p.skipped));
+    assert!(strict.participation.is_empty());
+}
+
 /// The collector is process-global; the armed tests below must not
 /// interleave.
 #[cfg(feature = "telemetry")]

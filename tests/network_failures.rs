@@ -75,7 +75,7 @@ fn straggler_slows_time_not_accuracy() {
     )
     .run();
     let straggler_opts = NetRunnerOptions {
-        net: NetOptions { straggler: Some((1, 25.0)), ..Default::default() },
+        net: NetOptions::default().with_straggler(1, 25.0),
         sec_per_grad_eval: 1e-3,
     };
     let slow = FederatedTrainer::new(
@@ -214,6 +214,80 @@ fn telemetry_finalizes_after_worker_panic() {
     // The summary pipeline must not choke on a truncated trace.
     let rendered = TelemetryReport::from_events(&events).render(5);
     assert!(rendered.contains("fedtrace"), "summary did not render: {rendered}");
+}
+
+#[test]
+fn planned_crash_at_round_degrades_gracefully() {
+    let (devices, test) = federation(5);
+    let model = MultinomialLogistic::new(60, 10);
+    let c = cfg(RunnerKind::Network(NetRunnerOptions::default()))
+        .with_resilience(Resilience::with_plan(FaultPlan::new().crash(1, 3)));
+    let h = FederatedTrainer::new(&model, &devices, &test, c).run();
+    assert!(!h.diverged(), "crash-tolerant run must complete");
+    assert_eq!(h.rounds_run, 5);
+    assert_eq!(h.participation.len(), 5);
+    for p in &h.participation {
+        assert!(!p.skipped);
+        if p.round >= 3 {
+            assert_eq!(p.outcomes[1], DeviceOutcome::Crashed);
+            assert_eq!(p.responders(), 2);
+            assert!(
+                p.responder_weight > 0.0 && p.responder_weight < 1.0,
+                "weight {} not renormalizable",
+                p.responder_weight
+            );
+        } else {
+            assert_eq!(p.responders(), 3);
+            assert!((p.responder_weight - 1.0).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn offline_window_rejoins() {
+    let (devices, test) = federation(6);
+    let model = MultinomialLogistic::new(60, 10);
+    let c = cfg(RunnerKind::Network(NetRunnerOptions::default()))
+        .with_resilience(Resilience::with_plan(FaultPlan::new().offline(0, 2, 3)));
+    let h = FederatedTrainer::new(&model, &devices, &test, c).run();
+    assert!(!h.diverged());
+    let outcomes: Vec<DeviceOutcome> =
+        h.participation.iter().map(|p| p.outcomes[0]).collect();
+    assert_eq!(
+        outcomes,
+        vec![
+            DeviceOutcome::Responded,
+            DeviceOutcome::Offline,
+            DeviceOutcome::Offline,
+            DeviceOutcome::Responded,
+            DeviceOutcome::Responded,
+        ],
+        "device 0 must sit out exactly rounds 2–3 and rejoin"
+    );
+}
+
+#[test]
+fn quorum_shortfall_skips_rounds_and_keeps_the_model() {
+    let (devices, test) = federation(7);
+    let model = MultinomialLogistic::new(60, 10);
+    // Device 1 holds the largest shard; with it offline the remaining
+    // weight (~0.58) misses a 0.7 quorum, so rounds 2–3 are skipped —
+    // counted, never fatal — and the global model is left untouched.
+    let resil = Resilience::with_plan(FaultPlan::new().offline(1, 2, 3))
+        .with_quorum(QuorumPolicy::weight_fraction(0.7));
+    let c = cfg(RunnerKind::Network(NetRunnerOptions::default())).with_resilience(resil);
+    let h = FederatedTrainer::new(&model, &devices, &test, c).run();
+    assert!(!h.diverged());
+    assert_eq!(h.rounds_run, 5);
+    let skipped: Vec<usize> =
+        h.participation.iter().filter(|p| p.skipped).map(|p| p.round).collect();
+    assert_eq!(skipped, vec![2, 3]);
+    // eval_every = 1: the evaluated loss is bitwise frozen across the
+    // skipped rounds and moves again once quorum is restored.
+    assert_eq!(h.records[1].round, 1);
+    assert_eq!(h.records[2].train_loss.to_bits(), h.records[1].train_loss.to_bits());
+    assert_eq!(h.records[3].train_loss.to_bits(), h.records[1].train_loss.to_bits());
+    assert_ne!(h.records[4].train_loss.to_bits(), h.records[3].train_loss.to_bits());
 }
 
 #[test]
