@@ -16,19 +16,23 @@ cargo test -q --features check
 echo "==> cargo test -q --features telemetry (instrumentation compiled in)"
 cargo test -q --features telemetry
 
-# unwrap_used/expect_used stay warnings: fedlint (below) is the authority
-# on panic sites, with per-site justified `// fedlint: allow(...)` escapes
-# that clippy cannot see.
+# unwrap_used/expect_used are denied via [workspace.lints]; every
+# `#[allow]` escaping the deny must carry an adjacent justified
+# `// fedlint: allow(...)` annotation (enforced by the fedlint
+# clippy-allow-sync rule in the gate below).
 if command -v cargo-clippy >/dev/null 2>&1 || cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-    cargo clippy --workspace --all-targets -- -D warnings \
-        -A clippy::unwrap_used -A clippy::expect_used
+    cargo clippy --workspace --all-targets -- -D warnings
 else
     echo "==> clippy not installed; skipping lint stage"
 fi
 
-echo "==> fedlint --workspace"
-cargo run -q --release -p fedprox-conformance --bin fedlint -- --workspace
+# fedlint-gate: the full AST/call-graph engine (determinism,
+# panic-reachability and feature-gate rules) against the committed
+# per-rule budgets. Any count over budget exits nonzero.
+echo "==> fedlint-gate (check --baseline LINT_BASELINE.json --gate)"
+cargo run -q --release -p fedprox-conformance --bin fedlint -- \
+    check --baseline LINT_BASELINE.json --gate
 
 echo "==> fedtrace smoke (summarize the checked-in fixture trace)"
 cargo run -q --release -p fedprox-telemetry --bin fedtrace -- \

@@ -1,6 +1,9 @@
 //! Wire-codec throughput: the communication substrate's per-message cost
 //! at the paper's two model scales (logistic ≈ 7.9k params, CNN ≈ 135k).
 
+// Bench code: unwrap on setup data is the intended error policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fedprox_net::codec::{decode, encode, encoded_len};
 use fedprox_net::{Compressor, Message};

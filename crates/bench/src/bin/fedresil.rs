@@ -20,6 +20,10 @@
 //! check: the process exits non-zero when the recorded participation
 //! disagrees, which is how CI's `fedresil-smoke` stage uses it.
 
+
+// CLI binary: aborting with context on a broken invocation or run is
+// the intended error policy (fedlint exempts src/bin targets too).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use fedprox_bench::report::write_json;
 use fedprox_bench::spec::parse_algorithm;
 use fedprox_bench::{synthetic_federation, TraceSession};
@@ -215,7 +219,7 @@ fn main() {
         .with_seed(seed)
         .with_resilience(resilience)
         .with_runner(runner);
-    let h = fedprox_core::FederatedTrainer::new(&model, &fed.devices, &fed.test, cfg).run();
+    let h = fedprox_core::FederatedTrainer::new(&model, &fed.devices, &fed.test, cfg).run().expect("run");
 
     println!("== fedresil: {} devices, {} rounds, seed {seed} ==", devices, rounds);
     println!(

@@ -3,6 +3,10 @@
 //! dataset, B = 32, under three hyper-parameter settings:
 //! (β, τ) = (5, 10), (7, 20), and τ above its Lemma 1 upper bound.
 
+
+// CLI binary: aborting with context on a broken invocation or run is
+// the intended error policy (fedlint exempts src/bin targets too).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use fedprox_bench::plot::{write_svg, Metric, PlotOptions};
 use fedprox_bench::{
     fashion_federation, parse_args, print_histories, write_json, Scale, TraceSession,
@@ -66,7 +70,7 @@ fn main() {
                 .with_seed(args.seed)
                 .with_eval_every(eval_every)
                 .with_runner(args.runner());
-            let h = FederatedTrainer::new(&model, &fed.devices, &fed.test, cfg).run();
+            let h = FederatedTrainer::new(&model, &fed.devices, &fed.test, cfg).run().expect("run");
             results.push((alg.name().to_string(), h));
         }
         let refs: Vec<(String, &fedprox_core::History)> =

@@ -11,6 +11,10 @@
 //! damps the oscillation amplitude, restoring convergence monotonically
 //! in μ.
 
+
+// CLI binary: aborting with context on a broken invocation or run is
+// the intended error policy (fedlint exempts src/bin targets too).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use fedprox_bench::plot::{write_svg, Metric, PlotOptions};
 use fedprox_bench::{
     parse_args, print_histories, synthetic_federation, write_json, Scale, TraceSession,
@@ -55,7 +59,7 @@ fn main() {
                 .with_eval_every(eval_every)
                 .with_iterate_choice(IterateChoice::UniformRandom) // Alg. 1 line 10
                 .with_runner(args.runner());
-            let h = FederatedTrainer::new(&model, &fed.devices, &fed.test, cfg).run();
+            let h = FederatedTrainer::new(&model, &fed.devices, &fed.test, cfg).run().expect("run");
             results.push((format!("mu={mu}/s{seed}"), h));
         }
     }

@@ -2,6 +2,10 @@
 //! (multinomial logistic regression, Fashion-MNIST-like), found by random
 //! search per algorithm — reproducing the paper's search protocol.
 
+
+// CLI binary: aborting with context on a broken invocation or run is
+// the intended error policy (fedlint exempts src/bin targets too).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use fedprox_bench::{fashion_federation, parse_args, write_json, Scale, TraceSession};
 use fedprox_core::search::{random_search, SearchSpace};
 use fedprox_core::{Algorithm, FedConfig};
@@ -61,7 +65,8 @@ fn main() {
     ] {
         let r = random_search(
             &model, &fed.devices, &fed.test, alg, &space, trials, args.seed, &base,
-        );
+        )
+        .expect("search");
         let b = &r.best;
         println!(
             "{:<20} {:>5} {:>6} {:>6} {:>5} {:>6} {:>9.2}%",

@@ -1,6 +1,10 @@
 //! Table 2: best-hyper-parameter test accuracies on the non-convex task
 //! (two-layer CNN, MNIST-like), found by random search per algorithm.
 
+
+// CLI binary: aborting with context on a broken invocation or run is
+// the intended error policy (fedlint exempts src/bin targets too).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use fedprox_bench::{mnist_federation, parse_args, write_json, Scale, TraceSession};
 use fedprox_core::search::{random_search, SearchSpace};
 use fedprox_core::{Algorithm, FedConfig};
@@ -90,7 +94,8 @@ fn main() {
         Algorithm::FedProxVr(EstimatorKind::Svrg),
         Algorithm::FedProxVr(EstimatorKind::Sarah),
     ] {
-        let r = random_search(&model, &devices, &test, alg, &space, trials, args.seed, &base);
+        let r = random_search(&model, &devices, &test, alg, &space, trials, args.seed, &base)
+            .expect("search");
         let b = &r.best;
         println!(
             "{:<20} {:>5} {:>6} {:>6} {:>5} {:>6} {:>9.2}%",

@@ -203,7 +203,8 @@ impl ExperimentSpec {
                     .with_runner(RunnerKind::Parallel);
                 let h =
                     fedprox_core::FederatedTrainer::new(&model, &fed.devices, &fed.test, cfg)
-                        .run();
+                        .run()
+                        .unwrap_or_else(|e| panic!("running '{name}': {e}"));
                 (name.clone(), h)
             })
             .collect()

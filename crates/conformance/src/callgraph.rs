@@ -1,0 +1,623 @@
+//! Workspace call graph over parsed sources.
+//!
+//! Nodes are the `fn` items the [`crate::parser`] extracted from every
+//! crate's library sources; edges are *possible* calls, resolved by
+//! name:
+//!
+//! * free calls `foo(...)` resolve to same-crate free fns, falling back
+//!   to `use`-imported fns from other workspace crates;
+//! * qualified calls `Type::foo(...)` / `module::foo(...)` resolve
+//!   through the path's qualifier, with the leading segment mapped via
+//!   `use` declarations and workspace package names;
+//! * method calls `.foo(...)` resolve to every impl of that method name
+//!   in the caller's crate plus `pub`/trait-callable impls elsewhere —
+//!   conservative over-approximation, trimmed by a deny list of
+//!   ubiquitous std method names so `.clone()` does not connect the
+//!   world.
+//!
+//! The graph is an over-approximation by construction: an edge means "a
+//! call with this shape could land here", which is the right direction
+//! for reachability lints (false edges can only make the analysis more
+//! cautious, never blind). Known misses — function references passed
+//! without call parens (`map(Device::samples)`) and calls through
+//! generic parameters (`M::dim()`) — are documented limitations.
+
+use crate::lexer::ScannedFile;
+use crate::parser::{FnItem, ParsedFile, Visibility};
+use std::collections::BTreeMap;
+
+/// One analyzed source file with everything the graph and rules need.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Crate directory name under `crates/` (e.g. `core`).
+    pub crate_name: String,
+    /// Workspace-relative display path.
+    pub display: String,
+    /// Whether the file lives under `src/bin/` (excluded from the graph
+    /// and from public-entry reasoning).
+    pub is_bin: bool,
+    /// Original text.
+    pub source: String,
+    /// Masked view + comments.
+    pub scanned: ScannedFile,
+    /// Item structure.
+    pub parsed: ParsedFile,
+}
+
+/// One graph node: an `fn` item.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Index into the file list passed to [`build`].
+    pub file: usize,
+    /// Index into that file's `parsed.fns`.
+    pub fn_idx: usize,
+    /// Owning crate directory name.
+    pub crate_name: String,
+    /// `crate::module::Type::name` display form.
+    pub qualified: String,
+    /// Whether the fn is `pub` (a public-API entry candidate).
+    pub public: bool,
+    /// Whether the fn is callable through a trait (trait impls and
+    /// trait-declaration defaults) — externally invokable without `pub`.
+    pub trait_callable: bool,
+}
+
+/// Reachability result from a set of entry nodes (BFS, unit edge cost).
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    /// Shortest distance in calls from any entry, per node.
+    pub dist: Vec<Option<u32>>,
+    /// BFS predecessor on a shortest path, per node.
+    pub parent: Vec<Option<usize>>,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// All nodes.
+    pub nodes: Vec<Node>,
+    /// Caller → callee adjacency (sorted, deduped).
+    pub edges: Vec<Vec<usize>>,
+    /// (file index, fn index) → node id.
+    by_fn: BTreeMap<(usize, usize), usize>,
+}
+
+/// Method names too ubiquitous to resolve by name alone: edges through
+/// them would connect every crate to every collection/iterator helper.
+const METHOD_DENY: &[&str] = &[
+    "abs", "all", "and_then", "any", "as_bytes", "as_mut", "as_ref", "as_slice", "as_str",
+    "borrow", "borrow_mut", "chain", "clamp", "clear", "clone", "cloned", "cmp", "collect",
+    "contains", "contains_key", "copied", "count", "dedup", "drain", "entry", "enumerate",
+    "eq", "exp", "extend", "filter", "filter_map", "find", "flat_map", "flatten", "flush",
+    "fmt", "fold", "for_each", "from", "get", "get_mut", "hash", "insert", "into",
+    "into_iter", "is_empty", "is_finite", "is_nan", "is_some", "is_none", "iter",
+    "iter_mut", "join", "keys", "last", "len", "ln", "lock", "map", "map_err", "max",
+    "max_by", "min", "min_by", "ne", "next", "next_back", "ok", "ok_or", "ok_or_else",
+    "partial_cmp", "pop", "position", "powf", "powi", "product", "push", "push_str",
+    "read", "recv", "remove", "resize", "retain", "rev", "send", "skip", "sort",
+    "sort_by", "sort_by_key", "sort_unstable", "split", "sqrt", "starts_with", "step_by",
+    "sum", "take", "then", "to_owned", "to_string", "to_vec", "trim", "truncate",
+    "unwrap_or", "unwrap_or_default", "unwrap_or_else", "values", "values_mut", "windows",
+    "with_capacity", "write", "zip",
+];
+
+/// Keywords that look like `ident (` in expression position.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "in", "as", "let", "else", "break",
+    "continue", "move", "fn", "unsafe", "await", "dyn", "where", "impl",
+];
+
+/// A call site extracted from one masked line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Call {
+    /// `a::b::name(...)` or bare `name(...)` — path segments in order.
+    Free(Vec<String>),
+    /// `.name(...)`.
+    Method(String),
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Extract the call sites on one masked line.
+pub fn calls_on_line(line: &str) -> Vec<Call> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if !(chars[i].is_alphabetic() || chars[i] == '_') {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < chars.len() && is_ident_char(chars[i]) {
+            i += 1;
+        }
+        // A leading digit cannot start an ident, so chars[start..i] is a name.
+        let name: String = chars[start..i].iter().collect();
+        let mut j = i;
+        while j < chars.len() && chars[j] == ' ' {
+            j += 1;
+        }
+        // Turbofish: `name::<T>(…)`.
+        if chars.get(j) == Some(&':') && chars.get(j + 1) == Some(&':') && chars.get(j + 2) == Some(&'<')
+        {
+            let mut depth = 0i64;
+            let mut k = j + 2;
+            while k < chars.len() {
+                match chars[k] {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k;
+            while j < chars.len() && chars[j] == ' ' {
+                j += 1;
+            }
+        }
+        if chars.get(j) != Some(&'(') {
+            continue;
+        }
+        // Macro invocations (`name!(`) never have `(` directly after the
+        // ident, so they are already excluded here.
+        let prev = chars[..start].iter().rev().find(|c| **c != ' ').copied();
+        if prev == Some('.') {
+            out.push(Call::Method(name));
+            continue;
+        }
+        // Walk the path backwards through `::` separators.
+        let mut segments = vec![name];
+        let mut end = start;
+        loop {
+            if end >= 2 && chars[end - 1] == ':' && chars[end - 2] == ':' {
+                let mut s = end - 2;
+                while s > 0 && is_ident_char(chars[s - 1]) {
+                    s -= 1;
+                }
+                if s == end - 2 {
+                    // `>::name(` / `)::name(` qualified-self forms: stop.
+                    break;
+                }
+                segments.insert(0, chars[s..end - 2].iter().collect());
+                end = s;
+            } else {
+                break;
+            }
+        }
+        if segments.len() == 1 && CALL_KEYWORDS.contains(&segments[0].as_str()) {
+            continue;
+        }
+        out.push(Call::Free(segments));
+    }
+    out
+}
+
+/// Build the graph. `pkg_idents` maps a crate's path identifier
+/// (`fedprox_net`) to its directory name (`net`); files under `src/bin/`
+/// and `#[cfg(test)]` fns are excluded.
+pub fn build(files: &[SourceFile], pkg_idents: &BTreeMap<String, String>) -> CallGraph {
+    let mut nodes = Vec::new();
+    let mut by_fn = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        if file.is_bin {
+            continue;
+        }
+        for (xi, f) in file.parsed.fns.iter().enumerate() {
+            if f.cfg_test {
+                continue;
+            }
+            let id = nodes.len();
+            nodes.push(Node {
+                file: fi,
+                fn_idx: xi,
+                crate_name: file.crate_name.clone(),
+                qualified: format!("{}::{}", file.crate_name, f.qualified()),
+                public: f.vis == Visibility::Public,
+                trait_callable: f.trait_impl,
+            });
+            by_fn.insert((fi, xi), id);
+        }
+    }
+
+    // Name indices. Free fns and associated fns are kept separate so a
+    // bare `foo(` cannot resolve to a method.
+    let mut free_idx: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut typed_idx: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut method_idx: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (id, node) in nodes.iter().enumerate() {
+        let item = &files[node.file].parsed.fns[node.fn_idx];
+        let key = (node.crate_name.as_str(), item.name.as_str());
+        if item.impl_type.is_some() {
+            typed_idx.entry(key).or_default().push(id);
+            method_idx.entry(item.name.as_str()).or_default().push(id);
+        } else {
+            free_idx.entry(key).or_default().push(id);
+        }
+    }
+
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for caller in 0..nodes.len() {
+        let node = &nodes[caller];
+        let file = &files[node.file];
+        let item = &file.parsed.fns[node.fn_idx];
+        let Some((body_start, body_end)) = item.body else { continue };
+        let use_map = use_imports(&file.parsed, pkg_idents);
+        let masked = file.scanned.masked_lines();
+        let mut out: Vec<usize> = Vec::new();
+        for line_no in body_start..=body_end {
+            let Some(line) = masked.get(line_no - 1) else { continue };
+            // The first body line still carries the signature up to the
+            // opening brace — `pub fn drive(w: &Worker) {` must not read
+            // `drive(` as a self-call.
+            let line: &str = if line_no == body_start {
+                line.find('{').map_or("", |p| &line[p + 1..])
+            } else {
+                line
+            };
+            for call in calls_on_line(line) {
+                resolve(
+                    &call, node, item, files, &nodes, &free_idx, &typed_idx, &method_idx,
+                    &use_map, pkg_idents, &mut out,
+                );
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        edges[caller] = out;
+    }
+
+    CallGraph { nodes, edges, by_fn }
+}
+
+/// Map every name a file imports from a workspace crate to that crate's
+/// directory name. `use fedprox_net::{NetworkRuntime, runtime::NetError}`
+/// maps `NetworkRuntime`, `runtime`, and `NetError` to `net`.
+fn use_imports(parsed: &ParsedFile, pkg_idents: &BTreeMap<String, String>) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for decl in &parsed.uses {
+        let Some(first) = decl.path.split("::").next() else { continue };
+        let Some(crate_dir) = pkg_idents.get(first.trim()) else { continue };
+        let tail = &decl.path[first.len()..];
+        let mut ident = String::new();
+        for c in tail.chars() {
+            if is_ident_char(c) {
+                ident.push(c);
+            } else {
+                if !ident.is_empty() && ident != "as" {
+                    map.insert(std::mem::take(&mut ident), crate_dir.clone());
+                }
+                ident.clear();
+            }
+        }
+        if !ident.is_empty() && ident != "as" {
+            map.insert(ident, crate_dir.clone());
+        }
+    }
+    map
+}
+
+/// Too-popular method names resolve everywhere; above this candidate
+/// count an edge fan-out says more about the name than the call.
+const METHOD_FANOUT_CAP: usize = 12;
+
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    call: &Call,
+    caller: &Node,
+    caller_item: &FnItem,
+    files: &[SourceFile],
+    nodes: &[Node],
+    free_idx: &BTreeMap<(&str, &str), Vec<usize>>,
+    typed_idx: &BTreeMap<(&str, &str), Vec<usize>>,
+    method_idx: &BTreeMap<&str, Vec<usize>>,
+    use_map: &BTreeMap<String, String>,
+    pkg_idents: &BTreeMap<String, String>,
+    out: &mut Vec<usize>,
+) {
+    match call {
+        Call::Method(name) => {
+            if METHOD_DENY.contains(&name.as_str()) {
+                return;
+            }
+            let Some(candidates) = method_idx.get(name.as_str()) else { return };
+            if candidates.len() > METHOD_FANOUT_CAP {
+                return;
+            }
+            for &id in candidates {
+                let n = &nodes[id];
+                if n.crate_name == caller.crate_name || n.public || n.trait_callable {
+                    out.push(id);
+                }
+            }
+        }
+        Call::Free(segments) => {
+            let mut segs: Vec<&str> = segments.iter().map(String::as_str).collect();
+            let mut target_crate = caller.crate_name.as_str();
+            let mut cross = false;
+            if segs.len() > 1 {
+                if let Some(dir) = pkg_idents.get(segs[0]) {
+                    target_crate = dir;
+                    cross = *dir != caller.crate_name;
+                    segs.remove(0);
+                } else if segs[0] == "crate" || segs[0] == "self" || segs[0] == "super" {
+                    segs.remove(0);
+                } else if let Some(dir) = use_map.get(segs[0]) {
+                    target_crate = dir;
+                    cross = *dir != caller.crate_name;
+                }
+            }
+            let Some(&name) = segs.last() else { return };
+            let qualifier = if segs.len() >= 2 { Some(segs[segs.len() - 2]) } else { None };
+            match qualifier {
+                Some("Self") => {
+                    if let Some(ids) = typed_idx.get(&(caller.crate_name.as_str(), name)) {
+                        for &id in ids {
+                            let n = &nodes[id];
+                            let it = &files[n.file].parsed.fns[n.fn_idx];
+                            if it.impl_type == caller_item.impl_type {
+                                out.push(id);
+                            }
+                        }
+                    }
+                }
+                Some(q) => {
+                    // `Type::name(…)` or `module::name(…)`.
+                    if let Some(ids) = typed_idx.get(&(target_crate, name)) {
+                        for &id in ids {
+                            let n = &nodes[id];
+                            let it = &files[n.file].parsed.fns[n.fn_idx];
+                            if it.impl_type.as_deref() == Some(q) && (!cross || n.public || n.trait_callable)
+                            {
+                                out.push(id);
+                            }
+                        }
+                    }
+                    if let Some(ids) = free_idx.get(&(target_crate, name)) {
+                        for &id in ids {
+                            let n = &nodes[id];
+                            let it = &files[n.file].parsed.fns[n.fn_idx];
+                            if it.module.last().is_some_and(|m| m == q) && (!cross || n.public) {
+                                out.push(id);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let mut found = false;
+                    if let Some(ids) = free_idx.get(&(target_crate, name)) {
+                        for &id in ids {
+                            if !cross || nodes[id].public {
+                                out.push(id);
+                                found = true;
+                            }
+                        }
+                    }
+                    if !found && !cross {
+                        // A bare imported name: `use fedprox_net::transfer;
+                        // … transfer(…)`.
+                        if let Some(dir) = use_map.get(name) {
+                            if let Some(ids) = free_idx.get(&(dir.as_str(), name)) {
+                                for &id in ids {
+                                    if nodes[id].public {
+                                        out.push(id);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl CallGraph {
+    /// Node id for a (file index, fn index) pair.
+    pub fn node_for(&self, file: usize, fn_idx: usize) -> Option<usize> {
+        self.by_fn.get(&(file, fn_idx)).copied()
+    }
+
+    /// Multi-source BFS from `entries` along call edges.
+    pub fn reachability(&self, entries: &[usize]) -> Reachability {
+        let mut dist: Vec<Option<u32>> = vec![None; self.nodes.len()];
+        let mut parent: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &e in entries {
+            if e < dist.len() && dist[e].is_none() {
+                dist[e] = Some(0);
+                queue.push_back(e);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].unwrap_or(0);
+            for &v in &self.edges[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        Reachability { dist, parent }
+    }
+
+    /// The shortest entry→node call chain as qualified names.
+    pub fn chain_to(&self, reach: &Reachability, node: usize) -> Vec<String> {
+        let mut rev = Vec::new();
+        let mut cur = Some(node);
+        while let Some(id) = cur {
+            rev.push(self.nodes[id].qualified.clone());
+            if rev.len() > self.nodes.len() {
+                break; // cycle guard; parents from BFS cannot cycle, stay defensive
+            }
+            cur = reach.parent[id];
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::parser::parse;
+
+    fn file(crate_name: &str, display: &str, src: &str) -> SourceFile {
+        let scanned = scan(src);
+        let parsed = parse(src, &scanned);
+        SourceFile {
+            crate_name: crate_name.to_string(),
+            display: display.to_string(),
+            is_bin: false,
+            source: src.to_string(),
+            scanned,
+            parsed,
+        }
+    }
+
+    fn idents() -> BTreeMap<String, String> {
+        let mut m = BTreeMap::new();
+        m.insert("fedprox_alpha".to_string(), "alpha".to_string());
+        m.insert("fedprox_beta".to_string(), "beta".to_string());
+        m
+    }
+
+    #[test]
+    fn extracts_free_method_and_qualified_calls() {
+        let calls = calls_on_line("let x = helper(Device::new(1).update(w), other::go());");
+        assert!(calls.contains(&Call::Free(vec!["helper".to_string()])));
+        assert!(calls.contains(&Call::Free(vec!["Device".to_string(), "new".to_string()])));
+        assert!(calls.contains(&Call::Method("update".to_string())));
+        assert!(calls.contains(&Call::Free(vec!["other".to_string(), "go".to_string()])));
+    }
+
+    #[test]
+    fn keywords_macros_and_turbofish() {
+        let calls = calls_on_line("if check::<f64>(x) { return make!(y); } while go() {}");
+        assert_eq!(
+            calls,
+            vec![Call::Free(vec!["check".to_string()]), Call::Free(vec!["go".to_string()])]
+        );
+    }
+
+    #[test]
+    fn within_crate_edges_and_reachability() {
+        let files = vec![file(
+            "alpha",
+            "crates/alpha/src/lib.rs",
+            "\
+pub fn entry() {
+    step_one();
+}
+fn step_one() {
+    step_two();
+}
+fn step_two() {}
+fn orphan() {}
+",
+        )];
+        let g = build(&files, &idents());
+        assert_eq!(g.nodes.len(), 4);
+        let entry = g.node_for(0, 0).expect("entry node");
+        let two = g.node_for(0, 2).expect("step_two node");
+        let orphan = g.node_for(0, 3).expect("orphan node");
+        let reach = g.reachability(&[entry]);
+        assert_eq!(reach.dist[two], Some(2));
+        assert_eq!(reach.dist[orphan], None);
+        let chain = g.chain_to(&reach, two);
+        assert_eq!(chain, vec!["alpha::entry", "alpha::step_one", "alpha::step_two"]);
+    }
+
+    #[test]
+    fn cross_crate_edges_respect_pub() {
+        let files = vec![
+            file(
+                "alpha",
+                "crates/alpha/src/lib.rs",
+                "\
+use fedprox_beta::exported;
+pub fn caller() {
+    exported();
+    fedprox_beta::also_exported();
+}
+",
+            ),
+            file(
+                "beta",
+                "crates/beta/src/lib.rs",
+                "\
+pub fn exported() { hidden(); }
+pub fn also_exported() {}
+fn hidden() {}
+",
+            ),
+        ];
+        let g = build(&files, &idents());
+        let caller = g.node_for(0, 0).expect("caller");
+        let exported = g.node_for(1, 0).expect("exported");
+        let also = g.node_for(1, 1).expect("also_exported");
+        assert!(g.edges[caller].contains(&exported));
+        assert!(g.edges[caller].contains(&also));
+    }
+
+    #[test]
+    fn method_calls_resolve_to_impls_not_denied_names() {
+        let files = vec![file(
+            "alpha",
+            "crates/alpha/src/lib.rs",
+            "\
+pub struct Worker;
+impl Worker {
+    pub fn update(&mut self) {
+        self.commit();
+    }
+    fn commit(&mut self) {}
+}
+pub fn drive(w: &mut Worker) {
+    w.update();
+    w.clone();
+}
+",
+        )];
+        let g = build(&files, &idents());
+        let drive = g.node_for(0, 2).expect("drive");
+        let update = g.node_for(0, 0).expect("update");
+        let commit = g.node_for(0, 1).expect("commit");
+        assert!(g.edges[drive].contains(&update));
+        assert!(g.edges[update].contains(&commit));
+        // `.clone()` is denied: no edge beyond update.
+        assert_eq!(g.edges[drive], vec![update]);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_not_nodes() {
+        let files = vec![file(
+            "alpha",
+            "crates/alpha/src/lib.rs",
+            "\
+pub fn real() {}
+#[cfg(test)]
+mod tests {
+    fn helper() { real(); }
+}
+",
+        )];
+        let g = build(&files, &idents());
+        assert_eq!(g.nodes.len(), 1);
+    }
+}

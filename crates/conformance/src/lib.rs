@@ -15,7 +15,12 @@
 //! double hyphen (`--`). Allowed sites are counted and reported, never
 //! silently dropped.
 
+pub mod callgraph;
+pub mod engine;
+pub mod json;
 pub mod lexer;
+pub mod manifest;
+pub mod parser;
 
 use lexer::ScannedFile;
 use std::fmt;
@@ -43,7 +48,63 @@ pub enum Rule {
     /// the telemetry collector and the net backend's virtual clock — wall
     /// time anywhere else silently breaks bitwise reproducibility.
     WallClock,
+    /// D1 `unordered-iteration`: `HashMap` / `HashSet` in strict-path
+    /// crates — iteration order is seeded per-process, so any float
+    /// reduction or ordered output over them breaks bitwise replay. Use
+    /// `BTreeMap` / `BTreeSet` or sorted keys.
+    UnorderedIteration,
+    /// D2 `spawn-ordering`: a `spawn(...)` call in a strict-path crate —
+    /// results collected from threads in completion order are
+    /// nondeterministic; collection must be keyed by a stable id.
+    SpawnOrdering,
+    /// D3 `unordered-float-reduction`: a float reduction (`sum` / `fold`
+    /// / `product`) over an unordered container's iterator inside a
+    /// function that handles `HashMap` / `HashSet` — float addition is
+    /// non-associative, so the result depends on iteration order.
+    UnorderedFloatReduction,
+    /// P1 `panic-path`: a panic site (`unwrap` / `expect` / `panic!` /
+    /// `todo!` / `unimplemented!`) *reachable from a public API* of a
+    /// strict-path crate, reported with the shortest call chain. Unlike
+    /// R1's line-local view, an unreachable panic site is not flagged.
+    PanicPath,
+    /// P2 `index-panic`: slice/collection indexing (`x[i]`) reachable
+    /// from a public API in `net` / `core` — an out-of-bounds index
+    /// panics across the device-actor boundary instead of surfacing a
+    /// typed `NetError`.
+    IndexPanic,
+    /// F1 `unknown-feature`: a `cfg(feature = "…")` name that does not
+    /// exist in the owning crate's `Cargo.toml` — the gated code is
+    /// silently dead.
+    UnknownFeature,
+    /// F2 `feature-chain`: a `Cargo.toml` feature entry that references a
+    /// missing dependency or a feature the dependency does not define —
+    /// the facade→crate forwarding chain is broken.
+    FeatureChain,
+    /// F3 `clippy-allow-sync`: an `#[allow(clippy::unwrap_used)]` /
+    /// `#[allow(clippy::expect_used)]` in library code without an
+    /// adjacent `fedlint: allow(no-panic)` annotation — the two
+    /// escape-hatch grammars must stay in sync so every allowance
+    /// carries a written justification.
+    ClippyAllowSync,
 }
+
+/// Every rule, in stable report order.
+pub const ALL_RULES: [Rule; 14] = [
+    Rule::NoPanic,
+    Rule::NoAmbientEntropy,
+    Rule::NoDebugPrint,
+    Rule::SafetyComment,
+    Rule::LossyCast,
+    Rule::WallClock,
+    Rule::UnorderedIteration,
+    Rule::SpawnOrdering,
+    Rule::UnorderedFloatReduction,
+    Rule::PanicPath,
+    Rule::IndexPanic,
+    Rule::UnknownFeature,
+    Rule::FeatureChain,
+    Rule::ClippyAllowSync,
+];
 
 impl Rule {
     /// The stable rule id used in reports and allow annotations.
@@ -55,27 +116,27 @@ impl Rule {
             Rule::SafetyComment => "safety-comment",
             Rule::LossyCast => "lossy-cast",
             Rule::WallClock => "no-wall-clock",
+            Rule::UnorderedIteration => "unordered-iteration",
+            Rule::SpawnOrdering => "spawn-ordering",
+            Rule::UnorderedFloatReduction => "unordered-float-reduction",
+            Rule::PanicPath => "panic-path",
+            Rule::IndexPanic => "index-panic",
+            Rule::UnknownFeature => "unknown-feature",
+            Rule::FeatureChain => "feature-chain",
+            Rule::ClippyAllowSync => "clippy-allow-sync",
         }
     }
 
     /// Parse an id as written inside `allow(...)`.
     pub fn from_id(id: &str) -> Option<Rule> {
-        match id {
-            "no-panic" => Some(Rule::NoPanic),
-            "no-ambient-entropy" => Some(Rule::NoAmbientEntropy),
-            "no-debug-print" => Some(Rule::NoDebugPrint),
-            "safety-comment" => Some(Rule::SafetyComment),
-            "lossy-cast" => Some(Rule::LossyCast),
-            "no-wall-clock" => Some(Rule::WallClock),
-        _ => None,
-        }
+        ALL_RULES.iter().copied().find(|r| r.id() == id)
     }
 }
 
 /// A set of enabled rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RuleSet {
-    rules: [bool; 6],
+    rules: [bool; ALL_RULES.len()],
 }
 
 impl RuleSet {
@@ -84,9 +145,11 @@ impl RuleSet {
         RuleSet::default()
     }
 
-    /// Every rule enabled.
+    /// Every rule enabled. (The line-local [`check_source`] pass acts
+    /// only on R1–R6; the D/P/F families are evaluated by the
+    /// [`engine`], which scopes them itself.)
     pub fn all() -> Self {
-        RuleSet { rules: [true; 6] }
+        RuleSet { rules: [true; ALL_RULES.len()] }
     }
 
     /// Add a rule (builder style).
@@ -107,14 +170,9 @@ impl RuleSet {
     }
 
     fn idx(rule: Rule) -> usize {
-        match rule {
-            Rule::NoPanic => 0,
-            Rule::NoAmbientEntropy => 1,
-            Rule::NoDebugPrint => 2,
-            Rule::SafetyComment => 3,
-            Rule::LossyCast => 4,
-            Rule::WallClock => 5,
-        }
+        // ALL_RULES is tiny and const; a linear scan keeps the enum and
+        // the index in sync by construction.
+        ALL_RULES.iter().position(|r| *r == rule).unwrap_or(0)
     }
 }
 
@@ -617,16 +675,10 @@ mod tests {
 
     #[test]
     fn rule_ids_roundtrip() {
-        for rule in [
-            Rule::NoPanic,
-            Rule::NoAmbientEntropy,
-            Rule::NoDebugPrint,
-            Rule::SafetyComment,
-            Rule::LossyCast,
-            Rule::WallClock,
-        ] {
+        for rule in ALL_RULES {
             assert_eq!(Rule::from_id(rule.id()), Some(rule));
         }
+        assert_eq!(Rule::from_id("not-a-rule"), None);
     }
 
     #[test]

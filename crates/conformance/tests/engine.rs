@@ -1,0 +1,172 @@
+//! Engine tests over the fixture mini-workspace in
+//! `tests/fixtures/violations/`: every D/P/F rule must catch its
+//! positive site at the exact line, honour its allow-annotated
+//! negative, and a seeded regression must fail the gate.
+
+// Module-level helpers sit outside #[test] fns, where clippy.toml's
+// allow-expect-in-tests does not reach.
+#![allow(clippy::expect_used)]
+
+use fedprox_conformance::engine::{self, Analysis, Baseline};
+use fedprox_conformance::Rule;
+use std::path::PathBuf;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/violations")
+}
+
+fn fixture_analysis() -> Analysis {
+    engine::analyze(&fixture_root()).expect("analyze fixture workspace")
+}
+
+const LIB: &str = "crates/core/src/lib.rs";
+const MANIFEST: &str = "crates/core/Cargo.toml";
+
+/// The finding for (rule, file, line), if any.
+fn find<'a>(
+    analysis: &'a Analysis,
+    rule: Rule,
+    file: &str,
+    line: usize,
+) -> Option<&'a engine::Finding> {
+    analysis
+        .findings
+        .iter()
+        .find(|f| f.rule == rule && f.file == file && f.line == line)
+}
+
+/// Assert a violation (not allowed) exists at the site.
+fn assert_violation(analysis: &Analysis, rule: Rule, line: usize) -> &engine::Finding {
+    let f = find(analysis, rule, LIB, line)
+        .unwrap_or_else(|| panic!("expected {} violation at {LIB}:{line}", rule.id()));
+    assert!(f.allowed.is_none(), "{} at line {line} should be a violation", rule.id());
+    f
+}
+
+/// Assert the site is annotation-suppressed.
+fn assert_allowed(analysis: &Analysis, rule: Rule, line: usize) {
+    let f = find(analysis, rule, LIB, line)
+        .unwrap_or_else(|| panic!("expected allowed {} site at {LIB}:{line}", rule.id()));
+    assert!(
+        f.allowed.is_some(),
+        "{} at line {line} should be suppressed by its annotation",
+        rule.id()
+    );
+}
+
+#[test]
+fn fixture_has_no_malformed_annotations() {
+    let analysis = fixture_analysis();
+    assert!(
+        analysis.bad_annotations.is_empty(),
+        "fixture annotations must parse: {:?}",
+        analysis.bad_annotations
+    );
+}
+
+#[test]
+fn d1_unordered_iteration_positive_and_negative() {
+    let analysis = fixture_analysis();
+    assert_violation(&analysis, Rule::UnorderedIteration, 6); // module-scope use
+    assert_violation(&analysis, Rule::UnorderedIteration, 13); // in-function
+    assert_allowed(&analysis, Rule::UnorderedIteration, 8);
+}
+
+#[test]
+fn d2_spawn_ordering_positive_and_negative() {
+    let analysis = fixture_analysis();
+    let f = assert_violation(&analysis, Rule::SpawnOrdering, 32);
+    assert_eq!(f.chain, vec!["core::spawn_unordered".to_string()]);
+    assert_allowed(&analysis, Rule::SpawnOrdering, 39);
+}
+
+#[test]
+fn d3_unordered_float_reduction_positive_and_negative() {
+    let analysis = fixture_analysis();
+    let f = assert_violation(&analysis, Rule::UnorderedFloatReduction, 14);
+    assert_eq!(f.chain, vec!["core::entry".to_string()]);
+    assert_allowed(&analysis, Rule::UnorderedFloatReduction, 16);
+}
+
+#[test]
+fn p1_panic_path_reports_shortest_public_chain() {
+    let analysis = fixture_analysis();
+    let f = assert_violation(&analysis, Rule::PanicPath, 27);
+    assert_eq!(
+        f.chain,
+        vec!["core::entry".to_string(), "core::helper".to_string()],
+        "private helper must be reported via its public entry point"
+    );
+    // The annotated unwrap is suppressed — and the no-panic annotation
+    // satisfies panic-path too, so one justification covers both views.
+    assert_allowed(&analysis, Rule::PanicPath, 47);
+    assert_allowed(&analysis, Rule::NoPanic, 47);
+}
+
+#[test]
+fn p2_index_panic_positive_and_negative() {
+    let analysis = fixture_analysis();
+    let f = assert_violation(&analysis, Rule::IndexPanic, 17);
+    assert_eq!(f.chain, vec!["core::entry".to_string()]);
+    assert_allowed(&analysis, Rule::IndexPanic, 23);
+}
+
+#[test]
+fn f1_unknown_feature_positive_and_negative() {
+    let analysis = fixture_analysis();
+    let f = assert_violation(&analysis, Rule::UnknownFeature, 55);
+    assert!(f.message.contains("ghost"), "message names the feature: {}", f.message);
+    assert_allowed(&analysis, Rule::UnknownFeature, 59);
+    // Declared feature: clean.
+    assert!(find(&analysis, Rule::UnknownFeature, LIB, 62).is_none());
+}
+
+#[test]
+fn f2_feature_chain_flags_only_the_broken_forward() {
+    let analysis = fixture_analysis();
+    let broken: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::FeatureChain)
+        .collect();
+    assert_eq!(broken.len(), 1, "exactly the `broken` chain: {broken:?}");
+    assert_eq!(broken[0].file, MANIFEST);
+    assert!(
+        broken[0].message.contains("nodep"),
+        "message names the missing dependency: {}",
+        broken[0].message
+    );
+}
+
+#[test]
+fn f3_clippy_allow_sync_positive_and_negative() {
+    let analysis = fixture_analysis();
+    assert_violation(&analysis, Rule::ClippyAllowSync, 50);
+    // Synced clippy allow (adjacent no-panic annotation): no finding.
+    assert!(find(&analysis, Rule::ClippyAllowSync, LIB, 44).is_none());
+}
+
+#[test]
+fn seeded_fixture_regression_fails_an_empty_baseline_gate() {
+    let analysis = fixture_analysis();
+    // An empty baseline means every budget is zero — the fixture's
+    // seeded violations must breach it (this is what makes CI exit
+    // nonzero when a regression lands without a baseline bump).
+    let empty = Baseline::default();
+    let result = engine::gate(&analysis, &empty);
+    assert!(!result.ok(), "seeded violations must fail a zero-budget gate");
+    let text = result.breaches.join("\n");
+    for id in ["index-panic", "panic-path", "spawn-ordering", "unordered-iteration"] {
+        assert!(text.contains(id), "breach list should mention {id}:\n{text}");
+    }
+}
+
+#[test]
+fn fixture_baseline_roundtrip_gates_clean() {
+    let analysis = fixture_analysis();
+    // A baseline captured from the same analysis must pass, including
+    // after a serialize/parse round-trip.
+    let baseline = Baseline::from_analysis(&analysis);
+    let reparsed = Baseline::parse(&baseline.emit()).expect("parse emitted baseline");
+    assert!(engine::gate(&analysis, &reparsed).ok());
+}

@@ -1,0 +1,63 @@
+//! Fixture exercising every D/P/F rule: each block pairs a positive
+//! (caught) site with an allow-annotated negative (suppressed) site.
+//! Line numbers are asserted exactly by `tests/engine.rs` — edit with
+//! care. Never compiled by cargo, only scanned by `engine::analyze`.
+
+use std::collections::HashMap; // line 6: D1 positive (module scope)
+// fedlint: allow(unordered-iteration) — fixture: suppressed module-scope import
+use std::collections::HashSet; // line 8: D1 negative (annotated)
+
+/// Hosts the in-function D1, D3 and P2 positives.
+pub fn entry(xs: &[f64], i: usize) -> f64 {
+    let _ = helper(xs);
+    let m: HashMap<u32, f64> = HashMap::new(); // line 13: D1 positive
+    let s: f64 = m.values().sum(); // line 14: D3 positive
+    // fedlint: allow(unordered-float-reduction) — fixture: order-insensitive by construction
+    let t: f64 = m.values().sum(); // line 16: D3 negative
+    s + t + xs[i] // line 17: P2 positive
+}
+
+/// P2 negative host.
+pub fn entry_allowed(xs: &[f64], i: usize) -> f64 {
+    // fedlint: allow(index-panic) — fixture: caller guarantees bounds
+    xs[i] // line 23: P2 negative (annotated)
+}
+
+fn helper(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap() // line 27: P1 positive, chain entry -> helper
+}
+
+/// D2 positive host.
+pub fn spawn_unordered() -> i32 {
+    let h = std::thread::spawn(|| 1); // line 32: D2 positive
+    h.join().unwrap_or(0)
+}
+
+/// D2 negative host.
+pub fn spawn_ordered() -> i32 {
+    // fedlint: allow(spawn-ordering) — fixture: results keyed by id
+    let h = std::thread::spawn(|| 1); // line 39: D2 negative (annotated)
+    h.join().unwrap_or(0)
+}
+
+/// P1 negative: the annotation also satisfies panic-path and syncs F3.
+#[allow(clippy::unwrap_used)] // line 44: F3 negative (synced by the annotation below)
+pub fn annotated_panic() -> u32 {
+    // fedlint: allow(no-panic) — fixture: value is a compile-time constant
+    Some(1).unwrap() // line 47: P1 negative (annotated)
+}
+
+#[allow(clippy::expect_used)] // line 50: F3 positive (no adjacent justification)
+pub fn clippy_unsynced() -> u32 {
+    1
+}
+
+#[cfg(feature = "ghost")] // line 55: F1 positive (feature not declared)
+pub fn gated() {}
+
+// fedlint: allow(unknown-feature) — fixture: reserved for a future backend
+#[cfg(feature = "future")] // line 59: F1 negative (annotated)
+pub fn gated_future() {}
+
+#[cfg(feature = "std")] // line 62: F1 clean (declared in Cargo.toml)
+pub fn gated_std() {}

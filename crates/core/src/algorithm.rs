@@ -3,13 +3,14 @@
 
 use crate::config::{FedConfig, NetRunnerOptions, RunnerKind};
 use crate::device::Device;
+use crate::error::FedError;
 use crate::metrics::{DivergenceCause, History, RoundRecord, RunningTotal};
 use crate::{eval, runner, server};
 use fedprox_data::Dataset;
 use fedprox_faults::{DeviceOutcome, RoundParticipation};
 use fedprox_models::LossModel;
-use fedprox_net::runtime::FnWorker;
-use fedprox_net::{DeviceReply, NetworkRuntime};
+use fedprox_net::runtime::TryFnWorker;
+use fedprox_net::{DeviceReply, NetworkRuntime, WorkerError};
 use fedprox_tensor::vecops;
 
 /// Which federated algorithm to run.
@@ -78,13 +79,17 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
     }
 
     /// Run from the model's seeded initialisation.
-    pub fn run(&self) -> History {
+    ///
+    /// Training dynamics (divergence, loss guards) are recorded in the
+    /// returned [`History`], never surfaced as errors; `Err` means the
+    /// run itself could not proceed (see [`FedError`]).
+    pub fn run(&self) -> Result<History, FedError> {
         let w0 = self.model.init_params(self.cfg.seed);
         self.run_from(w0)
     }
 
     /// Run from an explicit initial global model.
-    pub fn run_from(&self, w0: Vec<f64>) -> History {
+    pub fn run_from(&self, w0: Vec<f64>) -> Result<History, FedError> {
         match self.cfg.runner.clone() {
             RunnerKind::Sequential => self.run_local_loop(w0, false),
             RunnerKind::Parallel => self.run_local_loop(w0, true),
@@ -93,7 +98,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
     }
 
     /// Sequential / rayon-parallel backends share this loop.
-    fn run_local_loop(&self, w0: Vec<f64>, parallel: bool) -> History {
+    fn run_local_loop(&self, w0: Vec<f64>, parallel: bool) -> Result<History, FedError> {
         let weights = server::weights_from_sizes(
             &self.devices.iter().map(Device::samples).collect::<Vec<_>>(),
         );
@@ -208,7 +213,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
                 s - 1,
                 parallel,
                 global_grad.as_deref(),
-            );
+            )?;
             for u in &updates {
                 total_grad_evals.add(u.grad_evals as u64);
             }
@@ -285,7 +290,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
         #[cfg(feature = "telemetry")]
         Self::flush_monitor(monitor);
 
-        History {
+        Ok(History {
             config: self.cfg.summary(),
             records,
             divergence,
@@ -293,7 +298,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
             total_sim_time: 0.0,
             final_model: global,
             participation,
-        }
+        })
     }
 
     /// Build the fedscope health monitor for an armed-telemetry run;
@@ -325,7 +330,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
     /// Networked backend: the actor runtime owns the loop; metrics are
     /// recorded from its per-round callback and timing is patched in from
     /// the virtual clock afterwards.
-    fn run_networked(&self, w0: Vec<f64>, opts: &NetRunnerOptions) -> History {
+    fn run_networked(&self, w0: Vec<f64>, opts: &NetRunnerOptions) -> Result<History, FedError> {
         assert!(
             self.cfg.participation >= 1.0,
             "the networked backend requires full participation; use Sequential/Parallel"
@@ -345,14 +350,20 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
                 let cfg = &self.cfg;
                 let weight = weights[d.id];
                 let sec_per = opts.sec_per_grad_eval;
-                FnWorker(move |round: u32, global: &[f64]| {
-                    let upd = d.local_update(model, global, cfg, round as usize);
-                    DeviceReply {
+                // Fallible worker: a local-update failure crosses the
+                // simulated wire as a typed `WorkerFailed` transport
+                // error instead of a panic. (Unreachable today — FSVRG,
+                // the only failing algorithm, is rejected above.)
+                TryFnWorker(move |round: u32, global: &[f64]| {
+                    let upd = d
+                        .local_update(model, global, cfg, round as usize)
+                        .map_err(WorkerError::new)?;
+                    Ok(DeviceReply {
                         params: upd.w,
                         weight,
                         grad_evals: upd.grad_evals as u64,
                         compute_time: upd.grad_evals as f64 * sec_per,
-                    }
+                    })
                 })
             })
             .collect();
@@ -416,9 +427,8 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
         );
         // Transport errors are protocol/configuration bugs in the
         // in-process simulation, never training dynamics; there is no
-        // meaningful History to hand back for them.
-        // fedlint: allow(no-panic) — NetError from the simulated transport is an unrecoverable bug; fail loudly rather than fabricate a History
-        let report = report.expect("networked backend transport failure");
+        // meaningful History for them, so they propagate typed.
+        let report = report.map_err(FedError::Net)?;
 
         #[cfg(feature = "telemetry")]
         {
@@ -451,7 +461,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
             }
         }
 
-        History {
+        Ok(History {
             config: self.cfg.summary(),
             records,
             divergence,
@@ -459,7 +469,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
             total_sim_time: report.clock.now(),
             final_model: report.final_model,
             participation: report.participation,
-        }
+        })
     }
 
     fn evaluate(
@@ -535,7 +545,7 @@ mod tests {
             Algorithm::FedProxVr(EstimatorKind::Sarah),
         ] {
             let trainer = FederatedTrainer::new(&model, &devices, &test, base_cfg(alg));
-            let h = trainer.run();
+            let h = trainer.run().expect("run");
             assert!(!h.diverged(), "{} diverged", alg.name());
             assert_eq!(h.rounds_run, 10);
             let first = h.records.first().unwrap().train_loss;
@@ -548,14 +558,14 @@ mod tests {
     fn sequential_and_parallel_identical() {
         let (devices, test, model) = federation(2);
         let cfg = base_cfg(Algorithm::FedProxVr(EstimatorKind::Sarah));
-        let h_seq = FederatedTrainer::new(&model, &devices, &test, cfg.clone()).run();
+        let h_seq = FederatedTrainer::new(&model, &devices, &test, cfg.clone()).run().expect("run");
         let h_par = FederatedTrainer::new(
             &model,
             &devices,
             &test,
             cfg.with_runner(RunnerKind::Parallel),
         )
-        .run();
+        .run().expect("run");
         assert_eq!(h_seq.records.len(), h_par.records.len());
         for (a, b) in h_seq.records.iter().zip(&h_par.records) {
             assert_eq!(a.train_loss, b.train_loss, "round {}", a.round);
@@ -567,14 +577,14 @@ mod tests {
     fn network_matches_sequential_trajectory() {
         let (devices, test, model) = federation(3);
         let cfg = base_cfg(Algorithm::FedProxVr(EstimatorKind::Svrg)).with_rounds(5);
-        let h_seq = FederatedTrainer::new(&model, &devices, &test, cfg.clone()).run();
+        let h_seq = FederatedTrainer::new(&model, &devices, &test, cfg.clone()).run().expect("run");
         let h_net = FederatedTrainer::new(
             &model,
             &devices,
             &test,
             cfg.with_runner(RunnerKind::Network(NetRunnerOptions::default())),
         )
-        .run();
+        .run().expect("run");
         assert_eq!(h_seq.records.len(), h_net.records.len());
         for (a, b) in h_seq.records.iter().zip(&h_net.records) {
             assert_eq!(a.train_loss, b.train_loss, "round {}", a.round);
@@ -591,7 +601,7 @@ mod tests {
         let cfg = base_cfg(Algorithm::FedProxVr(EstimatorKind::Sarah))
             .with_rounds(3)
             .with_measure_theta(true);
-        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
         assert!(h.records[0].theta_measured.is_none(), "no theta before any local solve");
         for r in h.records.iter().skip(1) {
             let t = r.theta_measured.expect("theta missing");
@@ -603,7 +613,7 @@ mod tests {
     fn eval_every_thins_records() {
         let (devices, test, model) = federation(5);
         let cfg = base_cfg(Algorithm::FedAvg).with_rounds(10).with_eval_every(4);
-        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
         let rounds: Vec<usize> = h.records.iter().map(|r| r.round).collect();
         assert_eq!(rounds, vec![0, 4, 8, 10]); // baseline, every 4th, final
     }
@@ -612,7 +622,7 @@ mod tests {
     fn fedprox_and_fsvrg_baselines_learn() {
         let (devices, test, model) = federation(9);
         for alg in [Algorithm::FedProx, Algorithm::Fsvrg] {
-            let h = FederatedTrainer::new(&model, &devices, &test, base_cfg(alg)).run();
+            let h = FederatedTrainer::new(&model, &devices, &test, base_cfg(alg)).run().expect("run");
             assert!(!h.diverged(), "{} diverged", alg.name());
             assert!(
                 h.final_loss().unwrap() < h.records[0].train_loss,
@@ -633,7 +643,7 @@ mod tests {
             &test,
             base_cfg(Algorithm::Fsvrg).with_rounds(rounds).with_eval_every(1),
         )
-        .run();
+        .run().expect("run");
         let evals = h.records.last().unwrap().grad_evals;
         // At least one full pass per round just for the global gradient.
         assert!(evals >= rounds as u64 * total_samples, "evals {evals}");
@@ -645,7 +655,7 @@ mod tests {
         let (devices, test, model) = federation(11);
         let cfg = base_cfg(Algorithm::Fsvrg)
             .with_runner(RunnerKind::Network(NetRunnerOptions::default()));
-        let _ = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        let _ = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
     }
 
     #[test]
@@ -657,14 +667,14 @@ mod tests {
             &test,
             base_cfg(Algorithm::FedAvg).with_rounds(6),
         )
-        .run();
+        .run().expect("run");
         let half = FederatedTrainer::new(
             &model,
             &devices,
             &test,
             base_cfg(Algorithm::FedAvg).with_rounds(6).with_participation(0.5),
         )
-        .run();
+        .run().expect("run");
         assert!(!half.diverged());
         // Different device subsets ⇒ different trajectory.
         assert_ne!(
@@ -681,7 +691,7 @@ mod tests {
             &test,
             base_cfg(Algorithm::FedAvg).with_rounds(6).with_participation(0.5),
         )
-        .run();
+        .run().expect("run");
         assert_eq!(half.records, half2.records);
     }
 
@@ -692,7 +702,7 @@ mod tests {
         let cfg = base_cfg(Algorithm::FedAvg)
             .with_participation(0.5)
             .with_runner(RunnerKind::Network(NetRunnerOptions::default()));
-        let _ = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        let _ = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
     }
 
     #[test]
@@ -703,7 +713,7 @@ mod tests {
         let faulted = cfg
             .clone()
             .with_resilience(Resilience::with_plan(FaultPlan::new().crash(2, 3)));
-        let h = FederatedTrainer::new(&model, &devices, &test, faulted.clone()).run();
+        let h = FederatedTrainer::new(&model, &devices, &test, faulted.clone()).run().expect("run");
         assert!(!h.diverged());
         assert_eq!(h.rounds_run, 6);
         assert_eq!(h.participation.len(), 6);
@@ -719,11 +729,11 @@ mod tests {
             }
         }
         // The faulted trajectory differs from the clean one…
-        let clean = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        let clean = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
         assert!(clean.participation.is_empty());
         assert_ne!(clean.final_loss(), h.final_loss());
         // …and is reproducible bit-for-bit.
-        let h2 = FederatedTrainer::new(&model, &devices, &test, faulted).run();
+        let h2 = FederatedTrainer::new(&model, &devices, &test, faulted).run().expect("run");
         assert_eq!(h.records, h2.records);
         assert_eq!(h.participation, h2.participation);
     }
@@ -738,7 +748,7 @@ mod tests {
         let resil = Resilience::with_plan(FaultPlan::new().offline(1, 2, 3))
             .with_quorum(QuorumPolicy::weight_fraction(0.9));
         let cfg = base_cfg(Algorithm::FedAvg).with_rounds(5).with_resilience(resil);
-        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
         assert!(!h.diverged());
         assert_eq!(h.rounds_run, 5);
         let skipped: Vec<usize> =
@@ -757,14 +767,14 @@ mod tests {
         use fedprox_faults::Resilience;
         let (devices, test, model) = federation(14);
         let cfg = base_cfg(Algorithm::FedProxVr(EstimatorKind::Sarah));
-        let strict = FederatedTrainer::new(&model, &devices, &test, cfg.clone()).run();
+        let strict = FederatedTrainer::new(&model, &devices, &test, cfg.clone()).run().expect("run");
         let resilient = FederatedTrainer::new(
             &model,
             &devices,
             &test,
             cfg.with_resilience(Resilience::default()),
         )
-        .run();
+        .run().expect("run");
         assert_eq!(strict.records, resilient.records);
         for (a, b) in strict.final_model.iter().zip(&resilient.final_model) {
             assert_eq!(a.to_bits(), b.to_bits());

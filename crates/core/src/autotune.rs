@@ -185,7 +185,7 @@ mod tests {
             .with_rounds(8)
             .with_eval_every(8)
             .with_runner(RunnerKind::Parallel);
-        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
         assert!(!h.diverged(), "tuned config diverged");
         assert!(
             h.final_loss().unwrap() < h.records[0].train_loss,

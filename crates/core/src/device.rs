@@ -3,6 +3,7 @@
 
 use crate::algorithm::Algorithm;
 use crate::config::FedConfig;
+use crate::error::FedError;
 use fedprox_data::synthetic::device_rng;
 use fedprox_data::Dataset;
 use fedprox_models::LossModel;
@@ -47,13 +48,17 @@ impl Device {
     /// Randomness is drawn from a stream derived from
     /// `(cfg.seed, round, device id)`, so the result is identical across
     /// the sequential, parallel, and networked backends.
+    ///
+    /// Fails with [`FedError::MissingGlobalGradient`] when the configured
+    /// algorithm is [`Algorithm::Fsvrg`], which anchors on a gradient only
+    /// [`Self::local_update_anchored`] can receive.
     pub fn local_update<M: LossModel>(
         &self,
         model: &M,
         global: &[f64],
         cfg: &FedConfig,
         round: usize,
-    ) -> LocalUpdate {
+    ) -> Result<LocalUpdate, FedError> {
         self.local_update_anchored(model, global, cfg, round, None)
     }
 
@@ -66,7 +71,7 @@ impl Device {
         cfg: &FedConfig,
         round: usize,
         global_grad: Option<&[f64]>,
-    ) -> LocalUpdate {
+    ) -> Result<LocalUpdate, FedError> {
         let mut rng = device_rng(
             cfg.seed ^ (round as u64).wrapping_mul(0x2545F4914F6CDD1D),
             self.id as u64,
@@ -102,10 +107,10 @@ impl Device {
             }
             Algorithm::Fsvrg => {
                 // FSVRG: SVRG anchored at the *global* gradient the server
-                // distributed; no proximal term; last iterate.
-                let ag = global_grad
-                    // fedlint: allow(no-panic) — runner invariant: the server distributes the global gradient whenever needs_global_gradient() holds
-                    .expect("FSVRG requires the server-distributed global gradient");
+                // distributed; no proximal term; last iterate. A caller
+                // that skipped the distribution step gets a typed error
+                // rather than a panic reachable from the public API.
+                let ag = global_grad.ok_or(FedError::MissingGlobalGradient { round })?;
                 let scfg = LocalSolverConfig {
                     kind: EstimatorKind::Svrg,
                     step,
@@ -140,7 +145,7 @@ impl Device {
                 }
             }
         };
-        LocalUpdate { w: outcome.w, grad_evals: outcome.grad_evals, dir_stats: outcome.dir_stats }
+        Ok(LocalUpdate { w: outcome.w, grad_evals: outcome.grad_evals, dir_stats: outcome.dir_stats })
     }
 
     /// Measure the empirical local accuracy ratio of criterion (11):
@@ -193,10 +198,10 @@ mod tests {
         let m = LinearRegression::new(2);
         let cfg = FedConfig::new(Algorithm::FedProxVr(EstimatorKind::Svrg)).with_seed(5);
         let w0 = vec![1.0, -1.0];
-        let a = d.local_update(&m, &w0, &cfg, 7);
-        let b = d.local_update(&m, &w0, &cfg, 7);
+        let a = d.local_update(&m, &w0, &cfg, 7).expect("update");
+        let b = d.local_update(&m, &w0, &cfg, 7).expect("update");
         assert_eq!(a.w, b.w);
-        let c = d.local_update(&m, &w0, &cfg, 8);
+        let c = d.local_update(&m, &w0, &cfg, 8).expect("update");
         assert_ne!(a.w, c.w, "different rounds must draw different batches");
     }
 
@@ -207,8 +212,8 @@ mod tests {
         let m = LinearRegression::new(2);
         let cfg = FedConfig::new(Algorithm::FedAvg).with_seed(5).with_tau(5);
         let w0 = vec![0.5, 0.5];
-        let a = d0.local_update(&m, &w0, &cfg, 0);
-        let b = d1.local_update(&m, &w0, &cfg, 0);
+        let a = d0.local_update(&m, &w0, &cfg, 0).expect("update");
+        let b = d1.local_update(&m, &w0, &cfg, 0).expect("update");
         assert_ne!(a.w, b.w);
     }
 
@@ -217,13 +222,13 @@ mod tests {
         let d = toy_device(1);
         let m = LinearRegression::new(2);
         let cfg = FedConfig::new(Algorithm::FedAvg).with_tau(3).with_batch_size(4);
-        let upd = d.local_update(&m, &[0.0, 0.0], &cfg, 0);
+        let upd = d.local_update(&m, &[0.0, 0.0], &cfg, 0).expect("update");
         // SGD path: one batch per step incl. the first.
         assert_eq!(upd.grad_evals, 4 * 4);
         let cfg_vr = FedConfig::new(Algorithm::FedProxVr(EstimatorKind::Svrg))
             .with_tau(3)
             .with_batch_size(4);
-        let upd_vr = d.local_update(&m, &[0.0, 0.0], &cfg_vr, 0);
+        let upd_vr = d.local_update(&m, &[0.0, 0.0], &cfg_vr, 0).expect("update");
         // VR path: full gradient (40) + 2×4 per inner step × 3.
         assert_eq!(upd_vr.grad_evals, 40 + 3 * 8);
     }
@@ -237,11 +242,26 @@ mod tests {
             .with_mu(0.1)
             .with_beta(3.0);
         let w0 = vec![2.0, 2.0];
-        let upd = d.local_update(&m, &w0, &cfg, 0);
+        let upd = d.local_update(&m, &w0, &cfg, 0).expect("update");
         let theta = d.theta_measured(&m, &w0, &upd.w, cfg.mu);
         // Uniform-random iterate selection means we cannot demand a tiny
         // θ, but it must improve on no-progress (θ = 1).
         assert!(theta < 1.0, "theta {theta}");
+    }
+
+    #[test]
+    fn fsvrg_without_anchor_is_a_typed_error() {
+        let d = toy_device(0);
+        let m = LinearRegression::new(2);
+        let cfg = FedConfig::new(Algorithm::Fsvrg).with_tau(2).with_batch_size(4);
+        let err = d.local_update(&m, &[0.0, 0.0], &cfg, 4).expect_err("anchorless FSVRG");
+        assert_eq!(err, FedError::MissingGlobalGradient { round: 4 });
+        // With the server-distributed anchor the same call succeeds.
+        let g = vec![0.1, -0.2];
+        let upd = d
+            .local_update_anchored(&m, &[0.0, 0.0], &cfg, 4, Some(&g))
+            .expect("anchored FSVRG");
+        assert!(upd.w.iter().all(|x| x.is_finite()));
     }
 
     #[test]

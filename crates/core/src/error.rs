@@ -1,0 +1,66 @@
+//! Typed failures of a federated run.
+//!
+//! Training dynamics (divergence, loss guards, quorum skips) are *not*
+//! errors — they are recorded in [`crate::metrics::History`]. A
+//! [`FedError`] means the run itself could not proceed: a public API was
+//! driven outside its contract, or the simulated transport failed.
+
+use fedprox_net::NetError;
+use std::fmt;
+
+/// Why a federated run (or a single local update) could not proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FedError {
+    /// An FSVRG local update was requested without the
+    /// server-distributed global gradient `∇F̄(w̄)` it anchors on.
+    MissingGlobalGradient {
+        /// The global round the update was asked for.
+        round: usize,
+    },
+    /// The networked backend's transport layer failed (see [`NetError`]
+    /// — in the in-process simulation these are protocol or
+    /// configuration bugs, never training dynamics).
+    Net(NetError),
+}
+
+impl fmt::Display for FedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FedError::MissingGlobalGradient { round } => write!(
+                f,
+                "fsvrg: round {round} local update requires the server-distributed global gradient"
+            ),
+            FedError::Net(e) => write!(f, "networked backend: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FedError::Net(e) => Some(e),
+            FedError::MissingGlobalGradient { .. } => None,
+        }
+    }
+}
+
+impl From<NetError> for FedError {
+    fn from(e: NetError) -> Self {
+        FedError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FedError::MissingGlobalGradient { round: 3 };
+        assert!(e.to_string().contains("round 3"));
+        let n: FedError = NetError::RetryLimit.into();
+        assert!(n.to_string().contains("networked backend"));
+        assert!(std::error::Error::source(&n).is_some());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -6,6 +6,8 @@
 //!   iterations for FedProxVR (SVRG / SARAH) and the FedAvg baseline,
 //! * [`runner`] — sequential, rayon-parallel and networked execution
 //!   backends producing identical trajectories for a fixed seed,
+//! * [`error`] — typed run failures ([`error::FedError`]): contract
+//!   violations and transport errors, as values instead of panics,
 //! * [`eval`] — global loss / accuracy / gradient-norm / σ̄² measurement,
 //! * [`metrics`] — per-round records and JSON/CSV export,
 //! * [`health`] — the [`health::HealthMonitor`] behind `fedscope`:
@@ -22,6 +24,7 @@ pub mod algorithm;
 pub mod autotune;
 pub mod config;
 pub mod device;
+pub mod error;
 pub mod eval;
 pub mod health;
 pub mod metrics;
@@ -34,5 +37,6 @@ pub mod theory;
 pub use algorithm::{Algorithm, FederatedTrainer};
 pub use config::{FedConfig, RunnerKind};
 pub use device::Device;
+pub use error::FedError;
 pub use health::{HealthConfig, HealthMonitor};
 pub use metrics::{DivergenceCause, History, RoundRecord};

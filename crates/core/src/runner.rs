@@ -5,9 +5,15 @@
 //! devices — the rayon pattern the session guides recommend. Because each
 //! device draws from its own `(seed, round, id)` RNG stream, the parallel
 //! backend produces *bit-identical* results to the sequential one.
+//!
+//! Every backend returns `Result`: the only failure today is driving
+//! FSVRG without its server-distributed anchor gradient
+//! ([`FedError::MissingGlobalGradient`]), surfaced as a value instead of
+//! a panic so the trainer's public API stays panic-free.
 
 use crate::config::FedConfig;
 use crate::device::{Device, LocalUpdate};
+use crate::error::FedError;
 use fedprox_models::LossModel;
 use rayon::prelude::*;
 
@@ -18,7 +24,7 @@ pub fn run_round_sequential<M: LossModel>(
     global: &[f64],
     cfg: &FedConfig,
     round: usize,
-) -> Vec<LocalUpdate> {
+) -> Result<Vec<LocalUpdate>, FedError> {
     devices.iter().map(|d| d.local_update(model, global, cfg, round)).collect()
 }
 
@@ -29,7 +35,7 @@ pub fn run_round_parallel<M: LossModel>(
     global: &[f64],
     cfg: &FedConfig,
     round: usize,
-) -> Vec<LocalUpdate> {
+) -> Result<Vec<LocalUpdate>, FedError> {
     devices.par_iter().map(|d| d.local_update(model, global, cfg, round)).collect()
 }
 
@@ -46,7 +52,7 @@ pub fn run_round_subset<M: LossModel>(
     round: usize,
     parallel: bool,
     global_grad: Option<&[f64]>,
-) -> Vec<LocalUpdate> {
+) -> Result<Vec<LocalUpdate>, FedError> {
     let update_one = |i: usize| {
         fedprox_telemetry::span!("core", "device_update", "device" => i, "round" => round);
         devices[i].local_update_anchored(model, global, cfg, round, global_grad)
@@ -82,13 +88,26 @@ mod tests {
             .with_seed(11);
         let w0 = model.init_params(1);
         for round in 0..3 {
-            let seq = run_round_sequential(&model, &devices, &w0, &cfg, round);
-            let par = run_round_parallel(&model, &devices, &w0, &cfg, round);
+            let seq = run_round_sequential(&model, &devices, &w0, &cfg, round).expect("seq");
+            let par = run_round_parallel(&model, &devices, &w0, &cfg, round).expect("par");
             assert_eq!(seq.len(), par.len());
             for (a, b) in seq.iter().zip(&par) {
                 assert_eq!(a.w, b.w, "round {round}: parallel diverged from sequential");
                 assert_eq!(a.grad_evals, b.grad_evals);
             }
+        }
+    }
+
+    #[test]
+    fn anchorless_fsvrg_round_fails_typed_on_both_backends() {
+        let (devices, model) = small_federation();
+        let cfg = FedConfig::new(Algorithm::Fsvrg).with_tau(2).with_batch_size(8);
+        let w0 = model.init_params(1);
+        for parallel in [false, true] {
+            let err =
+                run_round_subset(&model, &devices, &[0, 1, 2], &w0, &cfg, 0, parallel, None)
+                    .expect_err("FSVRG without anchor must fail");
+            assert!(matches!(err, FedError::MissingGlobalGradient { round: 0 }));
         }
     }
 }

@@ -6,6 +6,7 @@
 use crate::algorithm::{Algorithm, FederatedTrainer};
 use crate::config::{FedConfig, RunnerKind};
 use crate::device::Device;
+use crate::error::FedError;
 use fedprox_data::synthetic::device_rng;
 use fedprox_data::Dataset;
 use fedprox_models::LossModel;
@@ -72,7 +73,9 @@ pub struct SearchResult {
 }
 
 /// Run `n_trials` random configurations of `algorithm` and return the one
-/// with the highest test accuracy.
+/// with the highest test accuracy. Divergence is a recorded trial
+/// outcome, not an error; `Err` means a run could not proceed at all
+/// (see [`FedError`]).
 #[allow(clippy::too_many_arguments)]
 pub fn random_search<M: LossModel>(
     model: &M,
@@ -83,7 +86,7 @@ pub fn random_search<M: LossModel>(
     n_trials: usize,
     seed: u64,
     base: &FedConfig,
-) -> SearchResult {
+) -> Result<SearchResult, FedError> {
     assert!(n_trials >= 1, "need at least one trial");
     assert!(
         !space.taus.is_empty()
@@ -116,7 +119,7 @@ pub fn random_search<M: LossModel>(
             runner: RunnerKind::Parallel,
             ..base.clone()
         };
-        let history = FederatedTrainer::new(model, devices, test, cfg).run();
+        let history = FederatedTrainer::new(model, devices, test, cfg).run()?;
         trials.push(Trial {
             tau,
             beta,
@@ -134,7 +137,7 @@ pub fn random_search<M: LossModel>(
         // All trials diverged: report the first so the table row exists.
         .unwrap_or(&trials[0])
         .clone();
-    SearchResult { algorithm: algorithm.name().to_string(), best, trials }
+    Ok(SearchResult { algorithm: algorithm.name().to_string(), best, trials })
 }
 
 
@@ -184,7 +187,8 @@ mod tests {
             4,
             1,
             &base,
-        );
+        )
+        .expect("search");
         assert_eq!(r.trials.len(), 4);
         assert_eq!(r.algorithm, "fedproxvr-svrg");
         let max_acc =
@@ -205,7 +209,8 @@ mod tests {
             3,
             2,
             &base,
-        );
+        )
+        .expect("search");
         assert!(r.trials.iter().all(|t| t.mu == 0.0));
     }
 
@@ -215,10 +220,12 @@ mod tests {
         let base = FedConfig::new(Algorithm::FedAvg);
         let a = random_search(
             &model, &devices, &test, Algorithm::FedAvg, &tiny_space(), 3, 5, &base,
-        );
+        )
+        .expect("search");
         let b = random_search(
             &model, &devices, &test, Algorithm::FedAvg, &tiny_space(), 3, 5, &base,
-        );
+        )
+        .expect("search");
         for (x, y) in a.trials.iter().zip(&b.trials) {
             assert_eq!(x.accuracy, y.accuracy);
             assert_eq!(x.tau, y.tau);

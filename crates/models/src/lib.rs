@@ -11,6 +11,8 @@
 //! Gradients are verified against central finite differences in each
 //! model's tests (`gradcheck`).
 
+// fedlint: allow(clippy-allow-sync) — crate-wide: model construction is R1-exempt; shape mismatches are programming errors caught at build time
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 #![warn(missing_docs)]
 
 pub mod cnn;

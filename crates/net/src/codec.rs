@@ -13,6 +13,8 @@ const TAG_GLOBAL: u8 = 1;
 const TAG_LOCAL: u8 = 2;
 const TAG_SHUTDOWN: u8 = 3;
 const TAG_PANIC: u8 = 4;
+const TAG_MALFORMED: u8 = 5;
+const TAG_FAILED: u8 = 6;
 
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +81,17 @@ pub fn encode(msg: &Message) -> Bytes {
             buf.put_u32_le(*device);
             buf.put_u32_le(*round);
         }
+        Message::Failed { device, round, reason } => {
+            buf.put_u8(TAG_FAILED);
+            buf.put_u32_le(*device);
+            buf.put_u32_le(*round);
+            buf.put_u64_le(reason.len() as u64);
+            buf.put_slice(reason.as_bytes());
+        }
+        Message::Malformed { device } => {
+            buf.put_u8(TAG_MALFORMED);
+            buf.put_u32_le(*device);
+        }
         Message::Shutdown => {
             buf.put_u8(TAG_SHUTDOWN);
         }
@@ -121,6 +134,27 @@ pub fn decode(mut buf: &[u8]) -> Result<Message, CodecError> {
             let round = buf.get_u32_le();
             Ok(Message::Panicked { device, round })
         }
+        TAG_FAILED => {
+            if buf.remaining() < 4 + 4 + 8 {
+                return Err(CodecError::Truncated);
+            }
+            let device = buf.get_u32_le();
+            let round = buf.get_u32_le();
+            let len = buf.get_u64_le() as usize;
+            if buf.remaining() < len {
+                return Err(CodecError::Truncated);
+            }
+            // Lossy: the reason is purely diagnostic, so a mangled byte
+            // must not turn a typed failure report into a codec error.
+            let reason = String::from_utf8_lossy(&buf[..len]).into_owned();
+            Ok(Message::Failed { device, round, reason })
+        }
+        TAG_MALFORMED => {
+            if buf.remaining() < 4 {
+                return Err(CodecError::Truncated);
+            }
+            Ok(Message::Malformed { device: buf.get_u32_le() })
+        }
         TAG_SHUTDOWN => Ok(Message::Shutdown),
         other => Err(CodecError::BadTag(other)),
     }
@@ -132,6 +166,8 @@ pub fn encoded_len(msg: &Message) -> usize {
         Message::GlobalModel { params, .. } => 1 + 4 + 8 + 8 * params.len(),
         Message::LocalModel { params, .. } => 1 + 4 + 4 + 8 + 8 + 8 + 8 + 8 * params.len(),
         Message::Panicked { .. } => 1 + 4 + 4,
+        Message::Failed { reason, .. } => 1 + 4 + 4 + 8 + reason.len(),
+        Message::Malformed { .. } => 1 + 4,
         Message::Shutdown => 1,
     }
 }
@@ -172,6 +208,29 @@ mod tests {
     #[test]
     fn roundtrip_panicked() {
         roundtrip(Message::Panicked { device: 3, round: 11 });
+    }
+
+    #[test]
+    fn roundtrip_failed() {
+        roundtrip(Message::Failed {
+            device: 2,
+            round: 8,
+            reason: "fsvrg: missing global gradient — ünïcode too".to_string(),
+        });
+        roundtrip(Message::Failed { device: 0, round: 0, reason: String::new() });
+    }
+
+    #[test]
+    fn roundtrip_malformed() {
+        roundtrip(Message::Malformed { device: 5 });
+    }
+
+    #[test]
+    fn truncated_failed_fails() {
+        let b = encode(&Message::Failed { device: 1, round: 2, reason: "boom".into() });
+        for cut in [1, 5, 9, b.len() - 1] {
+            assert!(decode(&b[..cut]).is_err(), "cut at {cut} should fail");
+        }
     }
 
     #[test]

@@ -36,4 +36,6 @@ pub use clock::VirtualClock;
 pub use compress::{Compressed, Compressor};
 pub use delay::{DelayModel, LinkSpec};
 pub use message::Message;
-pub use runtime::{DeviceReply, DeviceWorker, NetError, NetOptions, NetReport, NetworkRuntime};
+pub use runtime::{
+    DeviceReply, DeviceWorker, NetError, NetOptions, NetReport, NetworkRuntime, WorkerError,
+};

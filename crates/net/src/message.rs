@@ -35,6 +35,24 @@ pub enum Message {
         /// Round the device was working on.
         round: u32,
     },
+    /// Device → server: the worker returned a typed failure
+    /// ([`crate::runtime::WorkerError`]) instead of a reply. Unlike
+    /// [`Message::Panicked`] the reason survives the wire.
+    Failed {
+        /// Failing device id.
+        device: u32,
+        /// Round the device was working on.
+        round: u32,
+        /// Human-readable failure reason from the worker.
+        reason: String,
+    },
+    /// Device → server: a received frame failed to decode, so the device
+    /// cannot even tell which round it was for. It reports the codec bug
+    /// and retires rather than panicking inside the actor thread.
+    Malformed {
+        /// Reporting device id.
+        device: u32,
+    },
     /// Server → device: stop and join.
     Shutdown,
 }
@@ -45,8 +63,9 @@ impl Message {
         match self {
             Message::GlobalModel { round, .. }
             | Message::LocalModel { round, .. }
-            | Message::Panicked { round, .. } => Some(*round),
-            Message::Shutdown => None,
+            | Message::Panicked { round, .. }
+            | Message::Failed { round, .. } => Some(*round),
+            Message::Malformed { .. } | Message::Shutdown => None,
         }
     }
 }

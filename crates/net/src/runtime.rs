@@ -76,6 +76,20 @@ pub enum NetError {
         /// scope join (e.g. a codec bug before the worker ran).
         device: Option<u32>,
     },
+    /// A device worker reported a typed failure ([`WorkerError`]) for
+    /// its round instead of a reply.
+    WorkerFailed {
+        /// The failing device id.
+        device: u32,
+        /// The worker's failure reason, verbatim.
+        reason: String,
+    },
+    /// A device received a frame it could not decode and retired after
+    /// reporting the codec bug.
+    MalformedFrame {
+        /// The reporting device id.
+        device: u32,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -97,6 +111,12 @@ impl fmt::Display for NetError {
                 write!(f, "net: worker for device {d} panicked")
             }
             NetError::WorkerPanic { device: None } => write!(f, "net: a device worker panicked"),
+            NetError::WorkerFailed { device, reason } => {
+                write!(f, "net: worker for device {device} failed: {reason}")
+            }
+            NetError::MalformedFrame { device } => {
+                write!(f, "net: device {device} received an undecodable frame")
+            }
         }
     }
 }
@@ -122,26 +142,66 @@ pub struct DeviceReply {
     pub compute_time: f64,
 }
 
+/// A typed local-update failure a [`DeviceWorker`] can report instead of
+/// panicking. The reason crosses the wire as [`Message::Failed`], so the
+/// server can attribute the failure (strict mode:
+/// [`NetError::WorkerFailed`]; graceful-degradation mode: the device is
+/// retired as crashed and the round degrades).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerError {
+    /// Human-readable failure reason.
+    pub reason: String,
+}
+
+impl WorkerError {
+    /// Build a failure from anything displayable.
+    pub fn new(reason: impl fmt::Display) -> Self {
+        WorkerError { reason: reason.to_string() }
+    }
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker: {}", self.reason)
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
 /// A device's local-update logic, driven by the runtime.
 pub trait DeviceWorker: Send {
     /// Perform the local update for `round` starting from `global`.
-    fn update(&mut self, round: u32, global: &[f64]) -> DeviceReply;
+    /// Returning `Err` retires the device: the failure travels to the
+    /// server as a typed message instead of a panic.
+    fn update(&mut self, round: u32, global: &[f64]) -> Result<DeviceReply, WorkerError>;
 }
 
 impl<W: DeviceWorker + ?Sized> DeviceWorker for Box<W> {
-    fn update(&mut self, round: u32, global: &[f64]) -> DeviceReply {
+    fn update(&mut self, round: u32, global: &[f64]) -> Result<DeviceReply, WorkerError> {
         (**self).update(round, global)
     }
 }
 
-/// Adapter turning a closure into a [`DeviceWorker`].
+/// Adapter turning an infallible closure into a [`DeviceWorker`].
 pub struct FnWorker<F>(pub F);
 
 impl<F> DeviceWorker for FnWorker<F>
 where
     F: FnMut(u32, &[f64]) -> DeviceReply + Send,
 {
-    fn update(&mut self, round: u32, global: &[f64]) -> DeviceReply {
+    fn update(&mut self, round: u32, global: &[f64]) -> Result<DeviceReply, WorkerError> {
+        Ok((self.0)(round, global))
+    }
+}
+
+/// Adapter turning a fallible closure into a [`DeviceWorker`].
+pub struct TryFnWorker<F>(pub F);
+
+impl<F> DeviceWorker for TryFnWorker<F>
+where
+    F: FnMut(u32, &[f64]) -> Result<DeviceReply, WorkerError> + Send,
+{
+    fn update(&mut self, round: u32, global: &[f64]) -> Result<DeviceReply, WorkerError> {
         (self.0)(round, global)
     }
 }
@@ -285,21 +345,29 @@ impl NetworkRuntime {
                 workers.into_iter().zip(device_rx).enumerate()
             {
                 let reply_tx = reply_tx.clone();
+                // fedlint: allow(spawn-ordering) — reply arrival order is immaterial: the server collects into per-device slots and aggregates in id order (see `slots` below), and resilient-mode RNG draws come from per-(round, device) streams
                 scope.spawn(move |_| {
                     while let Ok(frame) = rx.recv() {
                         // Frames come from `codec::encode` in this very
-                        // process, so a decode failure is a codec bug; a
-                        // device thread has no error channel back to the
-                        // caller, so it surfaces the bug by panicking
-                        // (the scope turns that into `WorkerPanic`).
-                        // fedlint: allow(no-panic) — device actors report codec bugs by panicking into the scope, which maps to NetError::WorkerPanic
-                        match codec::decode(&frame).expect("device: bad frame") {
+                        // process, so a decode failure is a codec bug.
+                        // The device cannot even learn the round from a
+                        // mangled frame: it reports the bug as a typed
+                        // `Malformed` message and retires.
+                        let decoded = match codec::decode(&frame) {
+                            Ok(msg) => msg,
+                            Err(_) => {
+                                let bug = Message::Malformed { device: id as u32 };
+                                let _ = reply_tx.send(codec::encode(&bug));
+                                break;
+                            }
+                        };
+                        match decoded {
                             Message::GlobalModel { round, params } => {
                                 let outcome = std::panic::catch_unwind(
                                     std::panic::AssertUnwindSafe(|| worker.update(round, &params)),
                                 );
-                                let (msg, panicked) = match outcome {
-                                    Ok(reply) => (
+                                let (msg, retire) = match outcome {
+                                    Ok(Ok(reply)) => (
                                         Message::LocalModel {
                                             device: id as u32,
                                             round,
@@ -310,6 +378,16 @@ impl NetworkRuntime {
                                         },
                                         false,
                                     ),
+                                    // A typed failure: the reason crosses
+                                    // the wire; the device retires.
+                                    Ok(Err(e)) => (
+                                        Message::Failed {
+                                            device: id as u32,
+                                            round,
+                                            reason: e.reason,
+                                        },
+                                        true,
+                                    ),
                                     // The worker's state may be poisoned:
                                     // report the failing device id to the
                                     // server, then retire this actor.
@@ -319,12 +397,15 @@ impl NetworkRuntime {
                                 };
                                 // The server hanging up early just means
                                 // this device's reply is no longer wanted.
-                                if reply_tx.send(codec::encode(&msg)).is_err() || panicked {
+                                if reply_tx.send(codec::encode(&msg)).is_err() || retire {
                                     break;
                                 }
                             }
                             Message::Shutdown => break,
-                            Message::LocalModel { .. } | Message::Panicked { .. } => {
+                            Message::LocalModel { .. }
+                            | Message::Panicked { .. }
+                            | Message::Failed { .. }
+                            | Message::Malformed { .. } => {
                                 unreachable!("device received a server-bound message")
                             }
                         }
@@ -552,6 +633,24 @@ impl NetworkRuntime {
                                 let d = device as usize;
                                 dead[d] = true;
                                 outcomes[d] = DeviceOutcome::Crashed;
+                            }
+                            Message::Failed { device, reason, .. } => {
+                                // A typed worker failure follows the panic
+                                // policy: fatal in strict mode, a crashed
+                                // participant under graceful degradation.
+                                let tolerate = resil.is_some_and(|r| r.crash_on_panic);
+                                if !tolerate {
+                                    return Err(NetError::WorkerFailed { device, reason });
+                                }
+                                let d = device as usize;
+                                dead[d] = true;
+                                outcomes[d] = DeviceOutcome::Crashed;
+                            }
+                            Message::Malformed { device } => {
+                                // A codec bug is a protocol failure in
+                                // both modes — degrading would silently
+                                // train on a desynchronized federation.
+                                return Err(NetError::MalformedFrame { device });
                             }
                             Message::GlobalModel { .. } | Message::Shutdown => {
                                 return Err(NetError::UnexpectedMessage);
@@ -1253,6 +1352,89 @@ mod tests {
         let dev1: Vec<DeviceOutcome> =
             report.participation.iter().map(|r| r.outcomes[1]).collect();
         assert_eq!(dev1, vec![Responded, Crashed, Crashed, Crashed]);
+    }
+
+    #[test]
+    fn typed_worker_failure_is_fatal_in_strict_mode() {
+        let failing: Box<dyn DeviceWorker> = Box::new(TryFnWorker(|round: u32, g: &[f64]| {
+            if round >= 1 {
+                return Err(WorkerError::new("injected typed failure"));
+            }
+            Ok(DeviceReply {
+                params: g.to_vec(),
+                weight: 0.5,
+                grad_evals: 1,
+                compute_time: 0.01,
+            })
+        }));
+        let workers: Vec<Box<dyn DeviceWorker>> = vec![toward(vec![0.0], 0.5), failing];
+        let err = NetworkRuntime
+            .run(workers, vec![1.0], 4, &NetOptions::default(), |_, _| true)
+            .expect_err("strict mode must surface the typed failure");
+        assert_eq!(
+            err,
+            NetError::WorkerFailed { device: 1, reason: "injected typed failure".to_string() }
+        );
+    }
+
+    #[test]
+    fn typed_worker_failure_degrades_to_crashed_participant() {
+        let failing: Box<dyn DeviceWorker> = Box::new(TryFnWorker(|round: u32, g: &[f64]| {
+            if round >= 1 {
+                return Err(WorkerError::new("injected typed failure"));
+            }
+            Ok(DeviceReply {
+                params: g.iter().map(|x| 0.5 * x).collect(),
+                weight: 0.5,
+                grad_evals: 1,
+                compute_time: 0.01,
+            })
+        }));
+        let workers: Vec<Box<dyn DeviceWorker>> = vec![toward(vec![0.0], 0.5), failing];
+        let opts = NetOptions::default().with_resilience(fedprox_faults::Resilience::default());
+        let report = NetworkRuntime
+            .run(workers, vec![4.0], 4, &opts, |_, _| true)
+            .expect("typed failure must degrade, not abort");
+        assert_eq!(report.rounds_run, 4);
+        use DeviceOutcome::*;
+        let dev1: Vec<DeviceOutcome> =
+            report.participation.iter().map(|r| r.outcomes[1]).collect();
+        assert_eq!(dev1, vec![Responded, Crashed, Crashed, Crashed]);
+    }
+
+    /// The per-device reply threads race on the shared reply channel, but
+    /// collection goes into per-device slots aggregated in id order — so
+    /// repeated runs must be bitwise identical even with jittery links
+    /// making arrival order genuinely nondeterministic. Guards the
+    /// `spawn-ordering` allowance on the actor spawn.
+    #[test]
+    fn repeated_networked_runs_are_bitwise_identical() {
+        let run = || {
+            let workers: Vec<Box<dyn DeviceWorker>> = (0..6)
+                .map(|i| toward(vec![i as f64, -(i as f64)], 1.0 / 6.0))
+                .collect();
+            let opts = NetOptions {
+                downlink: LinkSpec {
+                    latency: DelayModel::LogNormal { mu: -4.0, sigma: 1.0 },
+                    bytes_per_sec: f64::INFINITY,
+                },
+                drop_prob: 0.2,
+                seed: 77,
+                ..Default::default()
+            };
+            let mut traj: Vec<u64> = Vec::new();
+            let report = NetworkRuntime
+                .run(workers, vec![0.0, 0.0], 20, &opts, |_, g| {
+                    traj.extend(g.iter().map(|x| x.to_bits()));
+                    true
+                })
+                .expect("runtime");
+            (traj, report.final_model.iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+        };
+        let (traj_a, final_a) = run();
+        let (traj_b, final_b) = run();
+        assert_eq!(traj_a, traj_b, "per-round globals must be bitwise stable");
+        assert_eq!(final_a, final_b);
     }
 
     #[test]

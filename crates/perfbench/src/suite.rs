@@ -212,7 +212,7 @@ fn round_bench(
         full,
         quick,
         Box::new(move || {
-            let updates = run_round_sequential(&model, &devices, &w0, &cfg, 0);
+            let updates = run_round_sequential(&model, &devices, &w0, &cfg, 0).expect("round");
             let pairs: Vec<(&[f64], f64)> =
                 updates.iter().zip(&weights).map(|(u, &wt)| (&u.w[..], wt)).collect();
             aggregate(&pairs, &mut agg);

@@ -14,6 +14,10 @@
 //! Works on any file produced by `--health` on the bench binaries;
 //! needs no cargo features.
 
+
+// CLI binary: aborting with context on a broken invocation or run is
+// the intended error policy (fedlint exempts src/bin targets too).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use fedprox_telemetry::jsonl;
 use fedprox_telemetry::scope::{self, HealthReport};
 use std::process::ExitCode;

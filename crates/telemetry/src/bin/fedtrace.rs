@@ -9,6 +9,10 @@
 //! histograms. Works on any trace produced by `--trace` on the bench
 //! binaries or `examples/quickstart.rs`; needs no cargo features.
 
+
+// CLI binary: aborting with context on a broken invocation or run is
+// the intended error policy (fedlint exempts src/bin targets too).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use fedprox_telemetry::jsonl;
 use fedprox_telemetry::summary::TelemetryReport;
 use std::process::ExitCode;

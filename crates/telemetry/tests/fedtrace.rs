@@ -1,6 +1,10 @@
 //! Integration: the checked-in fixture trace (also used by the ci.sh
 //! `fedtrace` smoke stage) parses and summarizes to the expected tables.
 
+// Module-level helpers sit outside #[test] fns, where clippy.toml's
+// allow-expect-in-tests does not reach.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedprox_telemetry::jsonl;
 use fedprox_telemetry::summary::TelemetryReport;
 

@@ -23,6 +23,7 @@ pub fn xavier_uniform(rng: &mut impl Rng, buf: &mut [f64], fan_in: usize, fan_ou
 /// He normal: `N(0, sqrt(2 / fan_in))`, suited to ReLU layers.
 pub fn he_normal(rng: &mut impl Rng, buf: &mut [f64], fan_in: usize) {
     let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    #[allow(clippy::expect_used)]
     // fedlint: allow(no-panic) — σ = sqrt(2 / max(fan_in, 1)) is finite and positive for every layer shape
     let dist = Normal::new(0.0, std).expect("he_normal: invalid std");
     for v in buf.iter_mut() {
@@ -39,6 +40,7 @@ pub fn uniform(rng: &mut impl Rng, buf: &mut [f64], scale: f64) {
 
 /// Standard normal scaled by `std`.
 pub fn normal(rng: &mut impl Rng, buf: &mut [f64], std: f64) {
+    #[allow(clippy::expect_used)]
     // fedlint: allow(no-panic) — callers pass literal non-negative σ; Normal::new only rejects NaN/negative σ
     let dist = Normal::new(0.0, std).expect("normal: invalid std");
     for v in buf.iter_mut() {

@@ -148,6 +148,7 @@ impl Matrix {
 
     /// Matrix multiply; panics on shape mismatch (use [`Self::try_matmul`]
     /// for the checked variant).
+    #[allow(clippy::expect_used)]
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         // fedlint: allow(no-panic) — documented panicking wrapper; try_matmul is the checked API
         self.try_matmul(rhs).expect("matmul shape mismatch")

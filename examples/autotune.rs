@@ -7,6 +7,10 @@
 //! cargo run --release --example autotune
 //! ```
 
+// Example code: panicking with context keeps the walkthrough focused
+// on the federated-learning API rather than error plumbing.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedprox::core::autotune::{autotune, AutoTuneRequest};
 use fedprox::data::split::split_federation;
 use fedprox::data::synthetic::{generate, SyntheticConfig};
@@ -57,7 +61,7 @@ fn main() {
         cfg.tau,
         cfg.eta()
     );
-    let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+    let h = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
     for r in &h.records {
         println!(
             "  round {:>3}: loss {:.4}, accuracy {:.1}%",

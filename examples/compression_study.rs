@@ -9,6 +9,10 @@
 //! cargo run --release --example compression_study
 //! ```
 
+// Example code: panicking with context keeps the walkthrough focused
+// on the federated-learning API rather than error plumbing.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedprox::core::{eval, runner, server};
 use fedprox::data::split::split_federation;
 use fedprox::data::synthetic::{generate, SyntheticConfig};
@@ -63,7 +67,8 @@ fn main() {
                 round,
                 true,
                 None,
-            );
+            )
+            .expect("round");
             // Compress each uplink *update* (w_n − w̄): deltas are what
             // sparsification tolerates — most coordinates barely move in
             // one round, so Top-K on the delta loses little, whereas

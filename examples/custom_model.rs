@@ -7,6 +7,10 @@
 //! cargo run --release --example custom_model
 //! ```
 
+// Example code: panicking with context keeps the walkthrough focused
+// on the federated-learning API rather than error plumbing.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedprox::data::Dataset;
 use fedprox::models::LossModel;
 use fedprox::prelude::*;
@@ -90,7 +94,7 @@ fn main() {
         .with_eval_every(20)
         .with_runner(RunnerKind::Parallel)
         .with_seed(3);
-    let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+    let h = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
 
     println!("custom Huber model under FedProxVR(SARAH):");
     for r in &h.records {

@@ -10,6 +10,10 @@
 //! cargo run --release --example heterogeneity_study
 //! ```
 
+// Example code: panicking with context keeps the walkthrough focused
+// on the federated-learning API rather than error plumbing.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedprox::core::{eval, theory};
 use fedprox::data::split::split_federation;
 use fedprox::data::synthetic::{generate, SyntheticConfig};
@@ -58,6 +62,7 @@ fn main() {
                 .with_seed(11);
             FederatedTrainer::new(&model, &devices, &test, cfg)
                 .run()
+                .expect("run")
                 .final_loss()
                 .unwrap_or(f64::INFINITY)
         };

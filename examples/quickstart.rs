@@ -8,6 +8,10 @@
 //! With `--features telemetry`, pass `--trace PATH` to also record a
 //! fedtrace JSONL event trace of the run and print its summary tables.
 
+// Example code: panicking with context keeps the walkthrough focused
+// on the federated-learning API rather than error plumbing.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedprox::prelude::*;
 use fedprox::core::config::FedConfig as Cfg;
 use fedprox::data::split::split_federation;
@@ -62,7 +66,7 @@ fn main() {
             .with_eval_every(10)
             .with_runner(RunnerKind::Parallel)
             .with_seed(42);
-        let history = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        let history = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
 
         println!("== {}", algorithm.name());
         for r in &history.records {

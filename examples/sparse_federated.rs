@@ -11,6 +11,10 @@
 //! cargo run --release --example sparse_federated
 //! ```
 
+// Example code: panicking with context keeps the walkthrough focused
+// on the federated-learning API rather than error plumbing.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedprox::data::split::split_federation;
 use fedprox::data::synthetic::device_rng;
 use fedprox::data::Dataset;
@@ -72,7 +76,7 @@ fn main() {
             .with_eval_every(60)
             .with_runner(RunnerKind::Parallel)
             .with_seed(7);
-        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
         let acc = h.records.last().unwrap().test_accuracy;
         let loss = h.final_loss().unwrap_or(f64::NAN);
         let nonzero = h.final_model.iter().filter(|v| v.abs() > 1e-6).count();

@@ -8,6 +8,10 @@
 //! cargo run --release --example time_optimization
 //! ```
 
+// Example code: panicking with context keeps the walkthrough focused
+// on the federated-learning API rather than error plumbing.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedprox::core::config::{NetRunnerOptions, RunnerKind};
 use fedprox::core::paramopt;
 use fedprox::core::theory::TheoryParams;
@@ -70,7 +74,7 @@ fn main() {
                 // Calibrate so one local iteration costs ~d_cmp.
                 sec_per_grad_eval: d_cmp / 16.0,
             }));
-        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
         let reached = h
             .records
             .iter()

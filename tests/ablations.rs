@@ -41,14 +41,14 @@ fn fixed_step_beats_diminishing_at_equal_budget() {
     // sits inside run-to-run noise; 2-4 all show the claimed gap clearly.
     let (devices, test) = federation(2);
     let model = MultinomialLogistic::new(60, 10);
-    let fixed = FederatedTrainer::new(&model, &devices, &test, base()).run();
+    let fixed = FederatedTrainer::new(&model, &devices, &test, base()).run().expect("run");
     let diminishing = FederatedTrainer::new(
         &model,
         &devices,
         &test,
         base().with_step_override(StepSize::Diminishing { c: 1.0 / 15.0 }),
     )
-    .run();
+    .run().expect("run");
     assert!(
         fixed.final_loss().unwrap() < diminishing.final_loss().unwrap(),
         "fixed {} vs diminishing {}",
@@ -63,14 +63,14 @@ fn last_iterate_converges_faster_than_uniform_random() {
     // last (the default). Confirm the expected ordering.
     let (devices, test) = federation(2);
     let model = MultinomialLogistic::new(60, 10);
-    let last = FederatedTrainer::new(&model, &devices, &test, base()).run();
+    let last = FederatedTrainer::new(&model, &devices, &test, base()).run().expect("run");
     let random = FederatedTrainer::new(
         &model,
         &devices,
         &test,
         base().with_iterate_choice(IterateChoice::UniformRandom),
     )
-    .run();
+    .run().expect("run");
     assert!(
         last.final_loss().unwrap() < random.final_loss().unwrap(),
         "last {} vs uniform-random {}",
@@ -85,14 +85,14 @@ fn last_iterate_converges_faster_than_uniform_random() {
 fn partial_participation_trades_progress_for_compute() {
     let (devices, test) = federation(3);
     let model = MultinomialLogistic::new(60, 10);
-    let full = FederatedTrainer::new(&model, &devices, &test, base()).run();
+    let full = FederatedTrainer::new(&model, &devices, &test, base()).run().expect("run");
     let half = FederatedTrainer::new(
         &model,
         &devices,
         &test,
         base().with_participation(0.5),
     )
-    .run();
+    .run().expect("run");
     // Half the devices per round ⇒ roughly half the gradient work.
     let full_work = full.records.last().unwrap().grad_evals;
     let half_work = half.records.last().unwrap().grad_evals;

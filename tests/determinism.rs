@@ -5,6 +5,10 @@
 //! platform-dependent reduction crept in. A third run with a different
 //! seed must differ, proving the comparison is not vacuous.
 
+// Module-level helpers below sit outside #[test] fns, where
+// clippy.toml's allow-expect-in-tests does not reach.
+#![allow(clippy::expect_used)]
+
 use fedprox::data::split::split_federation;
 use fedprox::data::synthetic::{generate, SyntheticConfig};
 use fedprox::prelude::*;
@@ -29,7 +33,7 @@ fn run(data_seed: u64, cfg_seed: u64) -> History {
         .with_rounds(10)
         .with_eval_every(2)
         .with_seed(cfg_seed);
-    FederatedTrainer::new(&model, &devices, &test, cfg).run()
+    FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run")
 }
 
 /// Every float in a record, as raw bits, so NaN-safe exact equality and
@@ -49,8 +53,14 @@ fn fingerprint(h: &History) -> Vec<(usize, u64, u64, u64, u64)> {
         .collect()
 }
 
+/// The collector is process-global, and an armed window captures Health
+/// events from *any* trainer in this process — so every trainer-running
+/// test in this binary takes the lock, not just the armed ones.
+static COLLECTOR_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn same_seed_runs_are_bitwise_identical() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let a = run(1, 42);
     let b = run(1, 42);
     assert!(!a.diverged() && !b.diverged());
@@ -60,6 +70,7 @@ fn same_seed_runs_are_bitwise_identical() {
 
 #[test]
 fn different_seed_runs_differ() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let a = run(1, 42);
     let c = run(1, 43);
     assert_ne!(
@@ -92,7 +103,7 @@ fn run_faulted(cfg_seed: u64) -> History {
         .with_runner(RunnerKind::Network(
             fedprox::core::config::NetRunnerOptions::default(),
         ));
-    FederatedTrainer::new(&model, &devices, &test, cfg).run()
+    FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run")
 }
 
 /// The fault-injection machinery is part of the determinism contract:
@@ -101,6 +112,7 @@ fn run_faulted(cfg_seed: u64) -> History {
 /// bit-for-bit.
 #[test]
 fn faulted_networked_runs_are_bitwise_identical() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let a = run_faulted(9);
     let b = run_faulted(9);
     assert!(!a.diverged() && !b.diverged());
@@ -129,6 +141,7 @@ fn faulted_networked_runs_are_bitwise_identical() {
 /// stream — so only the math is compared.)
 #[test]
 fn zero_fault_resilience_keeps_the_strict_trajectory() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let strict = run(1, 42);
     let shards = generate(&SyntheticConfig { seed: 1, ..Default::default() }, &[80, 120, 60]);
     let (train, test) = split_federation(&shards, 1);
@@ -145,7 +158,7 @@ fn zero_fault_resilience_keeps_the_strict_trajectory() {
         .with_eval_every(2)
         .with_seed(42)
         .with_resilience(Resilience::default());
-    let resilient = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+    let resilient = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
     assert_eq!(
         fingerprint(&strict),
         fingerprint(&resilient),
@@ -158,11 +171,6 @@ fn zero_fault_resilience_keeps_the_strict_trajectory() {
     assert!(resilient.participation.iter().all(|p| p.responders() == 3 && !p.skipped));
     assert!(strict.participation.is_empty());
 }
-
-/// The collector is process-global; the armed tests below must not
-/// interleave.
-#[cfg(feature = "telemetry")]
-static COLLECTOR_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// Telemetry is observation, never perturbation: arming the collector
 /// mid-process must leave the training math bitwise-untouched. (The

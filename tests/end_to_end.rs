@@ -37,7 +37,7 @@ fn all_algorithms_learn_synthetic_logistic() {
         Algorithm::FedProxVr(EstimatorKind::Svrg),
         Algorithm::FedProxVr(EstimatorKind::Sarah),
     ] {
-        let h = FederatedTrainer::new(&model, &devices, &test, cfg(alg)).run();
+        let h = FederatedTrainer::new(&model, &devices, &test, cfg(alg)).run().expect("run");
         assert!(!h.diverged(), "{} diverged", alg.name());
         let first = h.records[0].train_loss;
         let last = h.final_loss().unwrap();
@@ -56,7 +56,7 @@ fn nonconvex_mlp_learns_federatedly() {
         &test,
         cfg(Algorithm::FedProxVr(EstimatorKind::Svrg)).with_rounds(20),
     )
-    .run();
+    .run().expect("run");
     assert!(!h.diverged());
     assert!(h.final_loss().unwrap() < h.records[0].train_loss);
 }
@@ -67,21 +67,21 @@ fn three_backends_produce_identical_metrics() {
     let model = MultinomialLogistic::new(60, 10);
     let base = cfg(Algorithm::FedProxVr(EstimatorKind::Sarah)).with_rounds(6);
 
-    let h_seq = FederatedTrainer::new(&model, &devices, &test, base.clone()).run();
+    let h_seq = FederatedTrainer::new(&model, &devices, &test, base.clone()).run().expect("run");
     let h_par = FederatedTrainer::new(
         &model,
         &devices,
         &test,
         base.clone().with_runner(RunnerKind::Parallel),
     )
-    .run();
+    .run().expect("run");
     let h_net = FederatedTrainer::new(
         &model,
         &devices,
         &test,
         base.with_runner(RunnerKind::Network(NetRunnerOptions::default())),
     )
-    .run();
+    .run().expect("run");
 
     assert_eq!(h_seq.records.len(), h_par.records.len());
     assert_eq!(h_seq.records.len(), h_net.records.len());
@@ -109,7 +109,7 @@ fn single_sample_devices_work() {
         &test,
         cfg(Algorithm::FedProxVr(EstimatorKind::Svrg)).with_batch_size(4).with_rounds(5),
     )
-    .run();
+    .run().expect("run");
     assert!(!h.diverged());
     assert_eq!(h.rounds_run, 5);
 }
@@ -118,7 +118,7 @@ fn single_sample_devices_work() {
 fn histories_export_and_reimport() {
     let (devices, test) = synthetic_federation(6, &[50, 70]);
     let model = MultinomialLogistic::new(60, 10);
-    let h = FederatedTrainer::new(&model, &devices, &test, cfg(Algorithm::FedAvg)).run();
+    let h = FederatedTrainer::new(&model, &devices, &test, cfg(Algorithm::FedAvg)).run().expect("run");
     let json = h.to_json();
     let back = History::from_json(&json).unwrap();
     // Compare within 1 ULP: the vendored serde_json's float parser is
@@ -141,8 +141,8 @@ fn histories_export_and_reimport() {
 fn seeded_runs_are_fully_reproducible() {
     let (devices, test) = synthetic_federation(7, &[60, 60]);
     let model = MultinomialLogistic::new(60, 10);
-    let a = FederatedTrainer::new(&model, &devices, &test, cfg(Algorithm::FedAvg)).run();
-    let b = FederatedTrainer::new(&model, &devices, &test, cfg(Algorithm::FedAvg)).run();
+    let a = FederatedTrainer::new(&model, &devices, &test, cfg(Algorithm::FedAvg)).run().expect("run");
+    let b = FederatedTrainer::new(&model, &devices, &test, cfg(Algorithm::FedAvg)).run().expect("run");
     assert_eq!(a.records, b.records);
     let c = FederatedTrainer::new(
         &model,
@@ -150,6 +150,6 @@ fn seeded_runs_are_fully_reproducible() {
         &test,
         cfg(Algorithm::FedAvg).with_seed(100),
     )
-    .run();
+    .run().expect("run");
     assert_ne!(a.records, c.records);
 }

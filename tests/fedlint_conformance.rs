@@ -3,7 +3,12 @@
 //! `rule-id: file:line: message` lines the `fedlint` binary prints, so
 //! a red run tells you exactly what to fix (or to justify with a
 //! `// fedlint: allow(<rule>) — reason` annotation).
+//!
+//! A second test runs the full AST/call-graph engine (D/P/F rules) and
+//! gates it against the committed `LINT_BASELINE.json` — the same check
+//! `ci.sh` runs via `fedlint check --gate`.
 
+use fedprox_conformance::engine::{self, Baseline};
 use fedprox_conformance::check_workspace;
 use std::path::Path;
 
@@ -38,4 +43,31 @@ fn workspace_is_fedlint_clean() {
             site.line
         );
     }
+}
+
+#[test]
+fn workspace_passes_the_committed_lint_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let analysis = engine::analyze(root).expect("analyze workspace");
+    let text = std::fs::read_to_string(root.join("LINT_BASELINE.json"))
+        .expect("read LINT_BASELINE.json (regenerate with `fedlint baseline --out`)");
+    let baseline = Baseline::parse(&text).expect("parse committed baseline");
+    let result = engine::gate(&analysis, &baseline);
+    assert!(
+        result.ok(),
+        "fedlint gate breached the committed baseline — either fix the \
+         regression or consciously re-baseline with `cargo run -p \
+         fedprox-conformance --bin fedlint -- baseline --out \
+         LINT_BASELINE.json`:\n{}",
+        result.breaches.join("\n")
+    );
+    // The committed baseline must also stay tight: a budget above the
+    // current count would let regressions land unnoticed until it fills.
+    let current = Baseline::from_analysis(&analysis);
+    assert_eq!(
+        current.emit(),
+        text.trim_end().to_string() + "\n",
+        "LINT_BASELINE.json is stale (budgets differ from the live \
+         analysis) — regenerate it so the gate stays exact"
+    );
 }

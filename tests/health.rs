@@ -107,7 +107,7 @@ fn armed_run(cfg: FedConfig) -> (History, Vec<Event>) {
     let model = MultinomialLogistic::new(60, 10);
     collector::reset();
     collector::arm();
-    let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+    let h = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
     let events = collector::drain();
     collector::disarm();
     (h, events)

@@ -73,7 +73,7 @@ fn linear_regression_federated() {
         &test,
         cfg(Algorithm::FedProxVr(EstimatorKind::Sarah)),
     )
-    .run();
+    .run().expect("run");
     assert!(!h.diverged());
     assert!(
         h.final_loss().unwrap() < 0.1 * h.records[0].train_loss,
@@ -93,7 +93,7 @@ fn svm_federated_reaches_high_accuracy() {
         &test,
         cfg(Algorithm::FedProxVr(EstimatorKind::Svrg)),
     )
-    .run();
+    .run().expect("run");
     assert!(!h.diverged());
     assert!(h.best_accuracy() > 0.95, "svm acc {}", h.best_accuracy());
 }
@@ -103,7 +103,7 @@ fn mlp_federated_all_algorithms() {
     let (devices, test) = binary_devices(3);
     let model = Mlp::new(2, 8, 2);
     for alg in [Algorithm::FedAvg, Algorithm::FedProx, Algorithm::Fsvrg] {
-        let h = FederatedTrainer::new(&model, &devices, &test, cfg(alg)).run();
+        let h = FederatedTrainer::new(&model, &devices, &test, cfg(alg)).run().expect("run");
         assert!(!h.diverged(), "{}", alg.name());
         assert!(
             h.final_loss().unwrap() < h.records[0].train_loss,
@@ -142,7 +142,7 @@ fn hidden_cnn_federated() {
         &test,
         cfg(Algorithm::FedProxVr(EstimatorKind::Svrg)).with_rounds(10).with_smoothness(2.0),
     )
-    .run();
+    .run().expect("run");
     assert!(!h.diverged());
     assert!(h.final_loss().unwrap() < h.records[0].train_loss);
 }
@@ -177,6 +177,7 @@ fn sparse_fedproxvr_zeroes_noise_features() {
             cfg(Algorithm::FedProxVr(EstimatorKind::Svrg)).with_l1(l1).with_rounds(40),
         )
         .run()
+        .expect("run")
     };
     let dense = run(0.0);
     let sparse = run(0.05);

@@ -40,7 +40,7 @@ fn message_drops_do_not_change_the_trajectory() {
         &test,
         cfg(RunnerKind::Network(NetRunnerOptions::default())),
     )
-    .run();
+    .run().expect("run");
     let lossy_opts = NetRunnerOptions {
         net: NetOptions { drop_prob: 0.4, seed: 3, ..Default::default() },
         ..Default::default()
@@ -51,7 +51,7 @@ fn message_drops_do_not_change_the_trajectory() {
         &test,
         cfg(RunnerKind::Network(lossy_opts)),
     )
-    .run();
+    .run().expect("run");
     // Identical math...
     for (a, b) in clean.records.iter().zip(&lossy.records) {
         assert_eq!(a.train_loss, b.train_loss);
@@ -73,7 +73,7 @@ fn straggler_slows_time_not_accuracy() {
         &test,
         cfg(RunnerKind::Network(base_opts)),
     )
-    .run();
+    .run().expect("run");
     let straggler_opts = NetRunnerOptions {
         net: NetOptions::default().with_straggler(1, 25.0),
         sec_per_grad_eval: 1e-3,
@@ -84,7 +84,7 @@ fn straggler_slows_time_not_accuracy() {
         &test,
         cfg(RunnerKind::Network(straggler_opts)),
     )
-    .run();
+    .run().expect("run");
     assert_eq!(
         base.records.last().unwrap().test_accuracy,
         slow.records.last().unwrap().test_accuracy
@@ -116,7 +116,7 @@ fn bandwidth_limits_scale_time_with_model_size() {
         &test,
         cfg(RunnerKind::Network(narrow)),
     )
-    .run();
+    .run().expect("run");
     // Model = 610 params ≈ 4.9 KB ⇒ ~0.1 s per direction per round at
     // 50 kB/s; five rounds of down+up must exceed 0.9 s of pure transfer.
     assert!(h.total_sim_time > 0.9, "sim time {}", h.total_sim_time);
@@ -222,7 +222,7 @@ fn planned_crash_at_round_degrades_gracefully() {
     let model = MultinomialLogistic::new(60, 10);
     let c = cfg(RunnerKind::Network(NetRunnerOptions::default()))
         .with_resilience(Resilience::with_plan(FaultPlan::new().crash(1, 3)));
-    let h = FederatedTrainer::new(&model, &devices, &test, c).run();
+    let h = FederatedTrainer::new(&model, &devices, &test, c).run().expect("run");
     assert!(!h.diverged(), "crash-tolerant run must complete");
     assert_eq!(h.rounds_run, 5);
     assert_eq!(h.participation.len(), 5);
@@ -249,7 +249,7 @@ fn offline_window_rejoins() {
     let model = MultinomialLogistic::new(60, 10);
     let c = cfg(RunnerKind::Network(NetRunnerOptions::default()))
         .with_resilience(Resilience::with_plan(FaultPlan::new().offline(0, 2, 3)));
-    let h = FederatedTrainer::new(&model, &devices, &test, c).run();
+    let h = FederatedTrainer::new(&model, &devices, &test, c).run().expect("run");
     assert!(!h.diverged());
     let outcomes: Vec<DeviceOutcome> =
         h.participation.iter().map(|p| p.outcomes[0]).collect();
@@ -276,7 +276,7 @@ fn quorum_shortfall_skips_rounds_and_keeps_the_model() {
     let resil = Resilience::with_plan(FaultPlan::new().offline(1, 2, 3))
         .with_quorum(QuorumPolicy::weight_fraction(0.7));
     let c = cfg(RunnerKind::Network(NetRunnerOptions::default())).with_resilience(resil);
-    let h = FederatedTrainer::new(&model, &devices, &test, c).run();
+    let h = FederatedTrainer::new(&model, &devices, &test, c).run().expect("run");
     assert!(!h.diverged());
     assert_eq!(h.rounds_run, 5);
     let skipped: Vec<usize> =
@@ -311,21 +311,21 @@ fn lognormal_jitter_changes_time_deterministically_per_seed() {
         &test,
         cfg(RunnerKind::Network(jittery(5))),
     )
-    .run();
+    .run().expect("run");
     let b = FederatedTrainer::new(
         &model,
         &devices,
         &test,
         cfg(RunnerKind::Network(jittery(5))),
     )
-    .run();
+    .run().expect("run");
     let c = FederatedTrainer::new(
         &model,
         &devices,
         &test,
         cfg(RunnerKind::Network(jittery(6))),
     )
-    .run();
+    .run().expect("run");
     assert_eq!(a.total_sim_time, b.total_sim_time);
     assert_ne!(a.total_sim_time, c.total_sim_time);
     // Math identical regardless of delay seed.

@@ -44,14 +44,14 @@ fn sequential_and_parallel_agree_under_faults() {
         &test,
         cfg(RunnerKind::Sequential).with_resilience(Resilience::with_plan(plan())),
     )
-    .run();
+    .run().expect("run");
     let par = FederatedTrainer::new(
         &model,
         &devices,
         &test,
         cfg(RunnerKind::Parallel).with_resilience(Resilience::with_plan(plan())),
     )
-    .run();
+    .run().expect("run");
     assert!(!seq.diverged() && !par.diverged());
     assert_eq!(seq.records.len(), par.records.len());
     for (a, b) in seq.records.iter().zip(&par.records) {
@@ -76,7 +76,7 @@ fn history_json_carries_participation_records() {
         &test,
         cfg(RunnerKind::Sequential).with_resilience(Resilience::with_plan(plan())),
     )
-    .run();
+    .run().expect("run");
     assert_eq!(h.participation.len(), 8);
     let back = History::from_json(&h.to_json()).expect("serialized History must parse");
     assert_eq!(back.participation, h.participation);
@@ -99,6 +99,7 @@ fn retry_backoff_is_charged_to_the_simulated_clock() {
             cfg(RunnerKind::Network(opts)),
         )
         .run()
+        .expect("run")
     };
     let plain = run_with(RetryPolicy::default());
     let backoff = run_with(RetryPolicy::exponential(1000, 0.05, 1.0));
@@ -135,7 +136,7 @@ fn participation_gap_fires_once_for_a_sustained_shortfall() {
         &test,
         cfg(RunnerKind::Sequential).with_resilience(resil),
     )
-    .run();
+    .run().expect("run");
     let events = fedprox_telemetry::collector::drain();
     fedprox_telemetry::collector::disarm();
     assert!(!h.diverged());

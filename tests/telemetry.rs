@@ -53,7 +53,7 @@ fn traced_run(runner: RunnerKind) -> (History, Vec<Event>) {
     let model = MultinomialLogistic::new(60, 10);
     collector::reset();
     collector::arm();
-    let h = FederatedTrainer::new(&model, &devices, &test, cfg(runner)).run();
+    let h = FederatedTrainer::new(&model, &devices, &test, cfg(runner)).run().expect("run");
     let events = collector::drain();
     collector::disarm();
     (h, events)

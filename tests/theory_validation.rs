@@ -37,7 +37,7 @@ fn more_local_iterations_give_smaller_measured_theta() {
             .with_rounds(3)
             .with_measure_theta(true)
             .with_seed(4);
-        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+        let h = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
         let thetas: Vec<f64> =
             h.records.iter().filter_map(|r| r.theta_measured).collect();
         thetas.iter().sum::<f64>() / thetas.len() as f64
@@ -66,7 +66,7 @@ fn random_iterate_satisfies_paper_criterion_on_average() {
         .with_measure_theta(true)
         .with_iterate_choice(IterateChoice::UniformRandom)
         .with_seed(8);
-    let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+    let h = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
     for r in h.records.iter().skip(1) {
         let t = r.theta_measured.unwrap();
         assert!(t < 1.0, "round {}: theta {t}", r.round);
@@ -87,7 +87,7 @@ fn stationarity_gap_decays_with_rounds() {
         .with_rounds(30)
         .with_eval_every(1)
         .with_seed(5);
-    let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+    let h = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
     let gaps: Vec<f64> = h.records.iter().map(|r| r.grad_norm_sq).collect();
     let early: f64 = gaps[1..6].iter().sum::<f64>() / 5.0;
     let late: f64 = gaps[gaps.len() - 5..].iter().sum::<f64>() / 5.0;
@@ -174,7 +174,7 @@ fn theorem1_bound_holds_end_to_end() {
         .with_eval_every(1)
         .with_iterate_choice(IterateChoice::UniformRandom)
         .with_seed(42);
-    let h = FederatedTrainer::new(&model, &devices, &test, cfg).run();
+    let h = FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run");
     assert!(!h.diverged());
 
     // Δ(w̄⁰) upper estimate: initial loss minus the best loss seen (the
