@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # CI gate: build → test (default / check / telemetry) → clippy → fedlint →
-# fedtrace smoke → perf-smoke → fedscope-smoke → fedresil-smoke. Any
-# failing stage fails the run.
+# fedtrace smoke → perf-smoke → fedscope-smoke → fedresil-smoke →
+# fedprof-smoke. Any failing stage fails the run.
 set -eu
 
 echo "==> cargo build --release"
@@ -85,5 +85,25 @@ echo "==> fedresil-smoke (seeded faulted scenario -> expected participation)"
     --health "$PERF_TMP/resil_health.jsonl" \
     --expect-crashed 1 --expect-skipped 0 >/dev/null
 ./target/release/fedscope check "$PERF_TMP/resil_health.jsonl"
+
+# fedprof-smoke: two identical-seed armed fig2 runs write --prof span-tree
+# profiles; `fedprof report` must render a ≥4-level tree, `fedprof flame`
+# must emit well-formed collapsed stacks, and `fedprof agg
+# --check-deterministic` must find the deterministic columns (activation
+# counts, alloc bytes/calls) bitwise-identical across the two runs —
+# wall-clock columns are expected to differ and are reported as medians.
+# Reuses the telemetry-enabled bench build from the fedscope stage.
+echo "==> fedprof-smoke (two same-seed --prof runs -> report/flame -> zero-delta agg)"
+./target/release/fig2_convex --scale small --rounds 3 --seed 7 \
+    --prof "$PERF_TMP/prof_a.jsonl" >/dev/null
+./target/release/fig2_convex --scale small --rounds 3 --seed 7 \
+    --prof "$PERF_TMP/prof_b.jsonl" >/dev/null
+./target/release/fedprof report "$PERF_TMP/prof_a.jsonl" | grep -q "local_solve" \
+    || { echo "fedprof-smoke: report missing the local_solve path"; exit 1; }
+./target/release/fedprof flame "$PERF_TMP/prof_a.jsonl" > "$PERF_TMP/prof_a.flame"
+grep -Eq '^([^ ;]+;)+[^ ;]+ [0-9]+$' "$PERF_TMP/prof_a.flame" \
+    || { echo "fedprof-smoke: flame output has no nested collapsed stack"; exit 1; }
+./target/release/fedprof agg "$PERF_TMP/prof_a.jsonl" "$PERF_TMP/prof_b.jsonl" \
+    --check-deterministic >/dev/null
 
 echo "CI green."

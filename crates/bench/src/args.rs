@@ -28,6 +28,12 @@ pub struct CommonArgs {
     /// typed `anomaly` events, readable by the `fedscope` binary) to this
     /// path. Same feature gate and warning path as `trace`. Default off.
     pub health: Option<String>,
+    /// Write a fedprof span-tree profile (per-path `path_stat` records
+    /// with self/total time and — with the counting allocator compiled
+    /// in — bytes/allocs attribution, readable by the `fedprof` binary)
+    /// to this path. Same feature gate and warning path as `trace`.
+    /// Default off.
+    pub prof: Option<String>,
     /// Run on the simulated-network backend instead of the in-process
     /// parallel runner. Math is bit-identical (see
     /// `tests/bit_identical_backends`-style guarantees); the networked
@@ -45,6 +51,7 @@ impl Default for CommonArgs {
             out: None,
             trace: None,
             health: None,
+            prof: None,
             net: false,
         }
     }
@@ -63,8 +70,9 @@ impl CommonArgs {
 }
 
 /// Parse `--scale small|paper`, `--rounds N`, `--seed N`, `--out DIR`,
-/// `--trace PATH`, `--health PATH` from an iterator of CLI arguments.
-/// Unknown flags abort with a usage message naming `program`.
+/// `--trace PATH`, `--health PATH`, `--prof PATH` from an iterator of
+/// CLI arguments. Unknown flags abort with a usage message naming
+/// `program`.
 // Exiting with a usage message is the intended CLI behaviour here, not
 // a disguised panic path.
 #[allow(clippy::exit)]
@@ -104,11 +112,12 @@ pub fn parse_args(program: &str, argv: impl Iterator<Item = String>) -> CommonAr
             "--out" => args.out = Some(value("--out")),
             "--trace" => args.trace = Some(value("--trace")),
             "--health" => args.health = Some(value("--health")),
+            "--prof" => args.prof = Some(value("--prof")),
             "--net" => args.net = true,
             "--help" | "-h" => {
                 println!(
                     "usage: {program} [--scale small|paper] [--rounds N] [--seed N] [--out DIR] \
-                     [--trace PATH] [--health PATH] [--net]"
+                     [--trace PATH] [--health PATH] [--prof PATH] [--net]"
                 );
                 std::process::exit(0);
             }
@@ -138,6 +147,7 @@ mod tests {
         assert!(a.out.is_none());
         assert!(a.trace.is_none(), "--trace must default to off");
         assert!(a.health.is_none(), "--health must default to off");
+        assert!(a.prof.is_none(), "--prof must default to off");
         assert!(!a.net, "--net must default to off");
         assert!(matches!(a.runner(), fedprox_core::RunnerKind::Parallel));
     }
@@ -146,7 +156,7 @@ mod tests {
     fn full_flags() {
         let a = parse(&[
             "--scale", "paper", "--rounds", "42", "--seed", "9", "--out", "/tmp/x", "--trace",
-            "/tmp/t.jsonl", "--health", "/tmp/h.jsonl", "--net",
+            "/tmp/t.jsonl", "--health", "/tmp/h.jsonl", "--prof", "/tmp/p.jsonl", "--net",
         ]);
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.rounds, Some(42));
@@ -154,6 +164,7 @@ mod tests {
         assert_eq!(a.out.as_deref(), Some("/tmp/x"));
         assert_eq!(a.trace.as_deref(), Some("/tmp/t.jsonl"));
         assert_eq!(a.health.as_deref(), Some("/tmp/h.jsonl"));
+        assert_eq!(a.prof.as_deref(), Some("/tmp/p.jsonl"));
         assert!(a.net);
         assert!(matches!(a.runner(), fedprox_core::RunnerKind::Network(_)));
     }

@@ -51,7 +51,7 @@ fn usage() -> ! {
          \x20               [--random-plan] [--drop-prob P] [--deadline SECONDS]\n\
          \x20               [--quorum-weight F] [--quorum-count N]\n\
          \x20               [--retries N] [--backoff BASE:CAP]\n\
-         \x20               [--out DIR] [--trace PATH] [--health PATH]\n\
+         \x20               [--out DIR] [--trace PATH] [--health PATH] [--prof PATH]\n\
          \x20               [--expect-crashed N] [--expect-skipped N]"
     );
     std::process::exit(2);
@@ -96,6 +96,7 @@ fn main() {
     let mut out = None;
     let mut trace_path = None;
     let mut health_path = None;
+    let mut prof_path = None;
     let mut expect_crashed = None;
     let mut expect_skipped = None;
 
@@ -171,6 +172,7 @@ fn main() {
             "--out" => out = Some(next_value(&mut args, "--out")),
             "--trace" => trace_path = Some(next_value(&mut args, "--trace")),
             "--health" => health_path = Some(next_value(&mut args, "--health")),
+            "--prof" => prof_path = Some(next_value(&mut args, "--prof")),
             "--expect-crashed" => {
                 expect_crashed =
                     Some(parse::<usize>(&next_value(&mut args, "--expect-crashed"), "count"))
@@ -193,7 +195,11 @@ fn main() {
         plan = FaultPlan::random(seed, devices, rounds, &FaultRates::default());
     }
 
-    let trace = TraceSession::start_with_health(trace_path.as_deref(), health_path.as_deref());
+    let trace = TraceSession::start_full(
+        trace_path.as_deref(),
+        health_path.as_deref(),
+        prof_path.as_deref(),
+    );
 
     let Some(alg) = parse_algorithm(&algorithm) else {
         fail(&format!("unknown algorithm '{algorithm}'"));

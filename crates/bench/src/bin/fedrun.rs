@@ -24,24 +24,32 @@ use fedprox_core::History;
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
-        eprintln!("usage: fedrun SPEC.json [--out DIR] [--trace PATH] [--health PATH]");
+        eprintln!(
+            "usage: fedrun SPEC.json [--out DIR] [--trace PATH] [--health PATH] [--prof PATH]"
+        );
         std::process::exit(2);
     };
     let mut out = None;
     let mut trace_path = None;
     let mut health_path = None;
+    let mut prof_path = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--out" => out = args.next(),
             "--trace" => trace_path = args.next(),
             "--health" => health_path = args.next(),
+            "--prof" => prof_path = args.next(),
             other => {
                 eprintln!("fedrun: unknown flag '{other}'");
                 std::process::exit(2);
             }
         }
     }
-    let trace = TraceSession::start_with_health(trace_path.as_deref(), health_path.as_deref());
+    let trace = TraceSession::start_full(
+        trace_path.as_deref(),
+        health_path.as_deref(),
+        prof_path.as_deref(),
+    );
 
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("fedrun: cannot read {path}: {e}");

@@ -14,7 +14,11 @@ fn main() {
     let args = parse_args("fig1_param_opt", std::env::args().skip(1));
     // No federated training happens here (pure theory evaluation), but
     // the flags behave uniformly across all experiment binaries.
-    let trace = TraceSession::start_with_health(args.trace.as_deref(), args.health.as_deref());
+    let trace = TraceSession::start_full(
+        args.trace.as_deref(),
+        args.health.as_deref(),
+        args.prof.as_deref(),
+    );
 
     // The γ axis of Fig. 1 (log-spaced).
     let gammas: Vec<f64> = (0..=16).map(|i| 10f64.powf(-4.0 + i as f64 * 0.25)).collect();

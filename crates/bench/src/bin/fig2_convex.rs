@@ -18,7 +18,11 @@ use fedprox_optim::estimator::EstimatorKind;
 
 fn main() {
     let args = parse_args("fig2_convex", std::env::args().skip(1));
-    let trace = TraceSession::start_with_health(args.trace.as_deref(), args.health.as_deref());
+    let trace = TraceSession::start_full(
+        args.trace.as_deref(),
+        args.health.as_deref(),
+        args.prof.as_deref(),
+    );
     // Paper scale: 100 devices, shard sizes [37, 1350], B = 32, T ≈ 200
     // evaluated rounds. Small scale keeps the *batch-to-shard ratio* of
     // the paper (B ≈ 2–8% of a shard) — that ratio controls the gradient

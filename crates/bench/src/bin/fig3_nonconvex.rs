@@ -16,7 +16,11 @@ use fedprox_optim::estimator::EstimatorKind;
 
 fn main() {
     let args = parse_args("fig3_nonconvex", std::env::args().skip(1));
-    let trace = TraceSession::start_with_health(args.trace.as_deref(), args.health.as_deref());
+    let trace = TraceSession::start_full(
+        args.trace.as_deref(),
+        args.health.as_deref(),
+        args.prof.as_deref(),
+    );
     // Paper scale: 10 devices, sizes [454, 3939], full 32/64-channel CNN.
     // Small: 6 devices, a scaled-down CNN (identical code paths).
     // Small scale keeps the paper's batch-to-shard ratio (see

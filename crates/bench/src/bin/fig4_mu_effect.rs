@@ -26,7 +26,11 @@ use fedprox_optim::solver::IterateChoice;
 
 fn main() {
     let args = parse_args("fig4_mu_effect", std::env::args().skip(1));
-    let trace = TraceSession::start_with_health(args.trace.as_deref(), args.health.as_deref());
+    let trace = TraceSession::start_full(
+        args.trace.as_deref(),
+        args.health.as_deref(),
+        args.prof.as_deref(),
+    );
     let (devices_n, lo, hi, rounds, eval_every) = match args.scale {
         Scale::Paper => (100, 37, 3277, 200, 5),
         Scale::Small => (10, 30, 120, 50, 1),

@@ -13,7 +13,11 @@ use fedprox_optim::estimator::EstimatorKind;
 
 fn main() {
     let args = parse_args("table2_nonconvex", std::env::args().skip(1));
-    let trace = TraceSession::start_with_health(args.trace.as_deref(), args.health.as_deref());
+    let trace = TraceSession::start_full(
+        args.trace.as_deref(),
+        args.health.as_deref(),
+        args.prof.as_deref(),
+    );
     let (devices_n, lo, hi, trials, spec, space) = match args.scale {
         Scale::Paper => (
             10,

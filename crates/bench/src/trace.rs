@@ -1,8 +1,16 @@
-//! `--trace` / `--health` support: arm the fedtrace collector for the
-//! duration of a run, then drain the events once and fan them out — the
+//! `--trace` / `--health` / `--prof` support: arm the fedtrace collector
+//! for the duration of a run, then fan the recorded events out — the
 //! full event stream to the `--trace` JSONL (plus the aggregated per-run
-//! summary tables), and just the `health` / `anomaly` events to the
-//! `--health` JSONL for the `fedscope` binary.
+//! summary tables), the `health` / `anomaly` events to the `--health`
+//! JSONL for the `fedscope` binary, and the span-tree `path_stat`
+//! records to the `--prof` JSONL for the `fedprof` binary.
+//!
+//! A `--trace` session streams: the collector appends completed raw
+//! records to the trace file incrementally (flushing on every round
+//! end), so memory stays bounded on long runs and the file can be
+//! tailed live; `finish` appends the aggregate tail. `--health` /
+//! `--prof`-only sessions buffer in memory — their outputs are
+//! aggregate-sized anyway.
 //!
 //! The session is a no-op when built without the `telemetry` feature —
 //! it warns once per requested flag that it was ignored — and when no
@@ -11,7 +19,8 @@
 /// Scoped tracing for one experiment run.
 ///
 /// ```ignore
-/// let trace = TraceSession::start_with_health(args.trace.as_deref(), args.health.as_deref());
+/// let trace = TraceSession::start_full(
+///     args.trace.as_deref(), args.health.as_deref(), args.prof.as_deref());
 /// // ... run the experiment ...
 /// trace.finish(); // writes JSONL file(s) + prints the summary
 /// ```
@@ -19,25 +28,59 @@
 pub struct TraceSession {
     path: Option<String>,
     health_path: Option<String>,
+    prof_path: Option<String>,
+    /// Whether the streaming sink actually attached to `path` (only
+    /// consulted by `finish`, which is compiled out without telemetry).
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    streamed: bool,
 }
 
 impl TraceSession {
     /// Arm the collector if a trace path was requested (and the
     /// instrumentation is compiled in). Equivalent to
-    /// [`TraceSession::start_with_health`] with no health path.
+    /// [`TraceSession::start_full`] with only a trace path.
     pub fn start(path: Option<&str>) -> Self {
-        Self::start_with_health(path, None)
+        Self::start_full(path, None, None)
     }
 
     /// Arm the collector if either a full-trace or a health-trace path
-    /// was requested (and the instrumentation is compiled in).
+    /// was requested. Equivalent to [`TraceSession::start_full`] with no
+    /// profile path.
     pub fn start_with_health(path: Option<&str>, health: Option<&str>) -> Self {
+        Self::start_full(path, health, None)
+    }
+
+    /// Arm the collector if any output path was requested (and the
+    /// instrumentation is compiled in). With a trace path, also attach
+    /// the collector's streaming sink; with the perfbench counting
+    /// allocator compiled in, install it as the span allocation probe so
+    /// profiles carry bytes/allocs per path.
+    pub fn start_full(path: Option<&str>, health: Option<&str>, prof: Option<&str>) -> Self {
         #[cfg(feature = "telemetry")]
-        if path.is_some() || health.is_some() {
-            fedprox_telemetry::collector::arm();
-        }
+        let streamed = {
+            let mut streamed = false;
+            if path.is_some() || health.is_some() || prof.is_some() {
+                fedprox_perfbench::alloc::install_telemetry_probe();
+                fedprox_telemetry::collector::arm();
+                if let Some(p) = path {
+                    match fedprox_telemetry::collector::stream_to(p) {
+                        Ok(()) => streamed = true,
+                        Err(e) => eprintln!(
+                            "trace: cannot stream to {p}: {e}; falling back to end-of-run write"
+                        ),
+                    }
+                }
+            }
+            streamed
+        };
         #[cfg(not(feature = "telemetry"))]
-        for (flag, requested) in [("--trace", path.is_some()), ("--health", health.is_some())] {
+        let streamed = false;
+        #[cfg(not(feature = "telemetry"))]
+        for (flag, requested) in [
+            ("--trace", path.is_some()),
+            ("--health", health.is_some()),
+            ("--prof", prof.is_some()),
+        ] {
             if requested {
                 eprintln!(
                     "warning: {flag} ignored: telemetry instrumentation not compiled in \
@@ -45,28 +88,61 @@ impl TraceSession {
                 );
             }
         }
-        TraceSession { path: path.map(str::to_string), health_path: health.map(str::to_string) }
+        TraceSession {
+            path: path.map(str::to_string),
+            health_path: health.map(str::to_string),
+            prof_path: prof.map(str::to_string),
+            streamed,
+        }
     }
 
     /// Whether this session is actually recording.
     pub fn active(&self) -> bool {
-        cfg!(feature = "telemetry") && (self.path.is_some() || self.health_path.is_some())
+        cfg!(feature = "telemetry")
+            && (self.path.is_some() || self.health_path.is_some() || self.prof_path.is_some())
     }
 
     /// Drain the collector once, write the requested JSONL file(s), and
     /// print the aggregated summary tables (full-trace sessions only).
-    /// A no-op for inactive sessions.
+    /// Streamed sessions append the aggregate tail to the already-written
+    /// file and re-read it so the summary covers the whole run. A no-op
+    /// for inactive sessions.
     pub fn finish(self) {
         #[cfg(feature = "telemetry")]
-        if self.path.is_some() || self.health_path.is_some() {
+        if self.active() {
             use fedprox_telemetry::event::Event;
             use fedprox_telemetry::{collector, jsonl, summary};
-            let events = collector::drain();
+            let mut events = collector::drain();
             collector::disarm();
             if let Some(path) = &self.path {
-                match std::fs::write(path, jsonl::to_jsonl(&events)) {
-                    Ok(()) => println!("trace: {} events written to {path}", events.len()),
-                    Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+                if self.streamed {
+                    // The raw stream is already on disk; append the
+                    // aggregate tail, then re-read the whole file so the
+                    // summary (and the health/prof extractions below)
+                    // see streamed events too.
+                    use std::io::Write as _;
+                    let appended = std::fs::OpenOptions::new()
+                        .append(true)
+                        .open(path)
+                        .and_then(|mut f| f.write_all(jsonl::to_jsonl(&events).as_bytes()));
+                    if let Err(e) = appended {
+                        eprintln!("trace: failed to append aggregates to {path}: {e}");
+                    }
+                    match std::fs::read_to_string(path)
+                        .map_err(|e| e.to_string())
+                        .and_then(|t| jsonl::parse(&t).map_err(|e| e.to_string()))
+                    {
+                        Ok(all) => {
+                            println!("trace: {} events written to {path} (streamed)", all.len());
+                            events = all;
+                        }
+                        Err(e) => eprintln!("trace: failed to re-read {path}: {e}"),
+                    }
+                } else {
+                    match std::fs::write(path, jsonl::to_jsonl(&events)) {
+                        Ok(()) => println!("trace: {} events written to {path}", events.len()),
+                        Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+                    }
                 }
                 let report = summary::TelemetryReport::from_events(&events);
                 print!("{}", report.render(10));
@@ -83,6 +159,21 @@ impl TraceSession {
                         health.len()
                     ),
                     Err(e) => eprintln!("health: failed to write {path}: {e}"),
+                }
+            }
+            if let Some(path) = &self.prof_path {
+                let prof: Vec<Event> = events
+                    .iter()
+                    .filter(|e| matches!(e, Event::PathStat { .. } | Event::TraceTruncated { .. }))
+                    .cloned()
+                    .collect();
+                match std::fs::write(path, jsonl::to_jsonl(&prof)) {
+                    Ok(()) => println!(
+                        "prof: {} span-tree paths written to {path} \
+                         (inspect with `fedprof report {path}`)",
+                        prof.len()
+                    ),
+                    Err(e) => eprintln!("prof: failed to write {path}: {e}"),
                 }
             }
         }
@@ -110,6 +201,9 @@ mod tests {
         let t2 = TraceSession::start_with_health(None, None);
         assert!(!t2.active());
         t2.finish();
+        let t3 = TraceSession::start_full(None, None, None);
+        assert!(!t3.active());
+        t3.finish();
     }
 
     #[cfg(feature = "telemetry")]
@@ -157,6 +251,65 @@ mod tests {
         let events = fedprox_telemetry::jsonl::parse(&text).unwrap();
         assert_eq!(events.len(), 1, "counters must be filtered out: {events:?}");
         assert!(matches!(events[0], Event::Anomaly { round: 2, .. }));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn prof_file_contains_path_stats() {
+        let _serial = guard();
+        use fedprox_telemetry::event::Event;
+        let dir = std::env::temp_dir().join("fedprox_prof_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let t = TraceSession::start_full(None, None, Some(&path_str));
+        assert!(t.active());
+        {
+            fedprox_telemetry::span!("bench", "outer");
+            fedprox_telemetry::span!("bench", "inner");
+        }
+        fedprox_telemetry::counter!("bench.noise_marker", 1u32);
+        t.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = fedprox_telemetry::jsonl::parse(&text).unwrap();
+        assert!(
+            events.iter().all(|e| matches!(e, Event::PathStat { .. })),
+            "prof file must carry only span-tree records: {events:?}"
+        );
+        assert!(events.iter().any(
+            |e| matches!(e, Event::PathStat { path, .. } if path == "outer/inner")
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn streamed_trace_file_covers_the_whole_run() {
+        let _serial = guard();
+        use fedprox_telemetry::event::Event;
+        let dir = std::env::temp_dir().join("fedprox_stream_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let t = TraceSession::start(Some(&path_str));
+        assert!(t.active());
+        {
+            fedprox_telemetry::span!("bench", "streamed_op");
+        }
+        fedprox_telemetry::collector::record_event(Event::RoundEnd {
+            round: 0,
+            sim_time_s: 1.0,
+        });
+        // The round-end flush must have hit the disk mid-run.
+        let mid = std::fs::read_to_string(&path).unwrap();
+        assert!(!mid.is_empty(), "streaming sink wrote nothing before finish()");
+        t.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = fedprox_telemetry::jsonl::parse(&text).unwrap();
+        assert!(events.iter().any(|e| matches!(e, Event::RoundEnd { .. })));
+        assert!(events.iter().any(|e| matches!(e, Event::Span { .. })));
+        assert!(events.iter().any(|e| matches!(e, Event::PathStat { .. })));
         std::fs::remove_file(&path).ok();
     }
 }

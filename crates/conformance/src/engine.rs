@@ -347,6 +347,7 @@ pub fn analyze(root: &Path) -> std::io::Result<Analysis> {
     determinism_and_panic_rules(&mut analysis);
     feature_rules(&mut analysis, root, &manifests);
     clippy_sync_rule(&mut analysis);
+    telemetry_gate_rule(&mut analysis);
 
     analysis
         .findings
@@ -798,6 +799,81 @@ fn clippy_sync_rule(analysis: &mut Analysis) {
                 line: line_no,
                 message: "clippy unwrap/expect allowance without an adjacent \
                           `fedlint: allow(no-panic)` justification"
+                    .to_string(),
+                chain: Vec::new(),
+                allowed,
+            });
+        }
+    }
+    analysis.findings.extend(findings);
+}
+
+/// Layer 3, F4: runtime collector calls (`collector::…`) in
+/// non-telemetry library code must sit behind a `feature = "telemetry"`
+/// cfg gate. The two-stage gating contract says profiling hooks vanish
+/// from default builds at *compile* time; an ungated call would drag
+/// the instrumentation into every build and leave it reachable behind
+/// only the runtime `arm()` flag. A gate counts when a positive
+/// telemetry cfg line (attribute or `cfg!`, but never a
+/// `not(feature = …)` arm — that gates the *absence* of the
+/// instrumentation) appears on the fn's own attributes or between just
+/// above the enclosing fn and the call line.
+fn telemetry_gate_rule(analysis: &mut Analysis) {
+    let mut findings = Vec::new();
+    for file in &analysis.files {
+        if file.is_bin || file.crate_name == "telemetry" {
+            continue;
+        }
+        let annotations = annotations_of(file);
+        let masked = file.scanned.masked_lines();
+        let in_test = crate::test_item_lines(&masked);
+        let source_lines: Vec<&str> = file.source.lines().collect();
+        // Lines that positively select the telemetry feature.
+        let positive_gate = |line: usize| -> bool {
+            source_lines
+                .get(line - 1)
+                .is_some_and(|l| !l.contains("not(feature"))
+        };
+        let gate_lines: Vec<usize> = file
+            .parsed
+            .cfg_features
+            .iter()
+            .filter(|f| f.name == "telemetry" && positive_gate(f.line))
+            .map(|f| f.line)
+            .collect();
+        for (idx, line) in masked.iter().enumerate() {
+            if in_test[idx] || !line.contains("collector::") {
+                continue;
+            }
+            let line_no = idx + 1;
+            // Window start: just above the enclosing fn (covering its
+            // attribute stack), or just above the line itself at module
+            // scope (use decls).
+            let window_start = match file.parsed.fn_containing(line_no) {
+                Some(fn_idx) => {
+                    let f = &file.parsed.fns[fn_idx];
+                    if f.cfg_test {
+                        continue;
+                    }
+                    if f.cfgs.iter().any(|c| {
+                        c.contains("feature = \"telemetry\"") && !c.contains("not(feature")
+                    }) {
+                        continue;
+                    }
+                    f.line.saturating_sub(3)
+                }
+                None => line_no.saturating_sub(3),
+            };
+            if gate_lines.iter().any(|g| *g >= window_start && *g <= line_no) {
+                continue;
+            }
+            let allowed = annotation_for(&annotations, Rule::TelemetryGate, line_no);
+            findings.push(Finding {
+                rule: Rule::TelemetryGate,
+                file: file.display.clone(),
+                line: line_no,
+                message: "runtime collector call outside a `feature = \"telemetry\"` cfg \
+                          gate — instrumentation must compile out of default builds"
                     .to_string(),
                 chain: Vec::new(),
                 allowed,

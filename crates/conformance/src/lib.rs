@@ -86,10 +86,17 @@ pub enum Rule {
     /// escape-hatch grammars must stay in sync so every allowance
     /// carries a written justification.
     ClippyAllowSync,
+    /// F4 `telemetry-gate`: a runtime collector call (`collector::arm`,
+    /// `collector::drain`, probe installs, …) in non-telemetry library
+    /// code without an enclosing `feature = "telemetry"` cfg gate —
+    /// profiling hooks (`--prof` wiring, alloc probes, streaming sinks)
+    /// must compile out of default builds entirely, not linger
+    /// half-armed behind a runtime flag alone.
+    TelemetryGate,
 }
 
 /// Every rule, in stable report order.
-pub const ALL_RULES: [Rule; 14] = [
+pub const ALL_RULES: [Rule; 15] = [
     Rule::NoPanic,
     Rule::NoAmbientEntropy,
     Rule::NoDebugPrint,
@@ -104,6 +111,7 @@ pub const ALL_RULES: [Rule; 14] = [
     Rule::UnknownFeature,
     Rule::FeatureChain,
     Rule::ClippyAllowSync,
+    Rule::TelemetryGate,
 ];
 
 impl Rule {
@@ -124,6 +132,7 @@ impl Rule {
             Rule::UnknownFeature => "unknown-feature",
             Rule::FeatureChain => "feature-chain",
             Rule::ClippyAllowSync => "clippy-allow-sync",
+            Rule::TelemetryGate => "telemetry-gate",
         }
     }
 

@@ -147,6 +147,19 @@ fn f3_clippy_allow_sync_positive_and_negative() {
 }
 
 #[test]
+fn f4_telemetry_gate_positive_negative_and_gated() {
+    let analysis = fixture_analysis();
+    // Ungated call in plain library code.
+    assert_violation(&analysis, Rule::TelemetryGate, 67);
+    // A `not(feature = "telemetry")` arm is not a gate: that code is
+    // exactly what default builds compile in.
+    assert_violation(&analysis, Rule::TelemetryGate, 86);
+    assert_allowed(&analysis, Rule::TelemetryGate, 79);
+    // Behind a positive feature gate: clean.
+    assert!(find(&analysis, Rule::TelemetryGate, LIB, 73).is_none());
+}
+
+#[test]
 fn seeded_fixture_regression_fails_an_empty_baseline_gate() {
     let analysis = fixture_analysis();
     // An empty baseline means every budget is zero — the fixture's

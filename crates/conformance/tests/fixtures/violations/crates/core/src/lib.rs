@@ -61,3 +61,27 @@ pub fn gated_future() {}
 
 #[cfg(feature = "std")] // line 62: F1 clean (declared in Cargo.toml)
 pub fn gated_std() {}
+
+/// F4 positive host: a runtime collector call with no feature gate.
+pub fn prof_ungated() {
+    fedprox_telemetry::collector::arm(); // line 67: F4 positive
+}
+
+/// F4 clean: the call sits behind the telemetry feature gate.
+#[cfg(feature = "telemetry")] // line 71: F4 gate (and F1 clean — declared)
+pub fn prof_gated() {
+    fedprox_telemetry::collector::arm(); // line 73: F4 clean (gated)
+}
+
+/// F4 negative host.
+pub fn prof_allowed() {
+    // fedlint: allow(telemetry-gate) — fixture: armed only from test harnesses
+    fedprox_telemetry::collector::arm(); // line 79: F4 negative (annotated)
+}
+
+/// A `not(feature)` arm compiles the call *into* default builds — the
+/// exact bug the rule exists to catch — so it must not satisfy the gate.
+#[cfg(not(feature = "telemetry"))] // line 84: no gate (negative cfg)
+pub fn prof_not_gated() {
+    fedprox_telemetry::collector::arm(); // line 86: F4 positive (not() is no gate)
+}

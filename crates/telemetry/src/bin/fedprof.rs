@@ -1,0 +1,190 @@
+//! `fedprof`: render the span-tree profile carried by a FedProxVR JSONL
+//! trace.
+//!
+//! ```text
+//! fedprof report <trace.jsonl>
+//! fedprof flame  <trace.jsonl>
+//! fedprof agg    <trace.jsonl> <trace.jsonl> [...] [--check-deterministic]
+//! ```
+//!
+//! `report` prints the path-tree table (count, total/self time, and —
+//! when the run had the counting allocator probe installed — bytes and
+//! allocator calls per path). `flame` prints collapsed stacks
+//! (`round;device_update;matmul 1234`, weights = self-µs) consumable by
+//! standard flamegraph renderers. `agg` merges N traces into one
+//! cross-run table of per-path medians and max−min deltas; with
+//! `--check-deterministic` it exits non-zero unless every path's
+//! deterministic columns (activation count and allocation totals) are
+//! identical across runs — the CI gate for same-seed reproducibility.
+//! Works on any trace produced by `--prof`/`--trace`; needs no cargo
+//! features.
+
+// CLI binary: aborting with context on a broken invocation or run is
+// the intended error policy (fedlint exempts src/bin targets too).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use fedprox_telemetry::jsonl;
+use fedprox_telemetry::profile::{AggReport, ProfileReport};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fedprof <report|flame> <trace.jsonl>\n       \
+                     fedprof agg <trace.jsonl>... [--check-deterministic]";
+
+enum Cmd {
+    Report { path: String },
+    Flame { path: String },
+    Agg { paths: Vec<String>, check: bool },
+}
+
+fn parse_args(argv: &[String]) -> Result<Cmd, String> {
+    let mut it = argv.iter();
+    let cmd = it.next().ok_or(USAGE)?;
+    match cmd.as_str() {
+        "report" | "flame" => {
+            let mut path = None;
+            for arg in it {
+                if arg.starts_with('-') {
+                    return Err(format!("unknown flag `{arg}`\n{USAGE}"));
+                }
+                if path.replace(arg.clone()).is_some() {
+                    return Err(format!("more than one trace path given\n{USAGE}"));
+                }
+            }
+            let path = path.ok_or(USAGE)?;
+            if cmd == "report" {
+                Ok(Cmd::Report { path })
+            } else {
+                Ok(Cmd::Flame { path })
+            }
+        }
+        "agg" => {
+            let mut paths = Vec::new();
+            let mut check = false;
+            for arg in it {
+                match arg.as_str() {
+                    "--check-deterministic" => check = true,
+                    other if other.starts_with('-') => {
+                        return Err(format!("unknown flag `{other}`\n{USAGE}"));
+                    }
+                    other => paths.push(other.to_string()),
+                }
+            }
+            if paths.len() < 2 {
+                return Err(format!("agg needs at least two traces\n{USAGE}"));
+            }
+            Ok(Cmd::Agg { paths, check })
+        }
+        "--help" | "-h" => Err(USAGE.to_string()),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn load_profile(path: &str) -> Result<ProfileReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let events = jsonl::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(ProfileReport::from_events(&events))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_args(&argv) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        Cmd::Report { path } => match load_profile(&path) {
+            Ok(p) => {
+                print!("{}", p.render_tree());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fedprof: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Cmd::Flame { path } => match load_profile(&path) {
+            Ok(p) => {
+                print!("{}", p.render_flame());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fedprof: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Cmd::Agg { paths, check } => {
+            let mut profiles = Vec::with_capacity(paths.len());
+            for p in &paths {
+                match load_profile(p) {
+                    Ok(profile) => profiles.push(profile),
+                    Err(e) => {
+                        eprintln!("fedprof: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let agg = AggReport::from_profiles(&profiles);
+            print!("{}", agg.render());
+            if check {
+                let bad = agg.deterministic_mismatches();
+                if !bad.is_empty() {
+                    eprintln!(
+                        "fedprof: deterministic columns differ across runs on {} path(s):",
+                        bad.len()
+                    );
+                    for row in bad {
+                        eprintln!("  {} (in {}/{} runs)", row.path, row.runs, agg.runs);
+                    }
+                    return ExitCode::FAILURE;
+                }
+                println!("deterministic columns identical across {} runs", agg.runs);
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_report_and_flame() {
+        assert!(matches!(
+            parse_args(&s(&["report", "t.jsonl"])).unwrap(),
+            Cmd::Report { path } if path == "t.jsonl"
+        ));
+        assert!(matches!(
+            parse_args(&s(&["flame", "t.jsonl"])).unwrap(),
+            Cmd::Flame { path } if path == "t.jsonl"
+        ));
+    }
+
+    #[test]
+    fn parses_agg_with_check_flag() {
+        let cmd = parse_args(&s(&["agg", "a.jsonl", "b.jsonl", "--check-deterministic"])).unwrap();
+        match cmd {
+            Cmd::Agg { paths, check } => {
+                assert_eq!(paths, vec!["a.jsonl", "b.jsonl"]);
+                assert!(check);
+            }
+            _ => panic!("expected agg"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse_args(&s(&[])).is_err());
+        assert!(parse_args(&s(&["nope", "t"])).is_err());
+        assert!(parse_args(&s(&["report"])).is_err());
+        assert!(parse_args(&s(&["report", "a", "b"])).is_err());
+        assert!(parse_args(&s(&["agg", "only-one.jsonl"])).is_err());
+        assert!(parse_args(&s(&["agg", "a", "b", "--nope"])).is_err());
+    }
+}

@@ -189,6 +189,44 @@ pub enum Event {
         /// (an integer, not a bool, for the hand-rolled JSONL parser).
         skipped: u32,
     },
+    /// Aggregate over every activation of one span-tree *path*: the
+    /// chain of `span!` names from the outermost open scope down to
+    /// this one on the recording thread (e.g.
+    /// `round/device_update/local_solve/matmul`). Unlike
+    /// [`Event::SpanStat`]'s flat per-op view, a path distinguishes a
+    /// `matmul` under `local_solve` from one under `evaluate`, and
+    /// carries exact self-vs-child accounting. Counts and allocator
+    /// columns are deterministic for single-threaded runs; the
+    /// microsecond columns measure the host.
+    PathStat {
+        /// `/`-joined span names, outermost first.
+        path: String,
+        /// Total activations of this exact path.
+        count: u64,
+        /// Summed wall-clock duration, including children, in µs.
+        total_micros: f64,
+        /// Summed wall-clock duration minus time spent in child spans.
+        self_micros: f64,
+        /// Longest single activation (total time) in µs.
+        max_micros: f64,
+        /// Allocator bytes requested while this path was open,
+        /// including children. Zero when no alloc probe is installed.
+        total_bytes: u64,
+        /// Allocator bytes attributed to this span itself (total minus
+        /// bytes attributed to child spans).
+        self_bytes: u64,
+        /// Allocator calls while this path was open, including children.
+        total_allocs: u64,
+        /// Allocator calls attributed to this span itself.
+        self_allocs: u64,
+    },
+    /// Marker that raw [`Event::Span`] records were discarded at the
+    /// buffer cap with no streaming sink attached: the trace's raw span
+    /// sample is partial (aggregates remain exact). Reports flag this.
+    TraceTruncated {
+        /// Raw span records discarded.
+        dropped_spans: u64,
+    },
     /// Events discarded because a buffer cap was hit. Aggregates
     /// ([`Event::SpanStat`], [`Event::Counter`]) are never dropped.
     Dropped {
@@ -274,6 +312,8 @@ impl Event {
             Event::Health { .. } => "health",
             Event::Anomaly { .. } => "anomaly",
             Event::Participation { .. } => "participation",
+            Event::PathStat { .. } => "path_stat",
+            Event::TraceTruncated { .. } => "trace_truncated",
             Event::Dropped { .. } => "dropped",
         }
     }
@@ -340,6 +380,18 @@ mod tests {
                 weight: 0.0,
                 skipped: 0,
             },
+            Event::PathStat {
+                path: "a/b".into(),
+                count: 0,
+                total_micros: 0.0,
+                self_micros: 0.0,
+                max_micros: 0.0,
+                total_bytes: 0,
+                self_bytes: 0,
+                total_allocs: 0,
+                self_allocs: 0,
+            },
+            Event::TraceTruncated { dropped_spans: 0 },
             Event::Dropped { count: 0 },
         ];
         let mut kinds: Vec<&str> = events.iter().map(Event::kind).collect();

@@ -209,6 +209,34 @@ pub fn write_line(event: &Event) -> String {
             push_f64(&mut s, *weight);
             let _ = write!(s, ",\"skipped\":{skipped}");
         }
+        Event::PathStat {
+            path,
+            count,
+            total_micros,
+            self_micros,
+            max_micros,
+            total_bytes,
+            self_bytes,
+            total_allocs,
+            self_allocs,
+        } => {
+            s.push_str(",\"path\":");
+            push_str_escaped(&mut s, path);
+            let _ = write!(s, ",\"count\":{count},\"total_us\":");
+            push_f64(&mut s, *total_micros);
+            s.push_str(",\"self_us\":");
+            push_f64(&mut s, *self_micros);
+            s.push_str(",\"max_us\":");
+            push_f64(&mut s, *max_micros);
+            let _ = write!(
+                s,
+                ",\"total_bytes\":{total_bytes},\"self_bytes\":{self_bytes},\
+                 \"total_allocs\":{total_allocs},\"self_allocs\":{self_allocs}"
+            );
+        }
+        Event::TraceTruncated { dropped_spans } => {
+            let _ = write!(s, ",\"dropped_spans\":{dropped_spans}");
+        }
         Event::Dropped { count } => {
             let _ = write!(s, ",\"count\":{count}");
         }
@@ -619,6 +647,20 @@ fn event_from_json(obj: &Json) -> Result<Event, String> {
             weight: f64_field(obj, "weight")?,
             skipped: u32_field(obj, "skipped")?,
         }),
+        "path_stat" => Ok(Event::PathStat {
+            path: str_field(obj, "path")?,
+            count: u64_field(obj, "count")?,
+            total_micros: f64_field(obj, "total_us")?,
+            self_micros: f64_field(obj, "self_us")?,
+            max_micros: f64_field(obj, "max_us")?,
+            total_bytes: u64_field(obj, "total_bytes")?,
+            self_bytes: u64_field(obj, "self_bytes")?,
+            total_allocs: u64_field(obj, "total_allocs")?,
+            self_allocs: u64_field(obj, "self_allocs")?,
+        }),
+        "trace_truncated" => {
+            Ok(Event::TraceTruncated { dropped_spans: u64_field(obj, "dropped_spans")? })
+        }
         "dropped" => Ok(Event::Dropped { count: u64_field(obj, "count")? }),
         other => Err(format!("unknown event tag `{other}`")),
     }
@@ -741,6 +783,18 @@ mod tests {
                 weight: 0.55,
                 skipped: 1,
             },
+            Event::PathStat {
+                path: "round/device_update/local_solve/matmul".into(),
+                count: 132,
+                total_micros: 812.25,
+                self_micros: 700.5,
+                max_micros: 41.0,
+                total_bytes: u64::MAX - 3,
+                self_bytes: 4096,
+                total_allocs: 640,
+                self_allocs: 512,
+            },
+            Event::TraceTruncated { dropped_spans: 19 },
             Event::Dropped { count: 7 },
         ]
     }

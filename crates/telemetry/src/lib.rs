@@ -24,10 +24,13 @@
 //! the aggregated per-run summary in [`summary`]. The `fedtrace` binary
 //! renders top-N tables from a JSONL trace; the `fedscope` binary reads
 //! the algorithm-health event family (built in [`scope`]) and diffs two
-//! runs for CI regression gating.
+//! runs for CI regression gating; the `fedprof` binary renders the
+//! span-tree profile (built in [`profile`]) as a path table, collapsed
+//! flamegraph stacks, or a cross-run aggregate.
 
 pub mod event;
 pub mod jsonl;
+pub mod profile;
 pub mod scope;
 pub mod summary;
 

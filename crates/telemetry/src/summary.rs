@@ -91,6 +91,12 @@ pub struct TelemetryReport {
     pub participation_rounds: u64,
     /// Rounds skipped for failing quorum.
     pub skipped_rounds: u64,
+    /// Span-tree path aggregates present in the trace (see `fedprof`).
+    pub path_stats: u64,
+    /// Raw span records truncated at the buffer cap with no streaming
+    /// sink attached (aggregates stay exact; raw percentiles are a
+    /// partial sample).
+    pub truncated_spans: u64,
 }
 
 /// Nearest-rank percentile of an unsorted sample; `None` when empty.
@@ -124,6 +130,8 @@ impl TelemetryReport {
         let mut anomalies = 0u64;
         let mut participation_rounds = 0u64;
         let mut skipped_rounds = 0u64;
+        let mut path_stats = 0u64;
+        let mut truncated_spans = 0u64;
 
         for ev in events {
             match ev {
@@ -211,6 +219,10 @@ impl TelemetryReport {
                         skipped_rounds = skipped_rounds.saturating_add(1);
                     }
                 }
+                Event::PathStat { .. } => path_stats = path_stats.saturating_add(1),
+                Event::TraceTruncated { dropped_spans } => {
+                    truncated_spans = truncated_spans.saturating_add(*dropped_spans);
+                }
                 Event::Dropped { count } => dropped = dropped.saturating_add(*count),
             }
         }
@@ -253,6 +265,8 @@ impl TelemetryReport {
             anomalies,
             participation_rounds,
             skipped_rounds,
+            path_stats,
+            truncated_spans,
         }
     }
 
@@ -276,6 +290,21 @@ impl TelemetryReport {
                 s,
                 "participation: {} resilient rounds, {} skipped below quorum",
                 self.participation_rounds, self.skipped_rounds
+            );
+        }
+        if self.path_stats > 0 {
+            let _ = writeln!(
+                s,
+                "profile: {} span-tree paths (see `fedprof report` for the tree)",
+                self.path_stats
+            );
+        }
+        if self.truncated_spans > 0 {
+            let _ = writeln!(
+                s,
+                "warning: {} raw span records truncated at the buffer cap \
+                 (aggregates are exact; percentiles are a partial sample)",
+                self.truncated_spans
             );
         }
 

@@ -6,7 +6,9 @@
 //! ```
 //!
 //! With `--features telemetry`, pass `--trace PATH` to also record a
-//! fedtrace JSONL event trace of the run and print its summary tables.
+//! fedtrace JSONL event trace of the run and print its summary tables,
+//! and/or `--prof PATH` to record a fedprof span-tree profile (inspect
+//! with `fedprof report PATH`).
 
 // Example code: panicking with context keeps the walkthrough focused
 // on the federated-learning API rather than error plumbing.
@@ -18,12 +20,12 @@ use fedprox::data::split::split_federation;
 use fedprox::data::synthetic::{generate, SyntheticConfig};
 use fedprox::models::MultinomialLogistic;
 
-/// Minimal hand-rolled scan for `--trace PATH` (the example deliberately
+/// Minimal hand-rolled scan for `--flag PATH` (the example deliberately
 /// has no argument-parsing dependency).
-fn trace_path_from_args() -> Option<String> {
+fn path_from_args(flag: &str) -> Option<String> {
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
-        if arg == "--trace" {
+        if arg == flag {
             return argv.next();
         }
     }
@@ -31,16 +33,21 @@ fn trace_path_from_args() -> Option<String> {
 }
 
 fn main() {
-    let trace_path = trace_path_from_args();
+    let trace_path = path_from_args("--trace");
+    let prof_path = path_from_args("--prof");
     #[cfg(feature = "telemetry")]
-    if trace_path.is_some() {
+    if trace_path.is_some() || prof_path.is_some() {
         fedprox_telemetry::collector::arm();
     }
     #[cfg(not(feature = "telemetry"))]
-    if trace_path.is_some() {
-        eprintln!(
-            "warning: --trace ignored: rebuild with `--features telemetry` to record a trace"
-        );
+    for (flag, requested) in
+        [("--trace", trace_path.is_some()), ("--prof", prof_path.is_some())]
+    {
+        if requested {
+            eprintln!(
+                "warning: {flag} ignored: rebuild with `--features telemetry` to record it"
+            );
+        }
     }
 
     // 1. A heterogeneous federation: 8 devices, power-law-ish sizes,
@@ -85,16 +92,34 @@ fn main() {
     }
 
     #[cfg(feature = "telemetry")]
-    if let Some(path) = trace_path {
+    if trace_path.is_some() || prof_path.is_some() {
+        use fedprox_telemetry::event::Event;
         use fedprox_telemetry::{collector, jsonl, summary};
         let events = collector::drain();
         collector::disarm();
-        match std::fs::write(&path, jsonl::to_jsonl(&events)) {
-            Ok(()) => println!("trace: {} events written to {path}", events.len()),
-            Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+        if let Some(path) = trace_path {
+            match std::fs::write(&path, jsonl::to_jsonl(&events)) {
+                Ok(()) => println!("trace: {} events written to {path}", events.len()),
+                Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+            }
+            print!("{}", summary::TelemetryReport::from_events(&events).render(10));
         }
-        print!("{}", summary::TelemetryReport::from_events(&events).render(10));
+        if let Some(path) = prof_path {
+            let prof: Vec<Event> = events
+                .iter()
+                .filter(|e| matches!(e, Event::PathStat { .. } | Event::TraceTruncated { .. }))
+                .cloned()
+                .collect();
+            match std::fs::write(&path, jsonl::to_jsonl(&prof)) {
+                Ok(()) => println!(
+                    "prof: {} span-tree paths written to {path} \
+                     (inspect with `fedprof report {path}`)",
+                    prof.len()
+                ),
+                Err(e) => eprintln!("prof: failed to write {path}: {e}"),
+            }
+        }
     }
     #[cfg(not(feature = "telemetry"))]
-    drop(trace_path);
+    drop((trace_path, prof_path));
 }

@@ -194,6 +194,50 @@ fn armed_telemetry_does_not_perturb_the_trajectory() {
     );
 }
 
+/// Profiling is part of the determinism contract: an armed collector
+/// building span trees (scope-stack pushes, path aggregation, self-time
+/// accounting) must leave the training math bitwise-untouched, and the
+/// deterministic columns of the profile itself — per-path activation
+/// counts — must be identical across same-seed runs. (Wall-clock and,
+/// in facade tests, allocation columns are zero/noise respectively;
+/// the alloc-column gate runs in CI on the bench binaries, where the
+/// counting-allocator probe is installed.)
+#[cfg(feature = "telemetry")]
+#[test]
+fn armed_profiling_is_bitwise_deterministic() {
+    use fedprox_telemetry::event::Event;
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let plain = run(1, 42);
+    let profiled = || {
+        fedprox_telemetry::collector::reset();
+        fedprox_telemetry::collector::arm();
+        let h = run(1, 42);
+        let events = fedprox_telemetry::collector::drain();
+        fedprox_telemetry::collector::disarm();
+        let paths: Vec<(String, u64)> = events
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::PathStat { path, count, .. } => Some((path, count)),
+                _ => None,
+            })
+            .collect();
+        (h, paths)
+    };
+    let (ha, pa) = profiled();
+    let (hb, pb) = profiled();
+    assert!(!ha.diverged() && !hb.diverged());
+    assert!(
+        pa.iter().any(|(p, _)| p.split('/').count() >= 4),
+        "profiled run built no ≥4-level span tree: {pa:?}"
+    );
+    assert_eq!(
+        fingerprint(&plain),
+        fingerprint(&ha),
+        "building span trees changed the training trajectory"
+    );
+    assert_eq!(pa, pb, "same-seed profiles recorded different span trees");
+}
+
 /// The fedscope health stream is part of the determinism contract:
 /// health samples and anomalies derive only from the seeded trajectory
 /// (never from wall clocks), so two armed same-seed runs must serialize

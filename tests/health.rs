@@ -9,6 +9,9 @@
 //! compiled out and there is nothing to observe.
 
 #![cfg(feature = "telemetry")]
+// Module-level helpers below sit outside #[test] fns, where
+// clippy.toml's allow-expect-in-tests does not reach.
+#![allow(clippy::expect_used)]
 
 use fedprox::core::DivergenceCause;
 use fedprox::data::split::split_federation;

@@ -9,6 +9,9 @@
 //! macros compile to no-ops and there is nothing to count.
 
 #![cfg(feature = "telemetry")]
+// Module-level helpers below sit outside #[test] fns, where
+// clippy.toml's allow-expect-in-tests does not reach.
+#![allow(clippy::expect_used)]
 
 use fedprox::core::config::NetRunnerOptions;
 use fedprox::data::split::split_federation;
@@ -157,6 +160,113 @@ fn networked_run_emits_per_round_simulation_events() {
         })
         .collect();
     assert!(ends.windows(2).all(|w| w[0] <= w[1]), "sim time went backwards: {ends:?}");
+}
+
+fn path_count(events: &[Event], which: &str) -> u64 {
+    events
+        .iter()
+        .find_map(|e| match e {
+            Event::PathStat { path, count, .. } if path == which => Some(*count),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("path {which} missing from trace"))
+}
+
+/// The span tree must mirror the algorithm's call structure *exactly*:
+/// R `round` roots, R·N `device_update` children, one `local_solve`
+/// under each, and one tensor-layer `softmax` leaf per sample gradient
+/// computed inside the solves — with the flat per-op aggregates and the
+/// path aggregates describing the same spans.
+#[test]
+fn span_tree_paths_nest_exactly() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (h, events) = traced_run(RunnerKind::Sequential);
+    assert!(!h.diverged());
+
+    let r = ROUNDS as u64;
+    let rn = (ROUNDS * DEVICES) as u64;
+    // The 4-level chain round ⊃ device_update ⊃ local_solve ⊃ softmax
+    // (softmax is the tensor leaf the logistic model reaches: one call
+    // per sample-gradient, inside cross_entropy_grad_from_logits).
+    assert_eq!(path_count(&events, "round"), r);
+    assert_eq!(path_count(&events, "round/device_update"), rn);
+    assert_eq!(path_count(&events, "round/device_update/local_solve"), rn);
+    assert_eq!(
+        path_count(&events, "round/device_update/local_solve/softmax"),
+        counter(&events, "optim.grad_evals"),
+        "one tensor softmax per sample gradient inside the solves"
+    );
+    // Evaluations: the round-0 baseline runs before any round span
+    // opens (a root path); every later evaluation nests under its round.
+    assert_eq!(path_count(&events, "evaluate"), 1);
+    assert_eq!(path_count(&events, "round/evaluate"), h.records.len() as u64 - 1);
+
+    // Path aggregates and flat span stats must describe the same spans:
+    // summing a span's counts over every path it terminates equals its
+    // flat per-op count.
+    for (layer, name) in [
+        ("core", "round"),
+        ("core", "device_update"),
+        ("optim", "local_solve"),
+        ("core", "evaluate"),
+        ("tensor", "softmax"),
+    ] {
+        let suffix = format!("/{name}");
+        let from_paths: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::PathStat { path, count, .. }
+                    if path == name || path.ends_with(&suffix) =>
+                {
+                    Some(*count)
+                }
+                _ => None,
+            })
+            .sum();
+        assert_eq!(
+            from_paths,
+            span_count(&events, layer, name),
+            "path-tree and flat counts disagree for {layer}/{name}"
+        );
+    }
+
+    // Structural invariants on every path: self ⊆ total for both time
+    // and allocation columns, max ≤ total, and no orphans (every
+    // non-root path's parent was also observed).
+    let mut max_depth = 0;
+    for e in &events {
+        let Event::PathStat {
+            path,
+            total_micros,
+            self_micros,
+            max_micros,
+            total_bytes,
+            self_bytes,
+            total_allocs,
+            self_allocs,
+            ..
+        } = e
+        else {
+            continue;
+        };
+        max_depth = max_depth.max(path.split('/').count());
+        assert!(
+            *self_micros >= 0.0 && self_micros <= total_micros,
+            "self time out of range on {path}"
+        );
+        assert!(*max_micros <= *total_micros + 1e-9, "max > total on {path}");
+        assert!(self_bytes <= total_bytes, "self bytes > total on {path}");
+        assert!(self_allocs <= total_allocs, "self allocs > total on {path}");
+        if let Some((parent, _)) = path.rsplit_once('/') {
+            assert!(
+                events.iter().any(
+                    |p| matches!(p, Event::PathStat { path: pp, .. } if pp == parent)
+                ),
+                "orphan path {path}: parent {parent} never recorded"
+            );
+        }
+    }
+    assert!(max_depth >= 4, "span tree flattened to {max_depth} levels");
 }
 
 #[test]
