@@ -53,6 +53,21 @@ cargo build -q --release -p fedprox-perfbench
 ./target/release/fedperf --check-determinism \
     "$PERF_TMP/BENCH_smoke-a.json" "$PERF_TMP/BENCH_smoke-b.json"
 
+# kernel-diff: bitwise + speed gate over the tiled kernel rewrite. The
+# cpu_reference differential suite proves tiled == naive bitwise (and
+# parallel == sequential); the root determinism suite extends that to
+# full networked runs. The fedperf baseline gate then catches kernel
+# *speed* regressions against the committed BENCH_seed.json (recorded
+# from the tiled kernels). The default ratio is deliberately loose
+# (3.0, override with FEDPERF_GATE_RATIO): back-to-back identical runs
+# on shared hosts swing 2-3x, so a tight gate would be flakier than it
+# is protective — tight gating (e.g. 1.25) stays a manual/local
+# workflow on a quiet machine.
+echo "==> kernel-diff (cpu_reference suite + fedperf --baseline --gate)"
+cargo test -q --release -p fedprox-tensor --test cpu_reference
+cargo test -q --release -p fedprox --test determinism
+./target/release/fedperf --baseline BENCH_seed.json --gate "${FEDPERF_GATE_RATIO:-3.0}"
+
 # fedscope-smoke: a tiny armed run writes a --health JSONL, `fedscope
 # check` validates its schema, the report renders, and a self-diff must
 # be regression-free (exit 0). Reuses the perf-smoke tmp dir + trap.

@@ -77,6 +77,7 @@ fn bench_conv(c: &mut Criterion) {
         bch.iter(|| {
             conv2d_backward(
                 &spec,
+                black_box(&input),
                 black_box(&go),
                 &weight,
                 &mut gw,

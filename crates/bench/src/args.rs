@@ -40,6 +40,11 @@ pub struct CommonArgs {
     /// substrate additionally produces per-device timing, straggler-lag
     /// and wire-byte telemetry. Default off.
     pub net: bool,
+    /// Tensor kernel selected by `--kernel` (`None` = leave the process
+    /// default, tiled-par). All kernels are bitwise interchangeable, so
+    /// this only changes speed — pair it with `--prof` to profile the
+    /// same run under the naive reference and the tiled kernels.
+    pub kernel: Option<fedprox_tensor::kernel::Kernel>,
 }
 
 impl Default for CommonArgs {
@@ -53,6 +58,7 @@ impl Default for CommonArgs {
             health: None,
             prof: None,
             net: false,
+            kernel: None,
         }
     }
 }
@@ -70,9 +76,10 @@ impl CommonArgs {
 }
 
 /// Parse `--scale small|paper`, `--rounds N`, `--seed N`, `--out DIR`,
-/// `--trace PATH`, `--health PATH`, `--prof PATH` from an iterator of
-/// CLI arguments. Unknown flags abort with a usage message naming
-/// `program`.
+/// `--trace PATH`, `--health PATH`, `--prof PATH`, `--net`, and
+/// `--kernel reference|tiled|tiled-par` from an iterator of CLI
+/// arguments (`--kernel` also applies the selection, process-wide).
+/// Unknown flags abort with a usage message naming `program`.
 // Exiting with a usage message is the intended CLI behaviour here, not
 // a disguised panic path.
 #[allow(clippy::exit)]
@@ -110,6 +117,25 @@ pub fn parse_args(program: &str, argv: impl Iterator<Item = String>) -> CommonAr
                 })
             }
             "--out" => args.out = Some(value("--out")),
+            "--kernel" => {
+                use fedprox_tensor::kernel::Kernel;
+                let k = match value("--kernel").as_str() {
+                    "reference" => Kernel::Reference,
+                    "tiled" => Kernel::Tiled,
+                    "tiled-par" => Kernel::TiledParallel,
+                    other => {
+                        eprintln!(
+                            "{program}: unknown kernel '{other}' (reference|tiled|tiled-par)"
+                        );
+                        std::process::exit(2);
+                    }
+                };
+                // Applied immediately: the selector is process-global and
+                // every experiment binary should honour the flag without
+                // per-binary wiring.
+                fedprox_tensor::kernel::set_kernel(k);
+                args.kernel = Some(k);
+            }
             "--trace" => args.trace = Some(value("--trace")),
             "--health" => args.health = Some(value("--health")),
             "--prof" => args.prof = Some(value("--prof")),
@@ -117,7 +143,8 @@ pub fn parse_args(program: &str, argv: impl Iterator<Item = String>) -> CommonAr
             "--help" | "-h" => {
                 println!(
                     "usage: {program} [--scale small|paper] [--rounds N] [--seed N] [--out DIR] \
-                     [--trace PATH] [--health PATH] [--prof PATH] [--net]"
+                     [--trace PATH] [--health PATH] [--prof PATH] [--net] \
+                     [--kernel reference|tiled|tiled-par]"
                 );
                 std::process::exit(0);
             }
@@ -167,5 +194,15 @@ mod tests {
         assert_eq!(a.prof.as_deref(), Some("/tmp/p.jsonl"));
         assert!(a.net);
         assert!(matches!(a.runner(), fedprox_core::RunnerKind::Network(_)));
+    }
+
+    #[test]
+    fn kernel_flag_selects_and_applies() {
+        use fedprox_tensor::kernel::{self, Kernel};
+        let before = kernel::active();
+        let a = parse(&["--kernel", "reference"]);
+        assert_eq!(a.kernel, Some(Kernel::Reference));
+        assert_eq!(kernel::active(), Kernel::Reference);
+        kernel::set_kernel(before);
     }
 }

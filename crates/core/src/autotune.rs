@@ -74,6 +74,8 @@ pub enum AutoTuneError {
     DegenerateGradient,
     /// Problem (23) had no feasible optimum for these constants.
     Infeasible,
+    /// The federation has no devices to probe.
+    NoDevices,
 }
 
 impl std::fmt::Display for AutoTuneError {
@@ -84,6 +86,9 @@ impl std::fmt::Display for AutoTuneError {
             }
             AutoTuneError::Infeasible => {
                 write!(f, "autotune: problem (23) infeasible for the estimated constants")
+            }
+            AutoTuneError::NoDevices => {
+                write!(f, "autotune: the federation has no devices to probe")
             }
         }
     }
@@ -97,7 +102,6 @@ pub fn autotune<M: LossModel>(
     devices: &[Device],
     req: &AutoTuneRequest,
 ) -> Result<AutoTuneReport, AutoTuneError> {
-    assert!(!devices.is_empty(), "autotune: no devices");
     let w0 = model.init_params(req.seed);
 
     // 1. Constants, probed on the pooled data of a few devices (probing
@@ -106,7 +110,7 @@ pub fn autotune<M: LossModel>(
     let probe_device = devices
         .iter()
         .max_by_key(|d| d.samples())
-        .unwrap_or(&devices[0]);
+        .ok_or(AutoTuneError::NoDevices)?;
     let constants = estimate_constants(model, &probe_device.data, &w0, &req.probe);
     // The paper's theory wants an L that upper-bounds curvature, but the
     // *typical* scale is what makes η = 1/(βL) practical (see the fig2

@@ -322,8 +322,8 @@ impl HealthMonitor {
         for s in &mut self.samples {
             if let Event::Health { round, skew, .. } = s {
                 let r = *round as usize;
-                if r >= 1 && r <= skews.len() {
-                    *skew = Some(skews[r - 1]);
+                if let Some(&sk) = r.checked_sub(1).and_then(|i| skews.get(i)) {
+                    *skew = Some(sk);
                 }
             }
         }

@@ -130,9 +130,11 @@ fn nelder_mead_2d(
     ];
     for _ in 0..iters {
         simplex.sort_by(|a, b| a.2.total_cmp(&b.2));
-        let (bx, by, bf) = simplex[0];
-        let (sx, sy, sf) = simplex[1];
-        let (wx, wy, wf) = simplex[2];
+        // Destructure the sorted 3-simplex: best, second, worst.
+        let [best, second, worst] = &mut simplex;
+        let (bx, by, bf) = *best;
+        let (sx, sy, sf) = *second;
+        let (wx, wy, wf) = *worst;
         // Centroid of the two best.
         let cx = 0.5 * (bx + sx);
         let cy = 0.5 * (by + sy);
@@ -145,19 +147,19 @@ fn nelder_mead_2d(
             let ex = cx + 2.0 * (cx - wx);
             let ey = cy + 2.0 * (cy - wy);
             let ef = f(ex, ey);
-            simplex[2] = if ef < rf { (ex, ey, ef) } else { (rx, ry, rf) };
+            *worst = if ef < rf { (ex, ey, ef) } else { (rx, ry, rf) };
         } else if rf < sf {
-            simplex[2] = (rx, ry, rf);
+            *worst = (rx, ry, rf);
         } else {
             // Contraction.
             let kx = cx + 0.5 * (wx - cx);
             let ky = cy + 0.5 * (wy - cy);
             let kf = f(kx, ky);
             if kf < wf {
-                simplex[2] = (kx, ky, kf);
+                *worst = (kx, ky, kf);
             } else {
                 // Shrink toward the best.
-                for v in simplex.iter_mut().skip(1) {
+                for v in [&mut *second, &mut *worst] {
                     v.0 = bx + 0.5 * (v.0 - bx);
                     v.1 = by + 0.5 * (v.1 - by);
                     v.2 = f(v.0, v.1);
@@ -165,13 +167,14 @@ fn nelder_mead_2d(
             }
         }
         // Converged?
-        let spread = (simplex[2].2 - simplex[0].2).abs();
-        if spread < 1e-12 * (1.0 + simplex[0].2.abs()) {
+        let spread = (worst.2 - best.2).abs();
+        if spread < 1e-12 * (1.0 + best.2.abs()) {
             break;
         }
     }
     simplex.sort_by(|a, b| a.2.total_cmp(&b.2));
-    (simplex[0].0, simplex[0].1)
+    let [(x, y, _), _, _] = simplex;
+    (x, y)
 }
 
 #[cfg(test)]

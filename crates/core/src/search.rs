@@ -130,13 +130,16 @@ pub fn random_search<M: LossModel>(
             diverged: history.diverged(),
         });
     }
-    let best = trials
+    let best = match trials
         .iter()
         .filter(|t| !t.diverged)
         .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
         // All trials diverged: report the first so the table row exists.
-        .unwrap_or(&trials[0])
-        .clone();
+        .or_else(|| trials.first())
+    {
+        Some(t) => t.clone(),
+        None => unreachable!("n_trials >= 1 is asserted, so at least one trial ran"),
+    };
     Ok(SearchResult { algorithm: algorithm.name().to_string(), best, trials })
 }
 
@@ -145,7 +148,11 @@ pub fn random_search<M: LossModel>(
 /// `gen_range(0..len)` draw — the same stream consumption as
 /// `SliceRandom::choose`, so search results stay seed-stable.
 fn pick<T: Copy, R: Rng>(xs: &[T], rng: &mut R) -> T {
-    xs[rng.gen_range(0..xs.len())]
+    let i = rng.gen_range(0..xs.len()); // panics on an empty slice, like indexing would
+    match xs.get(i) {
+        Some(&x) => x,
+        None => unreachable!("gen_range(0..len) keeps i in bounds"),
+    }
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@ use fedprox_tensor::conv::{
     conv2d_backward, conv2d_forward, maxpool2d_backward, maxpool2d_forward, Conv2dSpec,
     ConvScratch, Pool2dSpec,
 };
-use fedprox_tensor::vecops;
+use fedprox_tensor::{kernel, vecops};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -251,10 +251,9 @@ impl Cnn {
 
         let head_in = self.head_in();
         let head_src: &[f64] = if self.hidden > 0 {
-            for j in 0..self.hidden {
-                ws.pre_h[j] =
-                    vecops::dot(&wh[j * self.fc_in..(j + 1) * self.fc_in], &ws.pool2_out)
-                        + bh[j];
+            kernel::matvec_into(wh, self.hidden, self.fc_in, &ws.pool2_out, &mut ws.pre_h);
+            for (p, &b) in ws.pre_h.iter_mut().zip(bh) {
+                *p += b;
             }
             ws.act_h.copy_from_slice(&ws.pre_h);
             relu_inplace(&mut ws.act_h);
@@ -262,15 +261,24 @@ impl Cnn {
         } else {
             &ws.pool2_out
         };
-        for c in 0..self.spec.classes {
-            ws.logits[c] =
-                vecops::dot(&wo[c * head_in..(c + 1) * head_in], head_src) + bo[c];
+        kernel::matvec_into(wo, self.spec.classes, head_in, head_src, &mut ws.logits);
+        for (l, &b) in ws.logits.iter_mut().zip(bo) {
+            *l += b;
         }
     }
 
     /// Backward pass for the sample whose forward intermediates are in
-    /// `ws`; accumulates `scale * ∇f_i` into `out`.
-    fn backward(&self, w: &[f64], target: usize, scale: f64, out: &mut [f64], ws: &mut Workspace) {
+    /// `ws` (`x` is the same input the forward saw); accumulates
+    /// `scale * ∇f_i` into `out`.
+    fn backward(
+        &self,
+        w: &[f64],
+        x: &[f64],
+        target: usize,
+        scale: f64,
+        out: &mut [f64],
+        ws: &mut Workspace,
+    ) {
         cross_entropy_grad_from_logits(&ws.logits, target, &mut ws.dlogits);
         vecops::scale(scale, &mut ws.dlogits);
 
@@ -285,23 +293,22 @@ impl Cnn {
             {
                 let (_, rest) = out.split_at_mut(self.bh_end());
                 let (dwo, dbo) = rest.split_at_mut(self.wfc_end() - self.bh_end());
-                ws.dact_h.fill(0.0);
                 for c in 0..self.spec.classes {
                     let g = ws.dlogits[c];
                     dbo[c] += g;
                     if g != 0.0 {
                         vecops::axpy(g, &ws.act_h, &mut dwo[c * head_in..(c + 1) * head_in]);
-                        vecops::axpy(g, &wo[c * head_in..(c + 1) * head_in], &mut ws.dact_h);
                     }
                 }
             }
+            // dact_h[h] = Σ_c dlogits[c] * wo[c, h].
+            kernel::matvec_t_into(wo, self.spec.classes, head_in, &ws.dlogits, &mut ws.dact_h);
             relu_backward_inplace(&mut ws.dact_h, &ws.pre_h);
             // Hidden layer grads + backprop into the pooled features.
             {
                 let (front, rest) = out.split_at_mut(self.wh_end());
                 let (_, dwh) = front.split_at_mut(self.b2_end());
                 let dbh = &mut rest[..self.hidden];
-                ws.dpool2.fill(0.0);
                 for (j, &g) in ws.dact_h.iter().enumerate() {
                     dbh[j] += g;
                     if g != 0.0 {
@@ -310,26 +317,23 @@ impl Cnn {
                             &ws.pool2_out,
                             &mut dwh[j * self.fc_in..(j + 1) * self.fc_in],
                         );
-                        vecops::axpy(
-                            g,
-                            &wh[j * self.fc_in..(j + 1) * self.fc_in],
-                            &mut ws.dpool2,
-                        );
                     }
                 }
             }
+            kernel::matvec_t_into(wh, self.hidden, self.fc_in, &ws.dact_h, &mut ws.dpool2);
         } else {
-            let (_, rest) = out.split_at_mut(self.bh_end());
-            let (dwo, dbo) = rest.split_at_mut(self.wfc_end() - self.bh_end());
-            ws.dpool2.fill(0.0);
-            for c in 0..self.spec.classes {
-                let g = ws.dlogits[c];
-                dbo[c] += g;
-                if g != 0.0 {
-                    vecops::axpy(g, &ws.pool2_out, &mut dwo[c * head_in..(c + 1) * head_in]);
-                    vecops::axpy(g, &wo[c * head_in..(c + 1) * head_in], &mut ws.dpool2);
+            {
+                let (_, rest) = out.split_at_mut(self.bh_end());
+                let (dwo, dbo) = rest.split_at_mut(self.wfc_end() - self.bh_end());
+                for c in 0..self.spec.classes {
+                    let g = ws.dlogits[c];
+                    dbo[c] += g;
+                    if g != 0.0 {
+                        vecops::axpy(g, &ws.pool2_out, &mut dwo[c * head_in..(c + 1) * head_in]);
+                    }
                 }
             }
+            kernel::matvec_t_into(wo, self.spec.classes, head_in, &ws.dlogits, &mut ws.dpool2);
         }
 
         // Pool2 → ReLU → Conv2.
@@ -340,7 +344,16 @@ impl Cnn {
             let (front1, dw2b2) = front.split_at_mut(self.b1_end());
             let _ = front1;
             let (dw2, db2) = dw2b2.split_at_mut(self.conv2.weight_len());
-            conv2d_backward(&self.conv2, &ws.dconv2, w2, dw2, db2, &mut ws.dpool1, &mut ws.s2);
+            conv2d_backward(
+                &self.conv2,
+                &ws.pool1_out,
+                &ws.dconv2,
+                w2,
+                dw2,
+                db2,
+                &mut ws.dpool1,
+                &mut ws.s2,
+            );
         }
 
         // Pool1 → ReLU → Conv1.
@@ -350,7 +363,16 @@ impl Cnn {
             let w1 = &w[..self.w1_end()];
             let (dw1b1, _) = out.split_at_mut(self.b1_end());
             let (dw1, db1) = dw1b1.split_at_mut(self.conv1.weight_len());
-            conv2d_backward(&self.conv1, &ws.dconv1, w1, dw1, db1, &mut ws.dinput, &mut ws.s1);
+            conv2d_backward(
+                &self.conv1,
+                x,
+                &ws.dconv1,
+                w1,
+                dw1,
+                db1,
+                &mut ws.dinput,
+                &mut ws.s1,
+            );
         }
     }
 }
@@ -391,7 +413,7 @@ impl LossModel for Cnn {
     fn sample_grad_accum(&self, w: &[f64], data: &Dataset, i: usize, scale: f64, out: &mut [f64]) {
         let mut ws = self.workspace();
         self.forward(w, data.x(i), &mut ws);
-        self.backward(w, data.class_of(i), scale, out, &mut ws);
+        self.backward(w, data.x(i), data.class_of(i), scale, out, &mut ws);
     }
 
     /// Batch gradient overridden to reuse one workspace per rayon worker
@@ -414,7 +436,7 @@ impl LossModel for Cnn {
                     let mut ws = self.workspace();
                     for &i in chunk_idx {
                         self.forward(w, data.x(i), &mut ws);
-                        self.backward(w, data.class_of(i), scale, &mut acc, &mut ws);
+                        self.backward(w, data.x(i), data.class_of(i), scale, &mut acc, &mut ws);
                     }
                     acc
                 })
@@ -426,7 +448,7 @@ impl LossModel for Cnn {
             let mut ws = self.workspace();
             for &i in indices {
                 self.forward(w, data.x(i), &mut ws);
-                self.backward(w, data.class_of(i), scale, out, &mut ws);
+                self.backward(w, data.x(i), data.class_of(i), scale, out, &mut ws);
             }
         }
     }
@@ -462,14 +484,21 @@ impl LossModel for Cnn {
                 cws.acc.fill(0.0);
                 for &i in chunk_idx {
                     self.forward(w, data.x(i), &mut cws.ws);
-                    self.backward(w, data.class_of(i), scale, &mut cws.acc, &mut cws.ws);
+                    self.backward(
+                        w,
+                        data.x(i),
+                        data.class_of(i),
+                        scale,
+                        &mut cws.acc,
+                        &mut cws.ws,
+                    );
                 }
                 vecops::add_assign(out, &cws.acc);
             }
         } else {
             for &i in indices {
                 self.forward(w, data.x(i), &mut cws.ws);
-                self.backward(w, data.class_of(i), scale, out, &mut cws.ws);
+                self.backward(w, data.x(i), data.class_of(i), scale, out, &mut cws.ws);
             }
         }
     }
@@ -531,6 +560,55 @@ mod tests {
         // every parameter block (conv1 w/b, conv2 w/b, fc w/b).
         let r = check_batch_grad(&cnn, &w, &data, &[0, 1, 2], 1e-5, 7);
         assert!(r.max_rel_err < 1e-3, "rel err {} at {}", r.max_rel_err, r.worst_coord);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_under_every_kernel() {
+        // The fused im2col-GEMM conv path (and the tiled head matvecs) get
+        // their own finite-difference check: the FD loss probes and the
+        // analytic gradient both run through the selected kernel, so this
+        // validates the fused forward *and* backward, not just the
+        // reference implementation.
+        use fedprox_tensor::kernel::{with_kernel, Kernel};
+        let spec = CnnSpec::tiny();
+        let cnn = Cnn::new(spec);
+        let data = tiny_data(3, &spec, 5);
+        let w = cnn.init_params(2);
+        for k in [Kernel::Reference, Kernel::Tiled, Kernel::TiledParallel] {
+            let r = with_kernel(k, || check_batch_grad(&cnn, &w, &data, &[0, 1, 2], 1e-5, 7));
+            assert!(
+                r.max_rel_err < 1e-3,
+                "{k:?}: rel err {} at {}",
+                r.max_rel_err,
+                r.worst_coord
+            );
+        }
+    }
+
+    #[test]
+    fn batch_grad_is_kernel_invariant_bitwise() {
+        // Stronger than the FD check: the whole CNN batch gradient must be
+        // *bitwise* identical whichever kernel computed it.
+        use fedprox_tensor::kernel::{with_kernel, Kernel};
+        let spec = CnnSpec::tiny_hidden();
+        let cnn = Cnn::new(spec);
+        let data = tiny_data(6, &spec, 11);
+        let w = cnn.init_params(3);
+        let idx: Vec<usize> = (0..6).collect();
+        let grad_under = |k: Kernel| {
+            with_kernel(k, || {
+                let mut g = vec![0.0; cnn.dim()];
+                cnn.batch_grad(&w, &data, &idx, &mut g);
+                g
+            })
+        };
+        let reference = grad_under(Kernel::Reference);
+        for k in [Kernel::Tiled, Kernel::TiledParallel] {
+            let got = grad_under(k);
+            let same =
+                got.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{k:?} batch gradient diverged from reference bitwise");
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::{GradScratch, LossModel};
 use fedprox_data::Dataset;
 use fedprox_tensor::activations::{cross_entropy_from_logits, cross_entropy_grad_from_logits};
-use fedprox_tensor::vecops;
+use fedprox_tensor::{kernel, vecops};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -68,10 +68,10 @@ impl MultinomialLogistic {
         debug_assert_eq!(w.len(), self.dim());
         debug_assert_eq!(x.len(), self.features);
         debug_assert_eq!(out.len(), self.classes);
-        let bias = &w[self.weights_len()..];
-        for c in 0..self.classes {
-            let row = &w[c * self.features..(c + 1) * self.features];
-            out[c] = vecops::dot(row, x) + bias[c];
+        let wl = self.weights_len();
+        kernel::matvec_into(&w[..wl], self.classes, self.features, x, out);
+        for (o, &b) in out.iter_mut().zip(&w[wl..]) {
+            *o += b;
         }
     }
 

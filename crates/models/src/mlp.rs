@@ -9,7 +9,7 @@ use fedprox_tensor::activations::{
     cross_entropy_from_logits, cross_entropy_grad_from_logits, relu_backward_inplace,
     relu_inplace,
 };
-use fedprox_tensor::vecops;
+use fedprox_tensor::{kernel, vecops};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,14 +62,15 @@ impl Mlp {
         let b1 = &w[self.w1_end()..self.b1_end()];
         let w2 = &w[self.b1_end()..self.w2_end()];
         let b2 = &w[self.w2_end()..];
-        for h in 0..self.hidden {
-            pre_hidden[h] = vecops::dot(&w1[h * self.input..(h + 1) * self.input], x) + b1[h];
+        kernel::matvec_into(w1, self.hidden, self.input, x, pre_hidden);
+        for (p, &b) in pre_hidden.iter_mut().zip(b1) {
+            *p += b;
         }
         act_hidden.copy_from_slice(pre_hidden);
         relu_inplace(act_hidden);
-        for c in 0..self.classes {
-            logits[c] =
-                vecops::dot(&w2[c * self.hidden..(c + 1) * self.hidden], act_hidden) + b2[c];
+        kernel::matvec_into(w2, self.classes, self.hidden, act_hidden, logits);
+        for (l, &b) in logits.iter_mut().zip(b2) {
+            *l += b;
         }
     }
 
@@ -104,10 +105,7 @@ impl Mlp {
         }
 
         // Backprop into hidden: dact[h] = Σ_c dlogits[c] * w2[c,h].
-        ws.dact.fill(0.0);
-        for c in 0..self.classes {
-            vecops::axpy(ws.dlogits[c], &w2[c * self.hidden..(c + 1) * self.hidden], &mut ws.dact);
-        }
+        kernel::matvec_t_into(w2, self.classes, self.hidden, &ws.dlogits, &mut ws.dact);
         relu_backward_inplace(&mut ws.dact, &ws.pre);
 
         // Input layer grads.

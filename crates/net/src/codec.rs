@@ -146,7 +146,10 @@ pub fn decode(mut buf: &[u8]) -> Result<Message, CodecError> {
             }
             // Lossy: the reason is purely diagnostic, so a mangled byte
             // must not turn a typed failure report into a codec error.
-            let reason = String::from_utf8_lossy(&buf[..len]).into_owned();
+            let reason = buf
+                .get(..len)
+                .map(|b| String::from_utf8_lossy(b).into_owned())
+                .unwrap_or_default();
             Ok(Message::Failed { device, round, reason })
         }
         TAG_MALFORMED => {

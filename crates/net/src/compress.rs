@@ -63,21 +63,23 @@ impl Compressor {
             }
             Compressor::TopK { k } => {
                 let k = k.min(v.len());
-                // Indices of the k largest magnitudes.
+                // Indices of the k largest magnitudes. The key closure is
+                // total (out-of-range reads as 0.0), so ordering needs no
+                // indexing that could panic.
+                let mag = |i: u32| v.get(i as usize).map_or(0.0, |x| x.abs());
                 let mut idx: Vec<u32> = (0..v.len() as u32).collect();
-                idx.select_nth_unstable_by(k.saturating_sub(1).min(v.len().saturating_sub(1)), |&a, &b| {
-                    v[b as usize]
-                        .abs()
-                        .partial_cmp(&v[a as usize].abs())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
-                let mut kept: Vec<u32> = idx[..k].to_vec();
+                idx.select_nth_unstable_by(
+                    k.saturating_sub(1).min(v.len().saturating_sub(1)),
+                    |&a, &b| mag(b).total_cmp(&mag(a)),
+                );
+                idx.truncate(k);
+                let mut kept = idx;
                 kept.sort_unstable();
                 let mut buf = BytesMut::with_capacity(4 + k * 12);
                 buf.put_u32_le(k as u32);
                 for &i in &kept {
                     buf.put_u32_le(i);
-                    buf.put_f64_le(v[i as usize]);
+                    buf.put_f64_le(v.get(i as usize).copied().unwrap_or(0.0));
                 }
                 Compressed { payload: buf.to_vec(), dim: v.len() as u32, scheme: SCHEME_TOPK }
             }
@@ -137,7 +139,11 @@ impl Compressor {
                 for _ in 0..k {
                     let i = buf.get_u32_le() as usize;
                     let v = buf.get_f64_le();
-                    out[i] = v;
+                    // The index came off the wire: a corrupt one must not
+                    // panic the server, so out-of-range writes are dropped.
+                    if let Some(slot) = out.get_mut(i) {
+                        *slot = v;
+                    }
                 }
                 out
             }

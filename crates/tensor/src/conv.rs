@@ -6,7 +6,18 @@
 //! arbitrary stride with symmetric zero padding; the paper's CNN uses the
 //! stride-1 "same" configuration (two 5x5 convolutions each followed by
 //! 2x2 max-pooling), built via [`Conv2dSpec::same`].
+//!
+//! Like the matmul entry points, the convolutions dispatch on the
+//! kernel selector (see [`crate::kernel`]): the `Reference` kernel
+//! materialises the im2col matrix and runs the naive GEMM over it,
+//! while the tiled kernels run a *fused* im2col-GEMM — the packing
+//! stage of the blocked GEMM reads receptive-field taps straight from
+//! the input image through a virtual [`GemmSource`] view, so the
+//! `col_rows × col_cols` column matrix (≈ 5 MB for the paper's second
+//! conv layer) never exists on the fast path. Both paths accumulate
+//! every output element in the same order, so they agree bitwise.
 
+use crate::kernel::{self, Blocking, GemmSource, Kernel, MatRef};
 use crate::matrix::Matrix;
 
 /// Static description of a convolution layer.
@@ -81,6 +92,22 @@ impl Conv2dSpec {
 }
 
 /// Unfold `input` (`[in_ch, h, w]`) into the im2col matrix: one row per
+/// `v` clamped into `[0, hi]` as an index — the shared lossy cast
+/// behind every padding-window clamp in this module.
+#[inline(always)]
+fn clamp_idx(v: isize, hi: usize) -> usize {
+    // fedlint: allow(lossy-cast) — the clamp proves the value is in [0, hi]
+    v.clamp(0, hi as isize) as usize
+}
+
+/// `v` as an index, for call sites whose guards prove `v ≥ 0`.
+#[inline(always)]
+fn pos_idx(v: isize) -> usize {
+    debug_assert!(v >= 0, "pos_idx: negative index {v}");
+    // fedlint: allow(lossy-cast) — every caller guards v ≥ 0 (debug-asserted)
+    v as usize
+}
+
 /// output pixel, one column per (channel, ky, kx) of the receptive field.
 /// Out-of-bounds taps read zero.
 pub fn im2col(spec: &Conv2dSpec, input: &[f64], cols: &mut Matrix) {
@@ -89,24 +116,34 @@ pub fn im2col(spec: &Conv2dSpec, input: &[f64], cols: &mut Matrix) {
     fedprox_telemetry::span!("tensor", "im2col", "rows" => spec.col_rows(), "cols" => spec.col_cols());
     let (oh, ow) = (spec.out_height(), spec.out_width());
     let (h, w, k, pad, s) = (spec.height, spec.width, spec.kernel, spec.pad, spec.stride);
+    // One kernel row (fixed c, ky) taps k consecutive input cells, so
+    // each row segment is a clamped contiguous copy with zero fill for
+    // the padding overhang — same values as the per-tap loop, written
+    // a window at a time.
     for oy in 0..oh {
         for ox in 0..ow {
             let row = cols.row_mut(oy * ow + ox);
+            let y0 = (oy * s) as isize - pad as isize;
+            let x0 = (ox * s) as isize - pad as isize;
+            let lo = clamp_idx(-x0, k);
+            let hi = clamp_idx(w as isize - x0, k);
             let mut idx = 0;
             for c in 0..spec.in_ch {
                 let chan = &input[c * h * w..(c + 1) * h * w];
                 for ky in 0..k {
-                    let iy = (oy * s + ky) as isize - pad as isize;
-                    for kx in 0..k {
-                        let ix = (ox * s + kx) as isize - pad as isize;
-                        row[idx] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                            // fedlint: allow(lossy-cast) — iy/ix proven non-negative and in-bounds by the guard above
-                            chan[iy as usize * w + ix as usize]
-                        } else {
-                            0.0
-                        };
-                        idx += 1;
+                    let iy = y0 + ky as isize;
+                    let seg = &mut row[idx..idx + k];
+                    if iy < 0 || iy >= h as isize {
+                        seg.fill(0.0);
+                    } else {
+                        seg[..lo].fill(0.0);
+                        if lo < hi {
+                            let src = pos_idx(iy) * w + pos_idx(x0 + lo as isize);
+                            seg[lo..hi].copy_from_slice(&chan[src..src + (hi - lo)]);
+                        }
+                        seg[hi..].fill(0.0);
                     }
+                    idx += k;
                 }
             }
         }
@@ -132,8 +169,7 @@ pub fn col2im(spec: &Conv2dSpec, cols: &Matrix, input_grad: &mut [f64]) {
                     for kx in 0..k {
                         let ix = (ox * s + kx) as isize - pad as isize;
                         if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                            // fedlint: allow(lossy-cast) — iy/ix proven non-negative and in-bounds by the guard above
-                            input_grad[base + iy as usize * w + ix as usize] += row[idx];
+                            input_grad[base + pos_idx(iy) * w + pos_idx(ix)] += row[idx];
                         }
                         idx += 1;
                     }
@@ -144,21 +180,269 @@ pub fn col2im(spec: &Conv2dSpec, cols: &Matrix, input_grad: &mut [f64]) {
 }
 
 /// Scratch buffers reused across convolution calls to avoid per-sample
-/// allocation in the training hot loop.
+/// allocation in the training hot loop. All buffers are grown lazily on
+/// first use and retained, so steady-state calls allocate nothing; the
+/// materialised `cols` matrix is only ever populated by the `Reference`
+/// kernel.
 #[derive(Debug, Clone)]
 pub struct ConvScratch {
-    /// im2col matrix for the forward pass (kept for backward).
-    pub cols: Matrix,
-    /// Gradient with the same shape as `cols`.
-    pub cols_grad: Matrix,
+    /// im2col matrix (reference path only).
+    cols: Matrix,
+    /// Column-gradient matrix (both backward paths).
+    cols_grad: Matrix,
+    /// Spec the tap tables below were built for.
+    table_spec: Option<Conv2dSpec>,
+    /// Receptive-field origin (y) per output pixel, pre-pad.
+    pix_y: Vec<isize>,
+    /// Receptive-field origin (x) per output pixel, pre-pad.
+    pix_x: Vec<isize>,
+    /// Channel base offset per im2col column.
+    f_base: Vec<usize>,
+    /// Vertical tap offset (ky − pad) per im2col column.
+    f_dy: Vec<isize>,
+    /// Horizontal tap offset (kx − pad) per im2col column.
+    f_dx: Vec<isize>,
 }
 
 impl ConvScratch {
-    /// Allocate scratch sized for `spec`.
+    /// Scratch for `spec`; buffers are grown on first use.
     pub fn new(spec: &Conv2dSpec) -> Self {
-        ConvScratch {
-            cols: Matrix::zeros(spec.col_rows(), spec.col_cols()),
-            cols_grad: Matrix::zeros(spec.col_rows(), spec.col_cols()),
+        let mut s = ConvScratch {
+            cols: Matrix::zeros(0, 0),
+            cols_grad: Matrix::zeros(0, 0),
+            table_spec: None,
+            pix_y: Vec::new(),
+            pix_x: Vec::new(),
+            f_base: Vec::new(),
+            f_dy: Vec::new(),
+            f_dx: Vec::new(),
+        };
+        s.prepare_tables(spec);
+        s
+    }
+
+    /// (Re)build the pixel/field tap tables when the spec changed.
+    fn prepare_tables(&mut self, spec: &Conv2dSpec) {
+        if self.table_spec == Some(*spec) {
+            return;
+        }
+        let (oh, ow) = (spec.out_height(), spec.out_width());
+        let (k, pad, s) = (spec.kernel, spec.pad, spec.stride);
+        self.pix_y.clear();
+        self.pix_x.clear();
+        for oy in 0..oh {
+            for ox in 0..ow {
+                self.pix_y.push((oy * s) as isize);
+                self.pix_x.push((ox * s) as isize);
+            }
+        }
+        self.f_base.clear();
+        self.f_dy.clear();
+        self.f_dx.clear();
+        for c in 0..spec.in_ch {
+            for ky in 0..k {
+                for kx in 0..k {
+                    self.f_base.push(c * spec.height * spec.width);
+                    self.f_dy.push(ky as isize - pad as isize);
+                    self.f_dx.push(kx as isize - pad as isize);
+                }
+            }
+        }
+        self.table_spec = Some(*spec);
+    }
+
+    /// The virtual im2col operand over `input` (tables must be built).
+    fn im2col_view<'a>(&'a self, spec: &Conv2dSpec, input: &'a [f64], trans: bool) -> Im2colView<'a> {
+        debug_assert_eq!(self.table_spec, Some(*spec));
+        Im2colView {
+            input,
+            h: spec.height as isize,
+            w: spec.width as isize,
+            width: spec.width,
+            pix_y: &self.pix_y,
+            pix_x: &self.pix_x,
+            f_base: &self.f_base,
+            f_dy: &self.f_dy,
+            f_dx: &self.f_dx,
+            kw: spec.kernel,
+            ow: spec.out_width(),
+            stride: spec.stride,
+            fields: spec.col_cols(),
+            npix: spec.col_rows(),
+            trans,
+        }
+    }
+}
+
+/// Virtual im2col matrix: answers GEMM packing reads with receptive-
+/// field taps straight from the input image — the column matrix is
+/// never materialised. Natural orientation is `col_cols × col_rows`
+/// (one row per field, one column per output pixel); `trans` flips it.
+struct Im2colView<'a> {
+    input: &'a [f64],
+    h: isize,
+    w: isize,
+    width: usize,
+    pix_y: &'a [isize],
+    pix_x: &'a [isize],
+    f_base: &'a [usize],
+    f_dy: &'a [isize],
+    f_dx: &'a [isize],
+    /// Kernel edge length — field index `f` taps column `f % kw` of its
+    /// kernel row, which is what lets `fill_fields` split a lane into
+    /// contiguous per-row runs.
+    kw: usize,
+    /// Output row width — pixel index `p` sits in output row `p / ow`,
+    /// which is what lets `fill_pixels` split a lane into per-row runs.
+    ow: usize,
+    /// Conv stride: within one output row consecutive pixels tap input
+    /// cells `stride` apart (contiguous copies when 1).
+    stride: usize,
+    fields: usize,
+    npix: usize,
+    trans: bool,
+}
+
+impl Im2colView<'_> {
+    /// The im2col value at (field `f`, pixel `p`): the tapped input
+    /// cell, or 0.0 when the tap lands in the zero padding. Bitwise
+    /// identical to what [`im2col`] writes at `cols[p, f]`.
+    #[inline]
+    fn tap(&self, f: usize, p: usize) -> f64 {
+        let iy = self.pix_y[p] + self.f_dy[f];
+        let ix = self.pix_x[p] + self.f_dx[f];
+        if iy >= 0 && iy < self.h && ix >= 0 && ix < self.w {
+            self.input[self.f_base[f] + pos_idx(iy) * self.width + pos_idx(ix)]
+        } else {
+            0.0
+        }
+    }
+
+    /// Packing lane in field-major orientation: one field `f`, pixels
+    /// `p0 ..`. Hoists the field's tap offsets out of the pixel loop and
+    /// walks the lane one output row at a time: within a row, pixel taps
+    /// advance `stride` input cells, so at stride 1 each row segment is
+    /// a clamped `copy_from_slice` with zero fill for the padding
+    /// overhang — no per-element bounds branch at any lane width.
+    #[inline]
+    fn fill_pixels(&self, f: usize, p0: usize, lane: &mut [f64]) {
+        let base = self.f_base[f];
+        let dy = self.f_dy[f];
+        let dx = self.f_dx[f];
+        let len = lane.len();
+        let mut j = 0;
+        while j < len {
+            let p = p0 + j;
+            let run = (self.ow - p % self.ow).min(len - j);
+            let iy = self.pix_y[p] + dy;
+            if iy < 0 || iy >= self.h {
+                lane[j..j + run].fill(0.0);
+                j += run;
+                continue;
+            }
+            let rowbase = base + pos_idx(iy) * self.width;
+            let ix0 = self.pix_x[p] + dx;
+            if self.stride == 1 {
+                // Clamp the tap run [ix0, ix0 + run) to the image row.
+                let lo = clamp_idx(-ix0, run);
+                let hi = clamp_idx(self.w - ix0, run);
+                lane[j..j + lo].fill(0.0);
+                if lo < hi {
+                    let src = rowbase + pos_idx(ix0 + lo as isize);
+                    lane[j + lo..j + hi].copy_from_slice(&self.input[src..src + (hi - lo)]);
+                }
+                lane[j + hi..j + run].fill(0.0);
+            } else {
+                for (t, slot) in lane[j..j + run].iter_mut().enumerate() {
+                    let ix = ix0 + (t * self.stride) as isize;
+                    *slot = if ix >= 0 && ix < self.w {
+                        self.input[rowbase + pos_idx(ix)]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            j += run;
+        }
+    }
+
+    /// Packing lane in pixel-major orientation (the `trans` view): one
+    /// pixel `p`, fields `f0 ..`. Hoists the pixel's origin, and walks
+    /// the lane one kernel-row run at a time: consecutive fields within
+    /// a run share (channel, ky) and tap consecutive input cells, so
+    /// each run is a clamped contiguous copy.
+    #[inline]
+    fn fill_fields(&self, p: usize, f0: usize, lane: &mut [f64]) {
+        let y0 = self.pix_y[p];
+        let x0 = self.pix_x[p];
+        let k = self.kw;
+        let len = lane.len();
+        let mut j = 0;
+        while j < len {
+            let f = f0 + j;
+            let run = (k - (f % k)).min(len - j);
+            let iy = y0 + self.f_dy[f];
+            if iy < 0 || iy >= self.h {
+                lane[j..j + run].fill(0.0);
+            } else {
+                let ix0 = x0 + self.f_dx[f];
+                let lo = clamp_idx(-ix0, run);
+                let hi = clamp_idx(self.w - ix0, run);
+                lane[j..j + lo].fill(0.0);
+                if lo < hi {
+                    let src = self.f_base[f] + pos_idx(iy * self.w + ix0 + lo as isize);
+                    lane[j + lo..j + hi].copy_from_slice(&self.input[src..src + (hi - lo)]);
+                }
+                lane[j + hi..j + run].fill(0.0);
+            }
+            j += run;
+        }
+    }
+}
+
+impl GemmSource for Im2colView<'_> {
+    #[inline]
+    fn src_rows(&self) -> usize {
+        if self.trans {
+            self.npix
+        } else {
+            self.fields
+        }
+    }
+
+    #[inline]
+    fn src_cols(&self) -> usize {
+        if self.trans {
+            self.fields
+        } else {
+            self.npix
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        if self.trans {
+            self.tap(j, i)
+        } else {
+            self.tap(i, j)
+        }
+    }
+
+    #[inline]
+    fn fill_row(&self, row: usize, j0: usize, lane: &mut [f64]) {
+        if self.trans {
+            self.fill_fields(row, j0, lane);
+        } else {
+            self.fill_pixels(row, j0, lane);
+        }
+    }
+
+    #[inline]
+    fn fill_col(&self, col: usize, i0: usize, lane: &mut [f64]) {
+        if self.trans {
+            self.fill_pixels(col, i0, lane);
+        } else {
+            self.fill_fields(col, i0, lane);
         }
     }
 }
@@ -166,8 +450,8 @@ impl ConvScratch {
 /// Forward convolution: `output[o, y, x] = Σ weight[o, ·]·cols[yx, ·] + bias[o]`.
 ///
 /// `weight` is `[out_ch, in_ch*k*k]` flattened, `bias` has `out_ch`
-/// entries, `output` is `[out_ch, oh, ow]` flattened. `scratch.cols` holds
-/// the im2col matrix afterwards (needed by the backward pass).
+/// entries, `output` is `[out_ch, oh, ow]` flattened. Dispatches on the
+/// active kernel; all kernels produce bitwise-identical output.
 pub fn conv2d_forward(
     spec: &Conv2dSpec,
     input: &[f64],
@@ -176,6 +460,7 @@ pub fn conv2d_forward(
     output: &mut [f64],
     scratch: &mut ConvScratch,
 ) {
+    assert_eq!(input.len(), spec.input_len(), "conv2d: input length");
     assert_eq!(weight.len(), spec.weight_len(), "conv2d: weight length");
     assert_eq!(bias.len(), spec.out_ch, "conv2d: bias length");
     assert_eq!(output.len(), spec.output_len(), "conv2d: output length");
@@ -183,21 +468,40 @@ pub fn conv2d_forward(
         "tensor", "conv2d_fwd",
         "out_ch" => spec.out_ch, "pix" => spec.col_rows(), "fields" => spec.col_cols(),
     );
-    im2col(spec, input, &mut scratch.cols);
     let npix = spec.col_rows();
     let fields = spec.col_cols();
-    // output[o, p] = Σ_f weight[o, f] * cols[p, f] + bias[o], computed
-    // directly on the flat buffers to keep the per-sample hot loop
-    // allocation-free.
-    for o in 0..spec.out_ch {
-        let w_row = &weight[o * fields..(o + 1) * fields];
-        let b = bias[o];
-        let dst = &mut output[o * npix..(o + 1) * npix];
-        for (p, d) in dst.iter_mut().enumerate() {
-            *d = crate::vecops::dot(w_row, scratch.cols.row(p)) + b;
+    let wref = MatRef::new(weight, spec.out_ch, fields);
+    match kernel::active() {
+        Kernel::Reference => {
+            scratch.cols.reshape_in_place(npix, fields);
+            im2col(spec, input, &mut scratch.cols);
+            // cols is stored pixel-major; view it transposed so the GEMM
+            // reads `cols[p, f]` as its (f, p) operand element.
+            let cview = MatRef::transposed(scratch.cols.as_slice(), fields, npix);
+            kernel::reference::gemm_ref(&wref, &cview, output, spec.out_ch, npix, fields, false);
+        }
+        k => {
+            scratch.prepare_tables(spec);
+            let view = scratch.im2col_view(spec, input, false);
+            kernel::tiled::gemm(
+                &wref,
+                &view,
+                output,
+                spec.out_ch,
+                npix,
+                fields,
+                false,
+                Blocking::for_shape(spec.out_ch, npix, fields),
+                k == Kernel::TiledParallel,
+            );
         }
     }
-    crate::guard::check_finite("conv2d_forward (im2col)", output);
+    for (o, &b) in bias.iter().enumerate() {
+        for v in output[o * npix..(o + 1) * npix].iter_mut() {
+            *v += b;
+        }
+    }
+    crate::guard::check_finite("conv2d_forward", output);
 }
 
 /// Allocating convenience wrapper around [`conv2d_forward`]: builds fresh
@@ -217,11 +521,15 @@ pub fn conv2d_forward_alloc(
     output
 }
 
-/// Backward convolution. Given `grad_output` (`[out_ch, oh, ow]`),
-/// accumulates `grad_weight` / `grad_bias` (+=) and writes `grad_input`
-/// (overwrite). `scratch.cols` must still hold the forward im2col matrix.
+/// Backward convolution. Given the forward `input` and `grad_output`
+/// (`[out_ch, oh, ow]`), accumulates `grad_weight` / `grad_bias` (+=)
+/// and writes `grad_input` (overwrite). Self-contained: the pass
+/// re-derives every receptive-field tap from `input`, so it does not
+/// depend on which kernel (if any) ran the forward pass.
+#[allow(clippy::too_many_arguments)]
 pub fn conv2d_backward(
     spec: &Conv2dSpec,
+    input: &[f64],
     grad_output: &[f64],
     weight: &[f64],
     grad_weight: &mut [f64],
@@ -234,39 +542,120 @@ pub fn conv2d_backward(
         "tensor", "conv2d_bwd",
         "out_ch" => spec.out_ch, "pix" => npix, "fields" => spec.col_cols(),
     );
+    assert_eq!(input.len(), spec.input_len(), "conv2d_backward: input");
     assert_eq!(grad_output.len(), spec.output_len(), "conv2d_backward: grad_output");
     assert_eq!(grad_weight.len(), spec.weight_len(), "conv2d_backward: grad_weight");
     assert_eq!(grad_bias.len(), spec.out_ch, "conv2d_backward: grad_bias");
     assert_eq!(grad_input.len(), spec.input_len(), "conv2d_backward: grad_input");
 
-    // grad_bias[o] += Σ_p grad_output[o, p]
-    for o in 0..spec.out_ch {
-        grad_bias[o] += grad_output[o * npix..(o + 1) * npix].iter().sum::<f64>();
+    // grad_bias[o] += Σ_p grad_output[o, p] — kernel-independent, so the
+    // accumulation tree is shared by every path.
+    for (o, gb) in grad_bias.iter_mut().enumerate() {
+        for &g in &grad_output[o * npix..(o + 1) * npix] {
+            *gb += g;
+        }
     }
 
     let fields = spec.col_cols();
-
-    // grad_weight[o, f] += Σ_p grad_output[o, p] * cols[p, f]
-    for o in 0..spec.out_ch {
-        let go_row = &grad_output[o * npix..(o + 1) * npix];
-        let gw_row = &mut grad_weight[o * fields..(o + 1) * fields];
-        for (p, &g) in go_row.iter().enumerate() {
-            crate::vecops::axpy(g, scratch.cols.row(p), gw_row);
+    let go_ref = MatRef::new(grad_output, spec.out_ch, npix);
+    match kernel::active() {
+        Kernel::Reference => {
+            scratch.cols.reshape_in_place(npix, fields);
+            im2col(spec, input, &mut scratch.cols);
+            // grad_weight[o, f] += Σ_p grad_output[o, p] * cols[p, f]
+            let cref = MatRef::new(scratch.cols.as_slice(), npix, fields);
+            kernel::reference::gemm_ref(
+                &go_ref,
+                &cref,
+                grad_weight,
+                spec.out_ch,
+                fields,
+                npix,
+                true,
+            );
+            // cols_grad[p, f] = Σ_o grad_output[o, p] * weight[o, f]
+            scratch.cols_grad.reshape_in_place(npix, fields);
+            let got = MatRef::transposed(grad_output, npix, spec.out_ch);
+            let wref = MatRef::new(weight, spec.out_ch, fields);
+            kernel::reference::gemm_ref(
+                &got,
+                &wref,
+                scratch.cols_grad.as_mut_slice(),
+                npix,
+                fields,
+                spec.out_ch,
+                false,
+            );
+            col2im(spec, &scratch.cols_grad, grad_input);
         }
-    }
-
-    // cols_grad[p, f] = Σ_o grad_output[o, p] * weight[o, f]
-    scratch.cols_grad.as_mut_slice().fill(0.0);
-    for o in 0..spec.out_ch {
-        let go_row = &grad_output[o * npix..(o + 1) * npix];
-        let w_row = &weight[o * fields..(o + 1) * fields];
-        for (p, &g) in go_row.iter().enumerate() {
-            if g != 0.0 {
-                crate::vecops::axpy(g, w_row, scratch.cols_grad.row_mut(p));
+        k => {
+            scratch.prepare_tables(spec);
+            // grad_weight through the fused GEMM: B is the transposed
+            // virtual im2col view, packed straight from the input.
+            {
+                let view = scratch.im2col_view(spec, input, true);
+                kernel::tiled::gemm(
+                    &go_ref,
+                    &view,
+                    grad_weight,
+                    spec.out_ch,
+                    fields,
+                    npix,
+                    true,
+                    Blocking::for_shape(spec.out_ch, fields, npix),
+                    k == Kernel::TiledParallel,
+                );
+            }
+            // grad_input = col2im(goᵀ · W): the column gradient runs
+            // through the tiled GEMM — bitwise equal to the reference
+            // gemm by the kernel contract — and the scatter replays the
+            // reference col2im adds as kernel-row windows: fields are
+            // (c, ky, kx)-lexicographic, so one (c, ky) run taps
+            // contiguous input cells, and clamping the kx window
+            // replaces the per-field bounds branch while keeping every
+            // add in the exact (p, f) order of col2im.
+            scratch.cols_grad.reshape_in_place(npix, fields);
+            let got = MatRef::transposed(grad_output, npix, spec.out_ch);
+            let wref = MatRef::new(weight, spec.out_ch, fields);
+            kernel::tiled::gemm(
+                &got,
+                &wref,
+                scratch.cols_grad.as_mut_slice(),
+                npix,
+                fields,
+                spec.out_ch,
+                false,
+                Blocking::for_shape(npix, fields, spec.out_ch),
+                k == Kernel::TiledParallel,
+            );
+            grad_input.fill(0.0);
+            let (h, w, kk) = (spec.height, spec.width, spec.kernel);
+            let pad = spec.pad as isize;
+            for p in 0..npix {
+                let x0 = scratch.pix_x[p] - pad;
+                let lo = clamp_idx(-x0, kk);
+                let hi = clamp_idx(w as isize - x0, kk);
+                let row = scratch.cols_grad.row(p);
+                for c in 0..spec.in_ch {
+                    let cbase = c * h * w;
+                    for ky in 0..kk {
+                        let iy = scratch.pix_y[p] + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize || lo >= hi {
+                            continue;
+                        }
+                        let rbase = c * kk * kk + ky * kk;
+                        let dst0 = cbase + pos_idx(iy) * w + pos_idx(x0 + lo as isize);
+                        for (d, &v) in grad_input[dst0..dst0 + (hi - lo)]
+                            .iter_mut()
+                            .zip(&row[rbase + lo..rbase + hi])
+                        {
+                            *d += v;
+                        }
+                    }
+                }
             }
         }
     }
-    col2im(spec, &scratch.cols_grad, grad_input);
 }
 
 /// Static description of a non-overlapping 2-D max-pool.
@@ -522,7 +911,9 @@ mod tests {
         let mut gw = vec![0.0; spec.weight_len()];
         let mut gb = vec![0.0; spec.out_ch];
         let mut gi = vec![0.0; spec.input_len()];
-        conv2d_backward(&spec, &grad_output, &weight, &mut gw, &mut gb, &mut gi, &mut scratch);
+        conv2d_backward(
+            &spec, &input, &grad_output, &weight, &mut gw, &mut gb, &mut gi, &mut scratch,
+        );
 
         let h = 1e-6;
         for i in (0..spec.weight_len()).step_by(5) {
@@ -567,6 +958,32 @@ mod tests {
         col2im(&spec, &c, &mut back);
         let rhs = crate::vecops::dot(&x, &back);
         assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn im2col_view_matches_materialised_cols_bitwise() {
+        // The fused path's virtual operand must read exactly what
+        // im2col writes, including padding zeros and stride > 1.
+        for spec in [
+            Conv2dSpec::same(2, 3, 3, 5, 6),
+            Conv2dSpec::same(1, 2, 5, 7, 7).with_stride(2),
+            Conv2dSpec { in_ch: 1, out_ch: 1, kernel: 2, height: 6, width: 5, pad: 0, stride: 3 },
+        ] {
+            let input: Vec<f64> =
+                (0..spec.input_len()).map(|i| (i as f64 * 0.83).sin() - 0.2).collect();
+            let mut cols = Matrix::zeros(spec.col_rows(), spec.col_cols());
+            im2col(&spec, &input, &mut cols);
+            let scratch = ConvScratch::new(&spec);
+            let view = scratch.im2col_view(&spec, &input, false);
+            let viewt = scratch.im2col_view(&spec, &input, true);
+            for p in 0..spec.col_rows() {
+                for f in 0..spec.col_cols() {
+                    let want = cols.get(p, f).to_bits();
+                    assert_eq!(view.at(f, p).to_bits(), want, "{spec:?} p={p} f={f}");
+                    assert_eq!(viewt.at(p, f).to_bits(), want, "{spec:?} p={p} f={f} (t)");
+                }
+            }
+        }
     }
 
     #[test]

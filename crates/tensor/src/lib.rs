@@ -6,7 +6,11 @@
 //!
 //! * [`vecops`] — BLAS-level-1 style operations on `&[f64]` slices (dot,
 //!   axpy, norms, …) with rayon-parallel variants for long vectors,
-//! * [`Matrix`] — a row-major dense matrix with blocked, parallel matmul,
+//! * [`kernel`] — the runtime-selectable kernel layer: scalar
+//!   cpu-reference oracles and cache-blocked register-tiled GEMM /
+//!   matvec kernels that match them bitwise,
+//! * [`Matrix`] — a row-major dense matrix whose products dispatch
+//!   through the kernel layer,
 //! * [`conv`] — im2col-based 2-D convolution and max-pooling with full
 //!   backward passes (enough to express the paper's two-layer CNN),
 //! * [`activations`] — ReLU / softmax / log-softmax and their derivatives,
@@ -35,6 +39,7 @@ pub mod conv;
 pub mod error;
 pub mod guard;
 pub mod init;
+pub mod kernel;
 pub mod matrix;
 pub mod vecops;
 

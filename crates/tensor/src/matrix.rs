@@ -1,19 +1,15 @@
-//! Row-major dense matrix with blocked, rayon-parallel multiplication.
+//! Row-major dense matrix whose products run through the kernel layer.
 //!
 //! The multinomial logistic-regression model is a `classes x features`
 //! matrix applied to mini-batches, and the CNN's im2col path reduces
 //! convolution to matmul, so this type is the workhorse of every
-//! experiment.
+//! experiment. All multiplication entry points here are thin wrappers
+//! over [`crate::kernel`], which dispatches between the scalar
+//! cpu-reference kernels and the cache-blocked tiled kernels; every
+//! kernel produces bitwise-identical results.
 
-use crate::error::{ShapeError, TensorResult};
-use rayon::prelude::*;
+use crate::error::TensorResult;
 use serde::{Deserialize, Serialize};
-
-/// Minimum number of result elements before `matmul` fans out to rayon.
-const MATMUL_PAR_THRESHOLD: usize = 64 * 64;
-
-/// Block edge for the cache-blocked inner kernel.
-const BLOCK: usize = 64;
 
 /// A dense row-major matrix of `f64`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -135,14 +131,11 @@ impl Matrix {
         out
     }
 
-    /// Checked matrix multiply; returns a [`ShapeError`] when inner
-    /// dimensions disagree.
+    /// Checked matrix multiply; returns a [`crate::error::ShapeError`]
+    /// when inner dimensions disagree.
     pub fn try_matmul(&self, rhs: &Matrix) -> TensorResult<Matrix> {
-        if self.cols != rhs.rows {
-            return Err(ShapeError { op: "matmul", lhs: self.shape(), rhs: rhs.shape() });
-        }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        matmul_into(self, rhs, &mut out);
+        crate::kernel::try_matmul_into(self, rhs, &mut out)?;
         Ok(out)
     }
 
@@ -154,20 +147,45 @@ impl Matrix {
         self.try_matmul(rhs).expect("matmul shape mismatch")
     }
 
-    /// Matrix-vector product `self * x`.
-    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(self.cols, x.len(), "matvec: dimension mismatch");
-        (0..self.rows).map(|r| crate::vecops::dot(self.row(r), x)).collect()
+    /// Checked matrix-vector product `self * x`; returns a
+    /// [`crate::error::ShapeError`] when `x` has the wrong length.
+    pub fn try_matvec(&self, x: &[f64]) -> TensorResult<Vec<f64>> {
+        let mut out = vec![0.0; self.rows];
+        crate::kernel::try_matvec_into(&self.data, self.rows, self.cols, x, &mut out)?;
+        Ok(out)
     }
 
-    /// `selfᵀ * x` without materialising the transpose.
-    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(self.rows, x.len(), "matvec_t: dimension mismatch");
+    /// Matrix-vector product `self * x`; panics on shape mismatch (use
+    /// [`Self::try_matvec`] for the checked variant).
+    #[allow(clippy::expect_used)]
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        // fedlint: allow(no-panic) — documented panicking wrapper; try_matvec is the checked API
+        self.try_matvec(x).expect("matvec shape mismatch")
+    }
+
+    /// Checked `selfᵀ * x` without materialising the transpose; returns
+    /// a [`crate::error::ShapeError`] when `x` has the wrong length.
+    pub fn try_matvec_t(&self, x: &[f64]) -> TensorResult<Vec<f64>> {
         let mut out = vec![0.0; self.cols];
-        for (r, &xr) in x.iter().enumerate() {
-            crate::vecops::axpy(xr, self.row(r), &mut out);
-        }
-        out
+        crate::kernel::try_matvec_t_into(&self.data, self.rows, self.cols, x, &mut out)?;
+        Ok(out)
+    }
+
+    /// `selfᵀ * x` without materialising the transpose; panics on shape
+    /// mismatch (use [`Self::try_matvec_t`] for the checked variant).
+    #[allow(clippy::expect_used)]
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        // fedlint: allow(no-panic) — documented panicking wrapper; try_matvec_t is the checked API
+        self.try_matvec_t(x).expect("matvec_t shape mismatch")
+    }
+
+    /// Reshape in place to `rows × cols`, resizing the buffer (new cells
+    /// are zero; surviving prefix cells keep their values only when the
+    /// element count is unchanged — callers treat the buffer as scratch).
+    pub(crate) fn reshape_in_place(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Frobenius norm.
@@ -191,83 +209,23 @@ impl Matrix {
     }
 }
 
-/// `out ← a * b`, blocked over columns of `b` and parallel over rows of `a`
-/// for large products. `out` must already have shape `(a.rows, b.cols)`.
+/// `out ← a * b` through the active kernel (see [`crate::kernel`]).
+/// `out` must already have shape `(a.rows, b.cols)`.
 pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
-    assert_eq!(a.cols, b.rows, "matmul_into: inner dim mismatch");
-    assert_eq!(out.shape(), (a.rows, b.cols), "matmul_into: out shape mismatch");
-    fedprox_telemetry::span!("tensor", "matmul", "m" => a.rows, "k" => a.cols, "n" => b.cols);
-    let n = b.cols;
-    let k = a.cols;
-    out.data.fill(0.0);
-
-    let kernel = |r: usize, out_row: &mut [f64]| {
-        let a_row = a.row(r);
-        // i-k-j loop order: innermost loop is a contiguous axpy over b's
-        // row, which vectorises well (perf-book: keep the hot loop
-        // unit-stride).
-        for kk in (0..k).step_by(BLOCK) {
-            let kend = (kk + BLOCK).min(k);
-            for (ki, &aik) in a_row.iter().enumerate().take(kend).skip(kk) {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b.data[ki * n..(ki + 1) * n];
-                for (o, bv) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * bv;
-                }
-            }
-        }
-    };
-
-    if a.rows * n >= MATMUL_PAR_THRESHOLD && a.rows > 1 {
-        out.data
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(r, out_row)| kernel(r, out_row));
-    } else {
-        for (r, out_row) in out.data.chunks_mut(n).enumerate() {
-            kernel(r, out_row);
-        }
-    }
-    crate::guard::check_finite("matmul", &out.data);
+    let r = crate::kernel::try_matmul_into(a, b, out);
+    assert!(r.is_ok(), "matmul_into shape mismatch: {r:?}");
 }
 
-/// `out ← aᵀ * b` without materialising `aᵀ`.
+/// `out ← aᵀ * b` without materialising `aᵀ`, through the active kernel.
 pub fn matmul_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
-    assert_eq!(a.rows, b.rows, "matmul_tn_into: inner dim mismatch");
-    assert_eq!(out.shape(), (a.cols, b.cols), "matmul_tn_into: out shape mismatch");
-    fedprox_telemetry::span!("tensor", "matmul_tn", "m" => a.cols, "k" => a.rows, "n" => b.cols);
-    let n = b.cols;
-    out.data.fill(0.0);
-    for r in 0..a.rows {
-        let a_row = a.row(r);
-        let b_row = b.row(r);
-        for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (o, bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
-    }
-    crate::guard::check_finite("matmul_tn", &out.data);
+    let r = crate::kernel::try_matmul_tn_into(a, b, out);
+    assert!(r.is_ok(), "matmul_tn_into shape mismatch: {r:?}");
 }
 
-/// `out ← a * bᵀ` without materialising `bᵀ`.
+/// `out ← a * bᵀ` without materialising `bᵀ`, through the active kernel.
 pub fn matmul_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
-    assert_eq!(a.cols, b.cols, "matmul_nt_into: inner dim mismatch");
-    assert_eq!(out.shape(), (a.rows, b.rows), "matmul_nt_into: out shape mismatch");
-    fedprox_telemetry::span!("tensor", "matmul_nt", "m" => a.rows, "k" => a.cols, "n" => b.rows);
-    for r in 0..a.rows {
-        let a_row = a.row(r);
-        for c in 0..b.rows {
-            out.data[r * b.rows + c] = crate::vecops::dot(a_row, b.row(c));
-        }
-    }
-    crate::guard::check_finite("matmul_nt", &out.data);
+    let r = crate::kernel::try_matmul_nt_into(a, b, out);
+    assert!(r.is_ok(), "matmul_nt_into shape mismatch: {r:?}");
 }
 
 #[cfg(test)]

@@ -80,6 +80,59 @@ fn different_seed_runs_differ() {
     );
 }
 
+/// The kernel layer is part of the determinism contract twice over:
+/// (a) a full networked run under the tiled-parallel kernels, executed
+/// twice with the same seed, must be bitwise-identical — trajectory and
+/// final model — and (b) the tiled kernels must reproduce the scalar
+/// cpu-reference trajectory at strict tolerance zero, so kernel choice
+/// is observationally invisible to training.
+#[test]
+fn tiled_kernel_networked_runs_are_bitwise_identical_and_match_reference() {
+    use fedprox_tensor::kernel::{with_kernel, Kernel};
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let networked = |kernel: Kernel| {
+        with_kernel(kernel, || {
+            let shards =
+                generate(&SyntheticConfig { seed: 5, ..Default::default() }, &[80, 120, 60]);
+            let (train, test) = split_federation(&shards, 5);
+            let devices: Vec<Device> =
+                train.into_iter().enumerate().map(|(i, s)| Device::new(i, s)).collect();
+            let model = fedprox::models::MultinomialLogistic::new(60, 10);
+            let cfg = FedConfig::new(Algorithm::FedProxVr(EstimatorKind::Svrg))
+                .with_beta(5.0)
+                .with_smoothness(3.0)
+                .with_tau(8)
+                .with_mu(0.5)
+                .with_batch_size(8)
+                .with_rounds(10)
+                .with_eval_every(2)
+                .with_seed(21)
+                .with_runner(RunnerKind::Network(
+                    fedprox::core::config::NetRunnerOptions::default(),
+                ));
+            FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run")
+        })
+    };
+    let a = networked(Kernel::TiledParallel);
+    let b = networked(Kernel::TiledParallel);
+    assert!(!a.diverged() && !b.diverged());
+    assert!(!a.records.is_empty());
+    assert_eq!(fingerprint(&a), fingerprint(&b), "tiled same-seed runs drifted");
+    for (x, y) in a.final_model.iter().zip(&b.final_model) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    // Tiled vs cpu-reference: trajectory agreement at tolerance 0.
+    let r = networked(Kernel::Reference);
+    assert_eq!(
+        fingerprint(&a),
+        fingerprint(&r),
+        "tiled kernels changed the trajectory relative to the cpu reference"
+    );
+    for (x, y) in a.final_model.iter().zip(&r.final_model) {
+        assert_eq!(x.to_bits(), y.to_bits(), "tiled final model diverged from reference");
+    }
+}
+
 /// A networked run under a fault plan: device 1 crashes at round 3 and
 /// device 2's link drops 20% of attempts over the whole horizon.
 fn run_faulted(cfg_seed: u64) -> History {
