@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # CI gate: build → test (default / check / telemetry) → clippy → fedlint →
 # fedtrace smoke → perf-smoke → fedscope-smoke → fedresil-smoke →
-# fedprof-smoke. Any failing stage fails the run.
+# fedprof-smoke → fedobs-smoke. Any failing stage fails the run.
 set -eu
 
 echo "==> cargo build --release"
@@ -120,5 +120,28 @@ grep -Eq '^([^ ;]+;)+[^ ;]+ [0-9]+$' "$PERF_TMP/prof_a.flame" \
     || { echo "fedprof-smoke: flame output has no nested collapsed stack"; exit 1; }
 ./target/release/fedprof agg "$PERF_TMP/prof_a.jsonl" "$PERF_TMP/prof_b.jsonl" \
     --check-deterministic >/dev/null
+
+# fedobs-smoke: the correlation layer end to end. A faulted fedresil run
+# (device 1 crashes at round 3, quorum demands all 3 devices, so every
+# later round skips) streams the obs feed; the flight recorder must fire
+# and `fedobs postmortem` must blame the crashed device. Then two
+# same-seed runs must carry identical run-ledger headers (`fedobs ledger
+# diff` exits 0 and prints "identical"). Reuses the telemetry-enabled
+# bench build from the fedscope stage.
+echo "==> fedobs-smoke (faulted --obs run -> postmortem blame -> ledger self-diff)"
+cargo build -q --release -p fedprox-obs
+./target/release/fedresil --devices 3 --rounds 6 --seed 11 \
+    --crash 1:3 --quorum-count 3 \
+    --obs "$PERF_TMP/obs_a.jsonl" >/dev/null
+./target/release/fedobs postmortem "$PERF_TMP/obs_a.jsonl" \
+    | grep -q "quorum_skip at round 3 (device 1)" \
+    || { echo "fedobs-smoke: postmortem did not blame the crashed device"; exit 1; }
+./target/release/fedresil --devices 3 --rounds 6 --seed 11 \
+    --crash 1:3 --quorum-count 3 \
+    --obs "$PERF_TMP/obs_b.jsonl" >/dev/null
+./target/release/fedobs ledger diff "$PERF_TMP/obs_a.jsonl" "$PERF_TMP/obs_b.jsonl" \
+    | grep -q "^identical" \
+    || { echo "fedobs-smoke: same-seed run ledgers differ"; exit 1; }
+./target/release/fedobs critpath "$PERF_TMP/obs_a.jsonl" >/dev/null
 
 echo "CI green."

@@ -34,6 +34,11 @@ pub struct CommonArgs {
     /// to this path. Same feature gate and warning path as `trace`.
     /// Default off.
     pub prof: Option<String>,
+    /// Write the correlated observability stream (run-ledger header +
+    /// simulation events + post-mortem markers, readable by the
+    /// `fedobs` binary) to this path. Same feature gate and warning
+    /// path as `trace`. Default off.
+    pub obs: Option<String>,
     /// Run on the simulated-network backend instead of the in-process
     /// parallel runner. Math is bit-identical (see
     /// `tests/bit_identical_backends`-style guarantees); the networked
@@ -57,6 +62,7 @@ impl Default for CommonArgs {
             trace: None,
             health: None,
             prof: None,
+            obs: None,
             net: false,
             kernel: None,
         }
@@ -73,10 +79,22 @@ impl CommonArgs {
             fedprox_core::RunnerKind::Parallel
         }
     }
+
+    /// Canonical description of this invocation for the run ledger's
+    /// config digest: every field that shapes the trajectory, in a
+    /// fixed order. Two invocations with equal descriptions produce
+    /// bitwise-identical runs (output paths deliberately excluded).
+    pub fn describe(&self, program: &str) -> String {
+        format!(
+            "{program} scale={:?} rounds={:?} seed={} net={}",
+            self.scale, self.rounds, self.seed, self.net
+        )
+    }
 }
 
 /// Parse `--scale small|paper`, `--rounds N`, `--seed N`, `--out DIR`,
-/// `--trace PATH`, `--health PATH`, `--prof PATH`, `--net`, and
+/// `--trace PATH`, `--health PATH`, `--prof PATH`, `--obs PATH`,
+/// `--net`, and
 /// `--kernel reference|tiled|tiled-par` from an iterator of CLI
 /// arguments (`--kernel` also applies the selection, process-wide).
 /// Unknown flags abort with a usage message naming `program`.
@@ -139,11 +157,12 @@ pub fn parse_args(program: &str, argv: impl Iterator<Item = String>) -> CommonAr
             "--trace" => args.trace = Some(value("--trace")),
             "--health" => args.health = Some(value("--health")),
             "--prof" => args.prof = Some(value("--prof")),
+            "--obs" => args.obs = Some(value("--obs")),
             "--net" => args.net = true,
             "--help" | "-h" => {
                 println!(
                     "usage: {program} [--scale small|paper] [--rounds N] [--seed N] [--out DIR] \
-                     [--trace PATH] [--health PATH] [--prof PATH] [--net] \
+                     [--trace PATH] [--health PATH] [--prof PATH] [--obs PATH] [--net] \
                      [--kernel reference|tiled|tiled-par]"
                 );
                 std::process::exit(0);
@@ -175,6 +194,7 @@ mod tests {
         assert!(a.trace.is_none(), "--trace must default to off");
         assert!(a.health.is_none(), "--health must default to off");
         assert!(a.prof.is_none(), "--prof must default to off");
+        assert!(a.obs.is_none(), "--obs must default to off");
         assert!(!a.net, "--net must default to off");
         assert!(matches!(a.runner(), fedprox_core::RunnerKind::Parallel));
     }
@@ -183,7 +203,8 @@ mod tests {
     fn full_flags() {
         let a = parse(&[
             "--scale", "paper", "--rounds", "42", "--seed", "9", "--out", "/tmp/x", "--trace",
-            "/tmp/t.jsonl", "--health", "/tmp/h.jsonl", "--prof", "/tmp/p.jsonl", "--net",
+            "/tmp/t.jsonl", "--health", "/tmp/h.jsonl", "--prof", "/tmp/p.jsonl", "--obs",
+            "/tmp/o.jsonl", "--net",
         ]);
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.rounds, Some(42));
@@ -192,6 +213,7 @@ mod tests {
         assert_eq!(a.trace.as_deref(), Some("/tmp/t.jsonl"));
         assert_eq!(a.health.as_deref(), Some("/tmp/h.jsonl"));
         assert_eq!(a.prof.as_deref(), Some("/tmp/p.jsonl"));
+        assert_eq!(a.obs.as_deref(), Some("/tmp/o.jsonl"));
         assert!(a.net);
         assert!(matches!(a.runner(), fedprox_core::RunnerKind::Network(_)));
     }

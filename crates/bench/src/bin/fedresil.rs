@@ -26,7 +26,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use fedprox_bench::report::write_json;
 use fedprox_bench::spec::parse_algorithm;
-use fedprox_bench::{synthetic_federation, TraceSession};
+use fedprox_bench::{synthetic_federation, RunInfo, TraceSession};
 use fedprox_core::config::NetRunnerOptions;
 use fedprox_core::{FedConfig, RunnerKind};
 use fedprox_faults::{summarize, FaultPlan, FaultRates, QuorumPolicy, Resilience, RetryPolicy};
@@ -52,7 +52,7 @@ fn usage() -> ! {
          \x20               [--quorum-weight F] [--quorum-count N]\n\
          \x20               [--retries N] [--backoff BASE:CAP]\n\
          \x20               [--out DIR] [--trace PATH] [--health PATH] [--prof PATH]\n\
-         \x20               [--expect-crashed N] [--expect-skipped N]"
+         \x20               [--obs PATH] [--expect-crashed N] [--expect-skipped N]"
     );
     std::process::exit(2);
 }
@@ -97,6 +97,7 @@ fn main() {
     let mut trace_path = None;
     let mut health_path = None;
     let mut prof_path = None;
+    let mut obs_path = None;
     let mut expect_crashed = None;
     let mut expect_skipped = None;
 
@@ -173,6 +174,7 @@ fn main() {
             "--trace" => trace_path = Some(next_value(&mut args, "--trace")),
             "--health" => health_path = Some(next_value(&mut args, "--health")),
             "--prof" => prof_path = Some(next_value(&mut args, "--prof")),
+            "--obs" => obs_path = Some(next_value(&mut args, "--obs")),
             "--expect-crashed" => {
                 expect_crashed =
                     Some(parse::<usize>(&next_value(&mut args, "--expect-crashed"), "count"))
@@ -195,10 +197,22 @@ fn main() {
         plan = FaultPlan::random(seed, devices, rounds, &FaultRates::default());
     }
 
-    let trace = TraceSession::start_full(
+    // The ledger's fault digest covers the *expanded* plan, so a
+    // `--random-plan` run and its explicit-flag replay hash the same.
+    let info = RunInfo::new(
+        format!(
+            "fedresil devices={devices} rounds={rounds} seed={seed} \
+             algorithm={algorithm} backend={backend} drop_prob={drop_prob}"
+        ),
+        seed,
+    )
+    .with_faults(format!("{:?}", plan.faults));
+    let trace = TraceSession::start_run(
         trace_path.as_deref(),
         health_path.as_deref(),
         prof_path.as_deref(),
+        obs_path.as_deref(),
+        &info,
     );
 
     let Some(alg) = parse_algorithm(&algorithm) else {

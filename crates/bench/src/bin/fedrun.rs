@@ -18,14 +18,15 @@
 
 use fedprox_bench::report::{print_histories, write_json};
 use fedprox_bench::spec::ExperimentSpec;
-use fedprox_bench::TraceSession;
+use fedprox_bench::{RunInfo, TraceSession};
 use fedprox_core::History;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
         eprintln!(
-            "usage: fedrun SPEC.json [--out DIR] [--trace PATH] [--health PATH] [--prof PATH]"
+            "usage: fedrun SPEC.json [--out DIR] [--trace PATH] [--health PATH] [--prof PATH] \
+             [--obs PATH]"
         );
         std::process::exit(2);
     };
@@ -33,24 +34,22 @@ fn main() {
     let mut trace_path = None;
     let mut health_path = None;
     let mut prof_path = None;
+    let mut obs_path = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--out" => out = args.next(),
             "--trace" => trace_path = args.next(),
             "--health" => health_path = args.next(),
             "--prof" => prof_path = args.next(),
+            "--obs" => obs_path = args.next(),
             other => {
                 eprintln!("fedrun: unknown flag '{other}'");
                 std::process::exit(2);
             }
         }
     }
-    let trace = TraceSession::start_full(
-        trace_path.as_deref(),
-        health_path.as_deref(),
-        prof_path.as_deref(),
-    );
-
+    // Spec parsing happens before the trace session starts so the run
+    // ledger can digest the full spec text (it IS the configuration).
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("fedrun: cannot read {path}: {e}");
         std::process::exit(2);
@@ -59,6 +58,14 @@ fn main() {
         eprintln!("fedrun: invalid spec: {e}");
         std::process::exit(2);
     });
+    let info = RunInfo::new(format!("fedrun {text}"), spec.seed);
+    let trace = TraceSession::start_run(
+        trace_path.as_deref(),
+        health_path.as_deref(),
+        prof_path.as_deref(),
+        obs_path.as_deref(),
+        &info,
+    );
 
     let results = spec.run();
     let refs: Vec<(String, &History)> =

@@ -9,7 +9,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use fedprox_bench::plot::{write_svg, Metric, PlotOptions};
 use fedprox_bench::{
-    fashion_federation, parse_args, print_histories, write_json, Scale, TraceSession,
+    fashion_federation, parse_args, print_histories, write_json, RunInfo, Scale, TraceSession,
 };
 use fedprox_core::theory::Lemma1;
 use fedprox_core::{Algorithm, FedConfig, FederatedTrainer};
@@ -18,10 +18,13 @@ use fedprox_optim::estimator::EstimatorKind;
 
 fn main() {
     let args = parse_args("fig2_convex", std::env::args().skip(1));
-    let trace = TraceSession::start_full(
+    let info = RunInfo::new(args.describe("fig2_convex"), args.seed);
+    let trace = TraceSession::start_run(
         args.trace.as_deref(),
         args.health.as_deref(),
         args.prof.as_deref(),
+        args.obs.as_deref(),
+        &info,
     );
     // Paper scale: 100 devices, shard sizes [37, 1350], B = 32, T ≈ 200
     // evaluated rounds. Small scale keeps the *batch-to-shard ratio* of

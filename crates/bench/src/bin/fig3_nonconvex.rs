@@ -8,7 +8,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use fedprox_bench::plot::{write_svg, Metric, PlotOptions};
 use fedprox_bench::{
-    mnist_federation, parse_args, print_histories, write_json, Scale, TraceSession,
+    mnist_federation, parse_args, print_histories, write_json, RunInfo, Scale, TraceSession,
 };
 use fedprox_core::{Algorithm, FedConfig, FederatedTrainer};
 use fedprox_models::{Cnn, CnnSpec};
@@ -16,10 +16,13 @@ use fedprox_optim::estimator::EstimatorKind;
 
 fn main() {
     let args = parse_args("fig3_nonconvex", std::env::args().skip(1));
-    let trace = TraceSession::start_full(
+    let info = RunInfo::new(args.describe("fig3_nonconvex"), args.seed);
+    let trace = TraceSession::start_run(
         args.trace.as_deref(),
         args.health.as_deref(),
         args.prof.as_deref(),
+        args.obs.as_deref(),
+        &info,
     );
     // Paper scale: 10 devices, sizes [454, 3939], full 32/64-channel CNN.
     // Small: 6 devices, a scaled-down CNN (identical code paths).

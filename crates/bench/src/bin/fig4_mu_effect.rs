@@ -17,7 +17,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use fedprox_bench::plot::{write_svg, Metric, PlotOptions};
 use fedprox_bench::{
-    parse_args, print_histories, synthetic_federation, write_json, Scale, TraceSession,
+    parse_args, print_histories, synthetic_federation, write_json, RunInfo, Scale, TraceSession,
 };
 use fedprox_core::{Algorithm, FedConfig, FederatedTrainer};
 use fedprox_models::MultinomialLogistic;
@@ -26,10 +26,13 @@ use fedprox_optim::solver::IterateChoice;
 
 fn main() {
     let args = parse_args("fig4_mu_effect", std::env::args().skip(1));
-    let trace = TraceSession::start_full(
+    let info = RunInfo::new(args.describe("fig4_mu_effect"), args.seed);
+    let trace = TraceSession::start_run(
         args.trace.as_deref(),
         args.health.as_deref(),
         args.prof.as_deref(),
+        args.obs.as_deref(),
+        &info,
     );
     let (devices_n, lo, hi, rounds, eval_every) = match args.scale {
         Scale::Paper => (100, 37, 3277, 200, 5),

@@ -21,4 +21,4 @@ pub mod trace;
 pub use args::{parse_args, CommonArgs, Scale};
 pub use datasets::{fashion_federation, mnist_federation, synthetic_federation, Federation};
 pub use report::{print_histories, write_json};
-pub use trace::TraceSession;
+pub use trace::{RunInfo, TraceSession};

@@ -29,10 +29,69 @@ pub struct TraceSession {
     path: Option<String>,
     health_path: Option<String>,
     prof_path: Option<String>,
+    obs_path: Option<String>,
     /// Whether the streaming sink actually attached to `path` (only
     /// consulted by `finish`, which is compiled out without telemetry).
     #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
     streamed: bool,
+}
+
+/// What the run ledger records about this invocation. The config and
+/// fault-plan descriptions are canonical strings (see
+/// [`CommonArgs::describe`](crate::args::CommonArgs::describe));
+/// `TraceSession` digests them (FNV-1a 64) into the [`RunMeta`] header
+/// stitched into every JSONL sink, so any two output files can be
+/// provably joined — or refused — offline.
+///
+/// [`RunMeta`]: fedprox_telemetry::event::Event::RunMeta
+#[derive(Debug, Clone)]
+pub struct RunInfo {
+    /// Canonical config description (digested, never stored raw).
+    pub config: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Canonical fault-plan description; empty for fault-free runs.
+    pub faults: String,
+}
+
+impl RunInfo {
+    /// A fault-free run's ledger identity.
+    pub fn new(config: impl Into<String>, seed: u64) -> Self {
+        RunInfo { config: config.into(), seed, faults: String::new() }
+    }
+
+    /// Attach a canonical fault-plan description.
+    #[must_use]
+    pub fn with_faults(mut self, faults: impl Into<String>) -> Self {
+        self.faults = faults.into();
+        self
+    }
+
+    /// The ledger header event for this run, digests applied. Public
+    /// so fedperf can stamp the same identity into its reports.
+    #[cfg(feature = "telemetry")]
+    pub fn to_event(&self) -> fedprox_telemetry::event::Event {
+        fedprox_telemetry::event::Event::RunMeta {
+            version: 1,
+            config: fedprox_obs::fnv64(&self.config),
+            seed: self.seed,
+            kernel: fedprox_tensor::kernel::active().name().to_string(),
+            faults: fedprox_obs::fnv64(&self.faults),
+            features: compiled_features(),
+            crates: format!("fedprox={}", env!("CARGO_PKG_VERSION")),
+        }
+    }
+}
+
+/// Comma-joined compiled feature set of the bench binary, in a fixed
+/// order (currently only `telemetry` can be on when this is reachable).
+#[cfg(feature = "telemetry")]
+fn compiled_features() -> String {
+    let mut feats: Vec<&str> = Vec::new();
+    if cfg!(feature = "telemetry") {
+        feats.push("telemetry");
+    }
+    feats.join(",")
 }
 
 impl TraceSession {
@@ -56,10 +115,38 @@ impl TraceSession {
     /// allocator compiled in, install it as the span allocation probe so
     /// profiles carry bytes/allocs per path.
     pub fn start_full(path: Option<&str>, health: Option<&str>, prof: Option<&str>) -> Self {
+        Self::start_impl(path, health, prof, None, None)
+    }
+
+    /// Arm the collector with the full output fan-out plus the run
+    /// ledger: `info`'s [`RunMeta`] header is recorded first, so it
+    /// lands as the leading line of the streamed trace and is stitched
+    /// into every extraction (`--health`, `--prof`, `--obs`) at
+    /// [`finish`](TraceSession::finish). The experiment binaries all
+    /// start their sessions through here.
+    ///
+    /// [`RunMeta`]: fedprox_telemetry::event::Event::RunMeta
+    pub fn start_run(
+        path: Option<&str>,
+        health: Option<&str>,
+        prof: Option<&str>,
+        obs: Option<&str>,
+        info: &RunInfo,
+    ) -> Self {
+        Self::start_impl(path, health, prof, obs, Some(info))
+    }
+
+    fn start_impl(
+        path: Option<&str>,
+        health: Option<&str>,
+        prof: Option<&str>,
+        obs: Option<&str>,
+        info: Option<&RunInfo>,
+    ) -> Self {
         #[cfg(feature = "telemetry")]
         let streamed = {
             let mut streamed = false;
-            if path.is_some() || health.is_some() || prof.is_some() {
+            if path.is_some() || health.is_some() || prof.is_some() || obs.is_some() {
                 fedprox_perfbench::alloc::install_telemetry_probe();
                 fedprox_telemetry::collector::arm();
                 if let Some(p) = path {
@@ -70,28 +157,39 @@ impl TraceSession {
                         ),
                     }
                 }
+                // Record the ledger header first, before any run event:
+                // streamed traces carry it as their first structured
+                // line, and every extraction re-emits it as a header.
+                if let Some(info) = info {
+                    fedprox_telemetry::collector::record_event(info.to_event());
+                }
             }
             streamed
         };
         #[cfg(not(feature = "telemetry"))]
         let streamed = false;
         #[cfg(not(feature = "telemetry"))]
-        for (flag, requested) in [
-            ("--trace", path.is_some()),
-            ("--health", health.is_some()),
-            ("--prof", prof.is_some()),
-        ] {
-            if requested {
-                eprintln!(
-                    "warning: {flag} ignored: telemetry instrumentation not compiled in \
-                     (rebuild with `--features telemetry`)"
-                );
+        {
+            let _ = info;
+            for (flag, requested) in [
+                ("--trace", path.is_some()),
+                ("--health", health.is_some()),
+                ("--prof", prof.is_some()),
+                ("--obs", obs.is_some()),
+            ] {
+                if requested {
+                    eprintln!(
+                        "warning: {flag} ignored: telemetry instrumentation not compiled in \
+                         (rebuild with `--features telemetry`)"
+                    );
+                }
             }
         }
         TraceSession {
             path: path.map(str::to_string),
             health_path: health.map(str::to_string),
             prof_path: prof.map(str::to_string),
+            obs_path: obs.map(str::to_string),
             streamed,
         }
     }
@@ -99,7 +197,10 @@ impl TraceSession {
     /// Whether this session is actually recording.
     pub fn active(&self) -> bool {
         cfg!(feature = "telemetry")
-            && (self.path.is_some() || self.health_path.is_some() || self.prof_path.is_some())
+            && (self.path.is_some()
+                || self.health_path.is_some()
+                || self.prof_path.is_some()
+                || self.obs_path.is_some())
     }
 
     /// Drain the collector once, write the requested JSONL file(s), and
@@ -150,7 +251,12 @@ impl TraceSession {
             if let Some(path) = &self.health_path {
                 let health: Vec<Event> = events
                     .iter()
-                    .filter(|e| matches!(e, Event::Health { .. } | Event::Anomaly { .. }))
+                    .filter(|e| {
+                        matches!(
+                            e,
+                            Event::RunMeta { .. } | Event::Health { .. } | Event::Anomaly { .. }
+                        )
+                    })
                     .cloned()
                     .collect();
                 match std::fs::write(path, jsonl::to_jsonl(&health)) {
@@ -164,7 +270,14 @@ impl TraceSession {
             if let Some(path) = &self.prof_path {
                 let prof: Vec<Event> = events
                     .iter()
-                    .filter(|e| matches!(e, Event::PathStat { .. } | Event::TraceTruncated { .. }))
+                    .filter(|e| {
+                        matches!(
+                            e,
+                            Event::RunMeta { .. }
+                                | Event::PathStat { .. }
+                                | Event::TraceTruncated { .. }
+                        )
+                    })
                     .cloned()
                     .collect();
                 match std::fs::write(path, jsonl::to_jsonl(&prof)) {
@@ -174,6 +287,37 @@ impl TraceSession {
                         prof.len()
                     ),
                     Err(e) => eprintln!("prof: failed to write {path}: {e}"),
+                }
+            }
+            if let Some(path) = &self.obs_path {
+                // The correlated stream: ledger header + simulation and
+                // health observations + post-mortem markers, in arrival
+                // order — everything `fedobs` joins on, nothing
+                // host-dependent.
+                let obs: Vec<Event> = events
+                    .iter()
+                    .filter(|e| {
+                        matches!(
+                            e,
+                            Event::RunMeta { .. }
+                                | Event::DeviceRound { .. }
+                                | Event::Bytes { .. }
+                                | Event::RoundEnd { .. }
+                                | Event::Health { .. }
+                                | Event::Anomaly { .. }
+                                | Event::Participation { .. }
+                                | Event::Postmortem { .. }
+                        )
+                    })
+                    .cloned()
+                    .collect();
+                match std::fs::write(path, jsonl::to_jsonl(&obs)) {
+                    Ok(()) => println!(
+                        "obs: {} events written to {path} \
+                         (inspect with `fedobs critpath {path}`)",
+                        obs.len()
+                    ),
+                    Err(e) => eprintln!("obs: failed to write {path}: {e}"),
                 }
             }
         }
@@ -281,6 +425,74 @@ mod tests {
             |e| matches!(e, Event::PathStat { path, .. } if path == "outer/inner")
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn obs_file_carries_ledger_header_and_sim_events() {
+        let _serial = guard();
+        use fedprox_telemetry::event::Event;
+        let dir = std::env::temp_dir().join("fedprox_obs_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("o.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let info = RunInfo::new("test config=1", 7).with_faults("crash 1:3");
+        let t = TraceSession::start_run(None, None, None, Some(&path_str), &info);
+        assert!(t.active());
+        fedprox_telemetry::counter!("bench.noise_marker", 1u32);
+        fedprox_telemetry::collector::record_event(Event::RoundEnd {
+            round: 0,
+            sim_time_s: 0.5,
+        });
+        fedprox_telemetry::collector::trigger_postmortem("quorum_skip", 1, Some(1));
+        t.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = fedprox_telemetry::jsonl::parse(&text).unwrap();
+        // Header first, then the run events, marker included; counters
+        // filtered out.
+        assert!(
+            matches!(&events[0], Event::RunMeta { seed: 7, faults, .. }
+                if faults == &fedprox_obs::fnv64("crash 1:3")),
+            "ledger header must lead the obs stream: {events:?}"
+        );
+        assert!(events.iter().any(|e| matches!(e, Event::RoundEnd { .. })));
+        assert!(events.iter().any(
+            |e| matches!(e, Event::Postmortem { round: 1, device: Some(1), .. })
+        ));
+        assert!(events.iter().all(|e| e.kind() != "counter"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn health_and_prof_extractions_carry_the_header() {
+        let _serial = guard();
+        use fedprox_telemetry::event::Event;
+        let dir = std::env::temp_dir().join("fedprox_header_stitch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hp = dir.join("h.jsonl");
+        let pp = dir.join("p.jsonl");
+        let info = RunInfo::new("stitch test", 3);
+        let t = TraceSession::start_run(
+            None,
+            Some(hp.to_str().unwrap()),
+            Some(pp.to_str().unwrap()),
+            None,
+            &info,
+        );
+        {
+            fedprox_telemetry::span!("bench", "stitched_op");
+        }
+        t.finish();
+        for path in [&hp, &pp] {
+            let text = std::fs::read_to_string(path).unwrap();
+            let events = fedprox_telemetry::jsonl::parse(&text).unwrap();
+            assert!(
+                matches!(&events[0], Event::RunMeta { seed: 3, .. }),
+                "{path:?} must lead with the ledger header: {events:?}"
+            );
+            std::fs::remove_file(path).ok();
+        }
     }
 
     #[cfg(feature = "telemetry")]

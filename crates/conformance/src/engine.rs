@@ -348,6 +348,7 @@ pub fn analyze(root: &Path) -> std::io::Result<Analysis> {
     feature_rules(&mut analysis, root, &manifests);
     clippy_sync_rule(&mut analysis);
     telemetry_gate_rule(&mut analysis);
+    event_fixture_sync_rule(&mut analysis);
 
     analysis
         .findings
@@ -883,9 +884,150 @@ fn telemetry_gate_rule(analysis: &mut Analysis) {
     analysis.findings.extend(findings);
 }
 
+/// Variant names of `pub enum Event` in masked source text, with the
+/// 1-indexed line each is declared on. Masked text means doc comments
+/// and string literals cannot fake a variant.
+fn event_variants(masked: &[&str]) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut depth: i64 = 0;
+    let mut in_enum = false;
+    for (idx, line) in masked.iter().enumerate() {
+        if !in_enum {
+            if line.contains("pub enum Event") {
+                in_enum = true;
+                for c in line.chars() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            continue;
+        }
+        let at_start = depth;
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if at_start == 1 {
+            let t = line.trim_start();
+            if t.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                let name: String =
+                    t.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+                if !name.is_empty() {
+                    variants.push((name, idx + 1));
+                }
+            }
+        }
+        if depth <= 0 {
+            break;
+        }
+    }
+    variants
+}
+
+/// Layer 3, F5: every `Event` variant must be constructed inside
+/// `fn sample_events` in the telemetry crate's `jsonl.rs` — that list
+/// drives the codec round-trip suite, so a variant absent from it has
+/// an untested `write_line`/`event_from_json` pair. The check parses
+/// the enum and the fixture body from the already-loaded sources; if
+/// either file or the fixture fn is missing, that is itself a finding
+/// (the contract cannot be silently dropped).
+fn event_fixture_sync_rule(analysis: &mut Analysis) {
+    let Some(event_file) = analysis
+        .files
+        .iter()
+        .find(|f| f.crate_name == "telemetry" && f.display.ends_with("event.rs"))
+    else {
+        return; // no telemetry crate in this tree (fixture workspaces)
+    };
+    let masked = event_file.scanned.masked_lines();
+    let variants = event_variants(&masked);
+    if variants.is_empty() {
+        return;
+    }
+    let annotations = annotations_of(event_file);
+    let jsonl = analysis
+        .files
+        .iter()
+        .find(|f| f.crate_name == "telemetry" && f.display.ends_with("jsonl.rs"));
+    let fixture_body: Option<String> = jsonl.and_then(|file| {
+        let f = file.parsed.fns.iter().find(|f| f.name == "sample_events")?;
+        let (a, b) = f.body?;
+        let lines: Vec<&str> = file.source.lines().collect();
+        Some(lines.get(a - 1..b).unwrap_or(&[]).join("\n"))
+    });
+
+    let mut findings = Vec::new();
+    let event_display = event_file.display.clone();
+    match fixture_body {
+        None => findings.push(Finding {
+            rule: Rule::EventFixtureSync,
+            file: event_display,
+            line: variants[0].1,
+            message: "no `fn sample_events` fixture list found in the telemetry crate's \
+                      jsonl.rs — the Event codec round-trip suite has nothing to exercise"
+                .to_string(),
+            chain: Vec::new(),
+            allowed: None,
+        }),
+        Some(body) => {
+            for (name, line) in variants {
+                let needle = format!("Event::{name}");
+                let covered = body.match_indices(&needle).any(|(pos, _)| {
+                    body[pos + needle.len()..]
+                        .chars()
+                        .next()
+                        .is_none_or(|c| !(c.is_alphanumeric() || c == '_'))
+                });
+                if !covered {
+                    let allowed = annotation_for(&annotations, Rule::EventFixtureSync, line);
+                    findings.push(Finding {
+                        rule: Rule::EventFixtureSync,
+                        file: event_display.clone(),
+                        line,
+                        message: format!(
+                            "Event::{name} has no fixture in jsonl.rs `sample_events` — its \
+                             JSONL codec round-trip is untested"
+                        ),
+                        chain: Vec::new(),
+                        allowed,
+                    });
+                }
+            }
+        }
+    }
+    analysis.findings.extend(findings);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn event_variant_parsing_sees_only_depth_one_names() {
+        let src = "\
+/// docs\n\
+pub enum Event {\n\
+    /// A span.\n\
+    Span {\n\
+        name: String,\n\
+    },\n\
+    RoundEnd { round: u32 },\n\
+    Simple,\n\
+}\n\
+pub enum Other { NotCounted }\n";
+        let scanned = lexer::scan(src);
+        let masked = scanned.masked_lines();
+        let vars = event_variants(&masked);
+        let names: Vec<&str> = vars.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["Span", "RoundEnd", "Simple"]);
+        assert_eq!(vars[1].1, 7, "RoundEnd declared on line 7");
+    }
 
     #[test]
     fn baseline_roundtrip_and_gate() {

@@ -93,10 +93,16 @@ pub enum Rule {
     /// must compile out of default builds entirely, not linger
     /// half-armed behind a runtime flag alone.
     TelemetryGate,
+    /// F5 `event-fixture-sync`: an `Event` variant in
+    /// `crates/telemetry/src/event.rs` with no `Event::<Variant>`
+    /// construction inside `fn sample_events` in `jsonl.rs` — the codec
+    /// round-trip suite exercises exactly the fixture list, so a variant
+    /// missing from it ships with an untested serializer/parser pair.
+    EventFixtureSync,
 }
 
 /// Every rule, in stable report order.
-pub const ALL_RULES: [Rule; 15] = [
+pub const ALL_RULES: [Rule; 16] = [
     Rule::NoPanic,
     Rule::NoAmbientEntropy,
     Rule::NoDebugPrint,
@@ -112,6 +118,7 @@ pub const ALL_RULES: [Rule; 15] = [
     Rule::FeatureChain,
     Rule::ClippyAllowSync,
     Rule::TelemetryGate,
+    Rule::EventFixtureSync,
 ];
 
 impl Rule {
@@ -133,6 +140,7 @@ impl Rule {
             Rule::FeatureChain => "feature-chain",
             Rule::ClippyAllowSync => "clippy-allow-sync",
             Rule::TelemetryGate => "telemetry-gate",
+            Rule::EventFixtureSync => "event-fixture-sync",
         }
     }
 

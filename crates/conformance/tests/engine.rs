@@ -160,6 +160,22 @@ fn f4_telemetry_gate_positive_negative_and_gated() {
 }
 
 #[test]
+fn f5_event_fixture_sync_positive_negative_and_waived() {
+    let analysis = fixture_analysis();
+    const EVENTS: &str = "crates/telemetry/src/event.rs";
+    let f = find(&analysis, Rule::EventFixtureSync, EVENTS, 9)
+        .expect("Uncovered variant must be flagged");
+    assert!(f.allowed.is_none());
+    assert!(f.message.contains("Uncovered"), "message names the variant: {}", f.message);
+    // Constructed in sample_events: clean.
+    assert!(find(&analysis, Rule::EventFixtureSync, EVENTS, 7).is_none());
+    // Annotated waiver: suppressed, not a violation.
+    let w = find(&analysis, Rule::EventFixtureSync, EVENTS, 11)
+        .expect("Waived variant still appears as an allowed site");
+    assert!(w.allowed.is_some());
+}
+
+#[test]
 fn seeded_fixture_regression_fails_an_empty_baseline_gate() {
     let analysis = fixture_analysis();
     // An empty baseline means every budget is zero — the fixture's

@@ -1,0 +1,12 @@
+//! Seeded F5 sites: one variant with a codec fixture, one without, one
+//! waived by annotation.
+
+/// Fixture event model.
+pub enum Event {
+    /// Constructed in `sample_events` — clean.
+    Covered { round: u32 },
+    /// Missing from `sample_events` — the F5 positive site (line 9).
+    Uncovered { round: u32 },
+    // fedlint: allow(event-fixture-sync) — seeded waiver: round-trip exercised by a dedicated test
+    Waived,
+}

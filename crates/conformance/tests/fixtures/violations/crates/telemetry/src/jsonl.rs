@@ -1,0 +1,7 @@
+//! Fixture codec file: the `sample_events` list the F5 rule reads.
+
+use crate::event::Event;
+
+fn sample_events() -> Vec<Event> {
+    vec![Event::Covered { round: 1 }]
+}

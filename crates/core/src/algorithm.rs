@@ -175,6 +175,30 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
                     }
                 }
                 if !quorum_ok {
+                    // Quorum skip fires the flight recorder, blamed on
+                    // the first crashed device when any crashed this
+                    // round, else the first non-responder.
+                    #[cfg(feature = "telemetry")]
+                    if let Some(p) = participation.last() {
+                        let device = p
+                            .outcomes
+                            .iter()
+                            .position(|o| *o == DeviceOutcome::Crashed)
+                            .or_else(|| {
+                                p.outcomes.iter().position(|o| {
+                                    !matches!(
+                                        o,
+                                        DeviceOutcome::Responded | DeviceOutcome::NotSelected
+                                    )
+                                })
+                            })
+                            .map(|d| d as u32);
+                        fedprox_telemetry::collector::trigger_postmortem(
+                            "quorum_skip",
+                            s as u32,
+                            device,
+                        );
+                    }
                     rounds_run = s;
                     if s.is_multiple_of(self.cfg.eval_every) || s == self.cfg.rounds {
                         let rec =
@@ -262,8 +286,15 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
                     .map(|(&i, _)| i);
                 divergence = DivergenceCause::NonFinite { round: s, device };
                 #[cfg(feature = "telemetry")]
-                if let Some(m) = monitor.as_mut() {
-                    m.observe_non_finite(s, device);
+                {
+                    if let Some(m) = monitor.as_mut() {
+                        m.observe_non_finite(s, device);
+                    }
+                    fedprox_telemetry::collector::trigger_postmortem(
+                        "non_finite",
+                        s as u32,
+                        device.map(|d| d as u32),
+                    );
                 }
                 records.push(self.divergence_record(s, theta, total_grad_evals.get()));
                 break;
@@ -282,6 +313,8 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
                 records.push(rec);
                 if bad {
                     divergence = DivergenceCause::LossGuard { round: s };
+                    #[cfg(feature = "telemetry")]
+                    fedprox_telemetry::collector::trigger_postmortem("loss_guard", s as u32, None);
                     break;
                 }
             }
@@ -399,8 +432,15 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
                 if !vecops::all_finite(global) {
                     divergence = DivergenceCause::NonFinite { round: s, device: None };
                     #[cfg(feature = "telemetry")]
-                    if let Some(m) = monitor.as_mut() {
-                        m.observe_non_finite(s, None);
+                    {
+                        if let Some(m) = monitor.as_mut() {
+                            m.observe_non_finite(s, None);
+                        }
+                        fedprox_telemetry::collector::trigger_postmortem(
+                            "non_finite",
+                            s as u32,
+                            None,
+                        );
                     }
                     records.push(self.divergence_record(s, None, 0));
                     return false;
@@ -419,6 +459,12 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
                     records.push(rec);
                     if bad {
                         divergence = DivergenceCause::LossGuard { round: s };
+                        #[cfg(feature = "telemetry")]
+                        fedprox_telemetry::collector::trigger_postmortem(
+                            "loss_guard",
+                            s as u32,
+                            None,
+                        );
                         return false;
                     }
                 }

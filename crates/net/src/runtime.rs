@@ -733,6 +733,13 @@ impl NetworkRuntime {
                             );
                             if let Some(rec) = participation.last() {
                                 record_participation_telemetry(rec);
+                                if rec.skipped {
+                                    fedprox_telemetry::collector::trigger_postmortem(
+                                        "quorum_skip",
+                                        s as u32,
+                                        attribute_skip(&rec.outcomes),
+                                    );
+                                }
                             }
                         }
                         if !on_round(round, &global) {
@@ -925,6 +932,24 @@ fn record_participation_telemetry(rec: &RoundParticipation) {
         weight: rec.responder_weight,
         skipped: u32::from(rec.skipped),
     });
+}
+
+/// Pick the device a quorum skip is blamed on for the post-mortem
+/// marker: the first crashed device when any crashed, otherwise the
+/// first device that failed to respond for any other reason (offline,
+/// deadline miss, failed link). `None` when every device responded and
+/// the responding weight still missed quorum.
+#[cfg(feature = "telemetry")]
+fn attribute_skip(outcomes: &[DeviceOutcome]) -> Option<u32> {
+    outcomes
+        .iter()
+        .position(|o| *o == DeviceOutcome::Crashed)
+        .or_else(|| {
+            outcomes.iter().position(|o| {
+                !matches!(o, DeviceOutcome::Responded | DeviceOutcome::NotSelected)
+            })
+        })
+        .map(|d| d as u32)
 }
 
 /// Result of one logical transfer.

@@ -1,0 +1,203 @@
+//! `fedobs`: correlate FedProxVR JSONL streams — run ledgers, round
+//! timelines, eq. (19) critical paths, and post-mortem bundles.
+//!
+//! ```text
+//! fedobs ledger <run.jsonl>...            list each file's run-ledger header
+//! fedobs ledger diff <a.jsonl> <b.jsonl>  compare two runs' identities
+//! fedobs timeline <run.jsonl>             per-round per-device timeline
+//! fedobs critpath <run.jsonl> [--json]    gating device + comm/compute split
+//! fedobs postmortem <run.jsonl>           bundle around the first trigger
+//! ```
+//!
+//! Exit codes are CI-gateable: `ledger diff` fails when the runs are
+//! not provably joinable, `ledger` fails on a file with no header, and
+//! `postmortem` fails when the stream carries no trigger marker. Works
+//! on any file produced by `--obs`/`--trace` on the bench binaries;
+//! needs no cargo features.
+
+// CLI binary: aborting with context on a broken invocation or file is
+// the intended error policy (fedlint exempts src/bin targets too).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use fedprox_obs::postmortem::{PostmortemBundle, POSTMORTEM_WINDOW};
+use fedprox_obs::{RunLedger, Timeline};
+use fedprox_telemetry::event::Event;
+use fedprox_telemetry::jsonl;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fedobs ledger <run.jsonl>...\n\
+                     \u{20}      fedobs ledger diff <a.jsonl> <b.jsonl>\n\
+                     \u{20}      fedobs timeline <run.jsonl>\n\
+                     \u{20}      fedobs critpath <run.jsonl> [--json]\n\
+                     \u{20}      fedobs postmortem <run.jsonl>";
+
+enum Cmd {
+    Ledger { paths: Vec<String> },
+    LedgerDiff { a: String, b: String },
+    Timeline { path: String },
+    Critpath { path: String, json: bool },
+    Postmortem { path: String },
+}
+
+fn parse_args(argv: &[String]) -> Result<Cmd, String> {
+    let mut json = false;
+    let mut words: Vec<String> = Vec::new();
+    for arg in argv {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
+            }
+            other => words.push(other.to_string()),
+        }
+    }
+    match words.split_first() {
+        Some((sub, rest)) => match (sub.as_str(), rest) {
+            ("ledger", rest) if rest.first().is_some_and(|w| w == "diff") => match rest {
+                [_, a, b] => Ok(Cmd::LedgerDiff { a: a.clone(), b: b.clone() }),
+                _ => Err(USAGE.to_string()),
+            },
+            ("ledger", paths) if !paths.is_empty() => Ok(Cmd::Ledger { paths: paths.to_vec() }),
+            ("timeline", [path]) => Ok(Cmd::Timeline { path: path.clone() }),
+            ("critpath", [path]) => Ok(Cmd::Critpath { path: path.clone(), json }),
+            ("postmortem", [path]) => Ok(Cmd::Postmortem { path: path.clone() }),
+            _ => Err(USAGE.to_string()),
+        },
+        None => Err(USAGE.to_string()),
+    }
+}
+
+fn load(path: &str) -> Result<Vec<Event>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    jsonl::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(cmd: Cmd) -> Result<ExitCode, String> {
+    match cmd {
+        Cmd::Ledger { paths } => {
+            let mut missing = false;
+            for path in &paths {
+                match RunLedger::from_events(&load(path)?) {
+                    Some(l) => println!("{path}: {}", l.render_line()),
+                    None => {
+                        println!("{path}: no run-ledger header");
+                        missing = true;
+                    }
+                }
+            }
+            Ok(if missing { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+        }
+        Cmd::LedgerDiff { a, b } => {
+            let la = RunLedger::from_events(&load(&a)?)
+                .ok_or_else(|| format!("{a}: no run-ledger header"))?;
+            let lb = RunLedger::from_events(&load(&b)?)
+                .ok_or_else(|| format!("{b}: no run-ledger header"))?;
+            let diff = la.diff(&lb);
+            if diff.is_empty() {
+                println!("identical: {}", la.render_line());
+                Ok(ExitCode::SUCCESS)
+            } else {
+                println!("runs differ on {} field(s):", diff.len());
+                for (field, va, vb) in diff {
+                    println!("  {field}: {va} != {vb}");
+                }
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        Cmd::Timeline { path } => {
+            let t = Timeline::from_events(&load(&path)?);
+            print!("{}", t.render_timeline());
+            Ok(ExitCode::SUCCESS)
+        }
+        Cmd::Critpath { path, json } => {
+            let t = Timeline::from_events(&load(&path)?);
+            if json {
+                println!("{}", t.to_json());
+            } else {
+                print!("{}", t.render_critpath());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Cmd::Postmortem { path } => {
+            match PostmortemBundle::from_events(&load(&path)?, POSTMORTEM_WINDOW) {
+                Some(b) => {
+                    print!("{}", b.render());
+                    Ok(ExitCode::SUCCESS)
+                }
+                None => Err(format!("{path}: no post-mortem marker in stream")),
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_args(&argv) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(cmd) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("fedobs: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_every_subcommand() {
+        assert!(matches!(
+            parse_args(&args(&["ledger", "a.jsonl", "b.jsonl"])),
+            Ok(Cmd::Ledger { paths }) if paths.len() == 2
+        ));
+        assert!(matches!(
+            parse_args(&args(&["ledger", "diff", "a.jsonl", "b.jsonl"])),
+            Ok(Cmd::LedgerDiff { .. })
+        ));
+        assert!(matches!(
+            parse_args(&args(&["timeline", "a.jsonl"])),
+            Ok(Cmd::Timeline { .. })
+        ));
+        assert!(matches!(
+            parse_args(&args(&["critpath", "a.jsonl"])),
+            Ok(Cmd::Critpath { json: false, .. })
+        ));
+        assert!(matches!(
+            parse_args(&args(&["critpath", "a.jsonl", "--json"])),
+            Ok(Cmd::Critpath { json: true, .. })
+        ));
+        assert!(matches!(
+            parse_args(&args(&["postmortem", "a.jsonl"])),
+            Ok(Cmd::Postmortem { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["ledger"])).is_err());
+        assert!(parse_args(&args(&["timeline"])).is_err());
+        assert!(parse_args(&args(&["timeline", "a", "b"])).is_err());
+        assert!(parse_args(&args(&["frobnicate", "a.jsonl"])).is_err());
+        assert!(parse_args(&args(&["critpath", "a.jsonl", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn ledger_diff_needs_exactly_two_files() {
+        assert!(parse_args(&args(&["ledger", "diff", "a.jsonl"])).is_err());
+        // Three positionals after `diff` do not silently truncate.
+        assert!(parse_args(&args(&["ledger", "diff", "a", "b", "c"])).is_err());
+    }
+}

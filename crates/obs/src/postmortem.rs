@@ -1,0 +1,203 @@
+//! Correlated post-mortem bundles around flight-recorder markers.
+//!
+//! When a run diverges (`non_finite`, `loss_guard`) or a round is
+//! skipped below quorum, the collector records an in-stream
+//! [`Event::Postmortem`] marker and snapshots its flight-recorder
+//! ring. Offline, the marker's position inside the JSONL stream
+//! recovers the same information: [`PostmortemBundle::from_events`]
+//! takes the last-K raw events *preceding* the first marker as the
+//! failure window and correlates it with the run ledger and the
+//! timeline of the surrounding rounds.
+
+use crate::ledger::RunLedger;
+use crate::timeline::Timeline;
+use fedprox_telemetry::event::Event;
+use std::fmt::Write as _;
+
+/// Window size of the offline bundle, mirroring the collector's
+/// in-memory flight ring (`FLIGHT_RING_CAP`); kept as an independent
+/// constant because the collector symbol only exists in
+/// telemetry-enabled builds.
+pub const POSTMORTEM_WINDOW: usize = 256;
+
+/// Everything known about the first failure of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostmortemBundle {
+    /// Marker round (1-based).
+    pub round: u32,
+    /// Trigger kind (`non_finite`, `loss_guard`, `quorum_skip`).
+    pub reason: String,
+    /// Implicated device, when one was attributed.
+    pub device: Option<u32>,
+    /// The last-K raw events preceding the marker, oldest first.
+    pub window: Vec<Event>,
+    /// The run's ledger header, when the stream carried one.
+    pub ledger: Option<RunLedger>,
+    /// Timeline of the rounds covered by the window.
+    pub excerpt: Timeline,
+}
+
+/// Event kinds that belong in a failure window: per-round simulation
+/// and health observations, not aggregates or headers.
+fn windowed(e: &Event) -> bool {
+    matches!(
+        e,
+        Event::DeviceRound { .. }
+            | Event::Bytes { .. }
+            | Event::RoundEnd { .. }
+            | Event::Health { .. }
+            | Event::Anomaly { .. }
+            | Event::Participation { .. }
+    )
+}
+
+impl PostmortemBundle {
+    /// Build the bundle around the *first* marker in the stream, with
+    /// a window of up to `k` preceding raw events. `None` when the
+    /// stream carries no marker (the run ended healthy).
+    pub fn from_events(events: &[Event], k: usize) -> Option<PostmortemBundle> {
+        let (pos, round, reason, device) = events.iter().enumerate().find_map(|(i, e)| match e {
+            Event::Postmortem { round, reason, device } => {
+                Some((i, *round, reason.clone(), *device))
+            }
+            _ => None,
+        })?;
+        let mut window: Vec<Event> =
+            events[..pos].iter().filter(|e| windowed(e)).cloned().collect();
+        if window.len() > k {
+            window.drain(..window.len() - k);
+        }
+        let excerpt = Timeline::from_events(&window);
+        Some(PostmortemBundle {
+            round,
+            reason,
+            device,
+            window,
+            ledger: RunLedger::from_events(events),
+            excerpt,
+        })
+    }
+
+    /// Human rendering for `fedobs postmortem`.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let dev = match self.device {
+            Some(d) => format!("device {d}"),
+            None => "no attributed device".to_string(),
+        };
+        let _ = writeln!(
+            s,
+            "post-mortem: {} at round {} ({})",
+            self.reason, self.round, dev
+        );
+        match &self.ledger {
+            Some(l) => {
+                let _ = writeln!(s, "run: {}", l.render_line());
+            }
+            None => {
+                let _ = writeln!(s, "run: no ledger header in stream");
+            }
+        }
+        let _ = writeln!(s, "window: {} events before the trigger", self.window.len());
+        let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+        for e in &self.window {
+            *counts.entry(e.kind()).or_insert(0) += 1;
+        }
+        for (kind, n) in counts {
+            let _ = writeln!(s, "  {kind}: {n}");
+        }
+        if !self.excerpt.rounds.is_empty() {
+            let _ = writeln!(s, "\n== timeline excerpt (window rounds) ==");
+            s.push_str(&self.excerpt.render_critpath());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn faulted_trace() -> Vec<Event> {
+        vec![
+            Event::RunMeta {
+                version: 1,
+                config: "9e3779b97f4a7c15".into(),
+                seed: 42,
+                kernel: "tiled-par".into(),
+                faults: "85944171f73967e8".into(),
+                features: "telemetry".into(),
+                crates: "fedprox=0.1.0".into(),
+            },
+            Event::DeviceRound {
+                round: 0,
+                device: 0,
+                download_s: 0.05,
+                compute_s: 0.2,
+                upload_s: 0.05,
+                finish_s: 0.3,
+                lag_s: 0.0,
+            },
+            Event::RoundEnd { round: 0, sim_time_s: 0.3 },
+            Event::Counter { name: "optim.inner_step".into(), value: 4 },
+            Event::Participation {
+                round: 2,
+                responded: 1,
+                crashed: 1,
+                offline: 0,
+                deadline_miss: 0,
+                link_failed: 0,
+                weight: 0.4,
+                skipped: 1,
+            },
+            Event::Postmortem { round: 2, reason: "quorum_skip".into(), device: Some(1) },
+            Event::RoundEnd { round: 2, sim_time_s: 0.9 },
+            Event::Postmortem { round: 3, reason: "quorum_skip".into(), device: Some(1) },
+        ]
+    }
+
+    #[test]
+    fn bundle_anchors_on_first_marker() {
+        let b = PostmortemBundle::from_events(&faulted_trace(), POSTMORTEM_WINDOW)
+            .expect("marker present");
+        assert_eq!(b.round, 2);
+        assert_eq!(b.reason, "quorum_skip");
+        assert_eq!(b.device, Some(1));
+        // Window holds only the raw events *before* the first marker:
+        // the device round, its round end, and the participation record
+        // — not the counter, not the ledger, not post-marker events.
+        assert_eq!(b.window.len(), 3);
+        assert!(b.window.iter().all(|e| e.kind() != "counter"));
+        assert!(b.ledger.as_ref().is_some_and(|l| l.seed == 42));
+    }
+
+    #[test]
+    fn window_is_bounded_to_k_most_recent() {
+        let mut events = faulted_trace();
+        // Insert many filler rounds before the marker.
+        let marker = events.iter().position(|e| matches!(e, Event::Postmortem { .. }))
+            .expect("marker");
+        for i in 0..10 {
+            events.insert(marker, Event::RoundEnd { round: 100 + i, sim_time_s: i as f64 });
+        }
+        let b = PostmortemBundle::from_events(&events, 4).expect("marker present");
+        assert_eq!(b.window.len(), 4);
+        assert!(b.window.iter().all(|e| matches!(e, Event::RoundEnd { .. } | Event::Participation { .. })));
+    }
+
+    #[test]
+    fn healthy_stream_has_no_bundle() {
+        let events = vec![Event::RoundEnd { round: 0, sim_time_s: 1.0 }];
+        assert!(PostmortemBundle::from_events(&events, POSTMORTEM_WINDOW).is_none());
+    }
+
+    #[test]
+    fn render_names_the_failure() {
+        let b = PostmortemBundle::from_events(&faulted_trace(), POSTMORTEM_WINDOW)
+            .expect("marker present");
+        let text = b.render();
+        assert!(text.contains("quorum_skip at round 2 (device 1)"));
+        assert!(text.contains("config=9e3779b97f4a7c15"));
+        assert!(text.contains("round_end: 1"));
+    }
+}

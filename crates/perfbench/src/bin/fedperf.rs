@@ -140,6 +140,8 @@ fn run(o: &Opts) -> Result<(), String> {
 
     if let Some(base_path) = &o.baseline {
         let base = load_report(base_path)?;
+        report::check_comparable(&base, &rep)
+            .map_err(|e| format!("{base_path}: not comparable: {e}"))?;
         let outcome = report::gate(&base, &rep, o.gate);
         print!("{}", report::gate_table(&outcome, o.gate));
         if !outcome.passed() {

@@ -40,6 +40,18 @@ pub struct BenchReport {
     pub name: String,
     /// `"full"` or `"quick"`.
     pub mode: String,
+    /// Run-ledger config digest (FNV-1a of the canonical suite
+    /// invocation). Empty on reports written before the ledger existed;
+    /// the fields are serde-defaulted so those still parse.
+    #[serde(default)]
+    pub config: String,
+    /// Tensor kernel selector active during measurement (`reference`,
+    /// `tiled`, `tiled-par`; empty on pre-ledger reports).
+    #[serde(default)]
+    pub kernel: String,
+    /// Comma-joined compiled feature set (empty on pre-ledger reports).
+    #[serde(default)]
+    pub features: String,
     /// Measured entries, in suite order.
     pub entries: Vec<BenchEntry>,
 }
@@ -173,6 +185,34 @@ impl GateOutcome {
     pub fn passed(&self) -> bool {
         self.rows.iter().all(|r| !r.failed)
     }
+}
+
+/// Refuse a gate comparison between reports measured under different
+/// code: when BOTH sides carry a run-ledger stamp, the kernel selector
+/// and the compiled feature set must match — a `tiled-par` baseline
+/// says nothing about a `reference` run, and timing deltas between
+/// feature sets are build artifacts, not regressions. Reports from
+/// before the stamp existed (empty fields) compare unconditionally.
+pub fn check_comparable(baseline: &BenchReport, current: &BenchReport) -> Result<(), String> {
+    let stamped =
+        |r: &BenchReport| !r.kernel.is_empty() || !r.features.is_empty() || !r.config.is_empty();
+    if !(stamped(baseline) && stamped(current)) {
+        return Ok(());
+    }
+    if baseline.kernel != current.kernel {
+        return Err(format!(
+            "kernel selector differs: baseline `{}` vs current `{}` (re-run with --kernel or \
+             regenerate the baseline)",
+            baseline.kernel, current.kernel
+        ));
+    }
+    if baseline.features != current.features {
+        return Err(format!(
+            "compiled feature set differs: baseline `[{}]` vs current `[{}]`",
+            baseline.features, current.features
+        ));
+    }
+    Ok(())
 }
 
 /// Compare `current` against `baseline`: an id fails when its ns/iter
@@ -325,6 +365,9 @@ mod tests {
             schema: SCHEMA.to_string(),
             name: "t".to_string(),
             mode: "quick".to_string(),
+            config: String::new(),
+            kernel: String::new(),
+            features: String::new(),
             entries,
         }
     }
@@ -384,6 +427,44 @@ mod tests {
         assert_eq!(out.new_ids, vec!["new/1".to_string()]);
         assert_eq!(out.missing_ids, vec!["gone/1".to_string()]);
         assert!(out.passed());
+    }
+
+    #[test]
+    fn legacy_reports_without_ledger_stamp_still_parse() {
+        let json = r#"{"schema":"fedperf/v1","name":"seed","mode":"full","entries":[
+            {"id":"a/1","kind":"micro","op":"a","shape":"1","warmup":1,"iters":10,
+             "repeats":3,"ns_per_iter":5.0,"bytes_per_iter":null,"allocs_per_iter":null}]}"#;
+        let rep = BenchReport::from_json(json).unwrap_or_else(|e| panic!("{e}"));
+        assert!(rep.config.is_empty() && rep.kernel.is_empty() && rep.features.is_empty());
+    }
+
+    #[test]
+    fn comparability_refuses_kernel_or_feature_mismatch_when_both_stamped() {
+        let mut base = report(vec![entry("a/1", 1.0)]);
+        let mut cur = report(vec![entry("a/1", 1.0)]);
+        // Either side unstamped (legacy baseline): compare unconditionally.
+        cur.kernel = "tiled-par".to_string();
+        cur.features = "count-alloc".to_string();
+        assert!(check_comparable(&base, &cur).is_ok(), "legacy baseline must pass");
+        // Both stamped and identical: fine.
+        base.kernel = "tiled-par".to_string();
+        base.features = "count-alloc".to_string();
+        assert!(check_comparable(&base, &cur).is_ok());
+        // Kernel differs: refused, naming both selectors.
+        base.kernel = "reference".to_string();
+        let err = check_comparable(&base, &cur).unwrap_err();
+        assert!(err.contains("reference") && err.contains("tiled-par"), "{err}");
+        // Feature set differs: refused.
+        base.kernel = "tiled-par".to_string();
+        base.features = "count-alloc,telemetry".to_string();
+        assert!(check_comparable(&base, &cur).is_err());
+        // Config digest alone differing does NOT refuse (different run
+        // shapes may still be compared id-by-id; only the measurement
+        // substrate is gated).
+        base.features = "count-alloc".to_string();
+        base.config = "aaaa".to_string();
+        cur.config = "bbbb".to_string();
+        assert!(check_comparable(&base, &cur).is_ok());
     }
 
     #[test]

@@ -583,12 +583,30 @@ pub fn run_suite(name: &str, quick: bool, filter: Option<&str>) -> BenchReport {
             allocs_per_iter: m.allocs_per_iter,
         });
     }
+    let mode = if quick { "quick" } else { "full" };
     BenchReport {
         schema: SCHEMA.to_string(),
         name: name.to_string(),
-        mode: if quick { "quick" } else { "full" }.to_string(),
+        mode: mode.to_string(),
+        config: fedprox_obs::fnv64(&format!("fedperf name={name} mode={mode} filter={filter:?}")),
+        kernel: kernel::active().name().to_string(),
+        features: compiled_features(),
         entries,
     }
+}
+
+/// The feature set this harness was compiled with, comma-joined in a
+/// fixed order — part of the run-ledger stamp so the baseline gate can
+/// refuse cross-build comparisons.
+fn compiled_features() -> String {
+    let mut feats: Vec<&str> = Vec::new();
+    if cfg!(feature = "count-alloc") {
+        feats.push("count-alloc");
+    }
+    if cfg!(feature = "telemetry") {
+        feats.push("telemetry");
+    }
+    feats.join(",")
 }
 
 #[cfg(test)]

@@ -35,18 +35,26 @@
 use crate::event::Event;
 use crate::jsonl;
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// Raw span events kept verbatim before capping (or spilling to the
-/// streaming sink, when one is attached).
-const SPAN_EVENT_CAP: usize = 65_536;
+/// streaming sink, when one is attached). Public so integration tests
+/// can overflow the buffer deliberately and check the truncation
+/// accounting end to end.
+pub const SPAN_EVENT_CAP: usize = 65_536;
 /// Structured run events (device rounds, bytes, round ends) kept before
 /// capping; sized for thousands of rounds over hundreds of devices.
 const RUN_EVENT_CAP: usize = 1 << 20;
+/// Flight-recorder depth: the most recent K structured run events are
+/// kept in a bounded ring regardless of the caps above, so a post-mortem
+/// window survives even when the raw buffers spill or drop. Events in
+/// the ring are simulation observations (virtual clock, fault plan), so
+/// the ring contents are bitwise-reproducible across same-seed runs.
+pub const FLIGHT_RING_CAP: usize = 256;
 
 /// Upper bucket bounds shared by every histogram (seconds-scale at the
 /// low end through kilo-units at the top; the unit is the metric's).
@@ -208,6 +216,14 @@ struct Inner {
     /// Incremental JSONL sink; buffered raw/run events flush here on
     /// every `RoundEnd` and whenever a buffer cap is hit.
     stream: Option<std::io::BufWriter<std::fs::File>>,
+    /// Flight recorder: the most recent [`FLIGHT_RING_CAP`] structured
+    /// run events, kept even after spills/drops so a post-mortem window
+    /// always exists.
+    flight: VecDeque<Event>,
+    /// Ring snapshot captured at the *first* post-mortem trigger of the
+    /// run (divergence or quorum skip); later triggers don't overwrite
+    /// it, so the bundle describes the original failure.
+    postmortem: Option<Vec<Event>>,
 }
 
 impl Inner {
@@ -223,6 +239,8 @@ impl Inner {
             gauges: BTreeMap::new(),
             hists: BTreeMap::new(),
             stream: None,
+            flight: VecDeque::new(),
+            postmortem: None,
         }
     }
 
@@ -427,6 +445,13 @@ pub fn record_event(event: Event) {
     let round_end = matches!(event, Event::RoundEnd { .. });
     excluded(|| {
         let mut g = lock();
+        // The flight ring sees every armed event, including ones the
+        // main buffer is about to drop: the ring *is* the record of
+        // last resort.
+        if g.flight.len() >= FLIGHT_RING_CAP {
+            g.flight.pop_front();
+        }
+        g.flight.push_back(event.clone());
         if g.run_events.len() >= RUN_EVENT_CAP {
             if g.stream.is_some() {
                 g.flush_stream();
@@ -440,6 +465,39 @@ pub fn record_event(event: Event) {
             g.flush_stream();
         }
     });
+}
+
+/// Snapshot of the flight-recorder ring: the most recent (up to
+/// [`FLIGHT_RING_CAP`]) structured run events in arrival order. Empty
+/// while disarmed or before any event.
+pub fn flight_snapshot() -> Vec<Event> {
+    excluded(|| lock().flight.iter().cloned().collect())
+}
+
+/// Fire the flight recorder: snapshot the ring (first trigger wins) and
+/// record an in-stream [`Event::Postmortem`] marker so offline tooling
+/// can locate the failure window inside the JSONL file. `round` is
+/// 1-based; `reason` is one of `non_finite` / `loss_guard` /
+/// `quorum_skip`; `device` names the attributed device when one exists.
+/// No-op while disarmed.
+pub fn trigger_postmortem(reason: &str, round: u32, device: Option<u32>) {
+    if !is_armed() {
+        return;
+    }
+    excluded(|| {
+        let mut g = lock();
+        if g.postmortem.is_none() {
+            let snap: Vec<Event> = g.flight.iter().cloned().collect();
+            g.postmortem = Some(snap);
+        }
+    });
+    record_event(Event::Postmortem { round, reason: reason.to_string(), device });
+}
+
+/// The ring snapshot captured at the first post-mortem trigger, if any
+/// fired this run. Non-consuming; cleared by [`reset`]/[`arm`]/[`drain`].
+pub fn postmortem_snapshot() -> Option<Vec<Event>> {
+    excluded(|| lock().postmortem.clone())
 }
 
 /// Current value of a counter (0 if never touched). Test helper: lets
@@ -852,6 +910,69 @@ mod tests {
         // the excluded ledger stays at zero and the split is exact.
         assert_eq!(get("outer/inner"), (300, 300, 3));
         assert_eq!(get("outer"), (500, 200, 5));
+    }
+
+    #[test]
+    fn flight_ring_keeps_most_recent_events() {
+        let _g = guard();
+        arm();
+        let n = FLIGHT_RING_CAP + 17;
+        for i in 0..n {
+            record_event(Event::RoundEnd { round: i as u32, sim_time_s: i as f64 });
+        }
+        let ring = flight_snapshot();
+        disarm();
+        reset();
+        assert_eq!(ring.len(), FLIGHT_RING_CAP, "ring is bounded");
+        // Oldest surviving event is exactly the (n - CAP)-th one.
+        let first = (n - FLIGHT_RING_CAP) as u32;
+        assert!(matches!(ring[0], Event::RoundEnd { round, .. } if round == first));
+        assert!(matches!(
+            ring[FLIGHT_RING_CAP - 1],
+            Event::RoundEnd { round, .. } if round == (n as u32 - 1)
+        ));
+    }
+
+    #[test]
+    fn first_postmortem_trigger_wins_and_marker_streams_in_place() {
+        let _g = guard();
+        arm();
+        record_event(Event::RoundEnd { round: 0, sim_time_s: 1.0 });
+        trigger_postmortem("quorum_skip", 1, Some(2));
+        record_event(Event::RoundEnd { round: 1, sim_time_s: 2.0 });
+        trigger_postmortem("non_finite", 2, None);
+        let snap = postmortem_snapshot().expect("first trigger captured");
+        // The first trigger fired after one event; the later trigger
+        // must not have replaced the snapshot.
+        assert_eq!(snap.len(), 1);
+        assert!(matches!(snap[0], Event::RoundEnd { round: 0, .. }));
+        let events = drain();
+        disarm();
+        let markers: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Postmortem { round, reason, device } => {
+                    Some((*round, reason.as_str(), *device))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(markers, vec![(1, "quorum_skip", Some(2)), (2, "non_finite", None)]);
+        // Markers sit in arrival order between the round events.
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind()).take(4).collect();
+        assert_eq!(kinds, vec!["round_end", "postmortem", "round_end", "postmortem"]);
+        assert!(postmortem_snapshot().is_none(), "drain clears the snapshot");
+    }
+
+    #[test]
+    fn disarmed_postmortem_trigger_is_inert() {
+        let _g = guard();
+        reset();
+        disarm();
+        trigger_postmortem("loss_guard", 3, None);
+        assert!(postmortem_snapshot().is_none());
+        assert!(flight_snapshot().is_empty());
+        assert!(drain().is_empty());
     }
 
     #[test]

@@ -233,6 +233,46 @@ pub enum Event {
         /// Number of discarded events.
         count: u64,
     },
+    /// Run-ledger header: identifies the run that produced a JSONL
+    /// stream so two files can be provably joined (same digests) or
+    /// refused. Emitted once at `TraceSession` start, stitched as the
+    /// first record into every sink, and read back by `fedobs ledger`.
+    /// All fields derive from configuration, never from wall clocks, so
+    /// two same-seed runs emit bitwise-identical headers.
+    RunMeta {
+        /// Ledger schema version (currently 1).
+        version: u32,
+        /// Digest (FNV-1a 64, hex) of the canonical config description.
+        config: String,
+        /// Master seed of the run.
+        seed: u64,
+        /// Active tensor-kernel selector (`reference`, `tiled`,
+        /// `tiled-par`).
+        kernel: String,
+        /// Digest (FNV-1a 64, hex) of the fault-plan description;
+        /// digest of the empty string for fault-free runs.
+        faults: String,
+        /// Comma-joined compiled cargo feature set (stable order).
+        features: String,
+        /// Comma-joined `crate=version` pairs of the emitting stack.
+        crates: String,
+    },
+    /// Flight-recorder marker: a divergence cause or a quorum-skip
+    /// fired at this point in the stream. The collector snapshots its
+    /// ring of recent events when the first marker fires; `fedobs
+    /// postmortem` renders the marker's surrounding window as a
+    /// correlated post-mortem bundle.
+    Postmortem {
+        /// Global round index the trigger fired on (1-based, matching
+        /// [`Event::Participation`] and [`Event::Health`]).
+        round: u32,
+        /// Trigger kind (`non_finite`, `loss_guard`, `quorum_skip`).
+        reason: String,
+        /// Implicated device, when one could be attributed (the first
+        /// non-finite contributor, or the first crashed/non-responding
+        /// device of a skipped round).
+        device: Option<u32>,
+    },
 }
 
 /// The fixed vocabulary of health-anomaly rules.
@@ -315,6 +355,8 @@ impl Event {
             Event::PathStat { .. } => "path_stat",
             Event::TraceTruncated { .. } => "trace_truncated",
             Event::Dropped { .. } => "dropped",
+            Event::RunMeta { .. } => "run_meta",
+            Event::Postmortem { .. } => "postmortem",
         }
     }
 }
@@ -393,6 +435,16 @@ mod tests {
             },
             Event::TraceTruncated { dropped_spans: 0 },
             Event::Dropped { count: 0 },
+            Event::RunMeta {
+                version: 1,
+                config: "0".into(),
+                seed: 0,
+                kernel: "tiled-par".into(),
+                faults: "0".into(),
+                features: String::new(),
+                crates: String::new(),
+            },
+            Event::Postmortem { round: 0, reason: "quorum_skip".into(), device: None },
         ];
         let mut kinds: Vec<&str> = events.iter().map(Event::kind).collect();
         kinds.sort_unstable();

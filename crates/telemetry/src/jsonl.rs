@@ -240,6 +240,24 @@ pub fn write_line(event: &Event) -> String {
         Event::Dropped { count } => {
             let _ = write!(s, ",\"count\":{count}");
         }
+        Event::RunMeta { version, config, seed, kernel, faults, features, crates } => {
+            let _ = write!(s, ",\"version\":{version},\"config\":");
+            push_str_escaped(&mut s, config);
+            let _ = write!(s, ",\"seed\":{seed},\"kernel\":");
+            push_str_escaped(&mut s, kernel);
+            s.push_str(",\"faults\":");
+            push_str_escaped(&mut s, faults);
+            s.push_str(",\"features\":");
+            push_str_escaped(&mut s, features);
+            s.push_str(",\"crates\":");
+            push_str_escaped(&mut s, crates);
+        }
+        Event::Postmortem { round, reason, device } => {
+            let _ = write!(s, ",\"round\":{round},\"reason\":");
+            push_str_escaped(&mut s, reason);
+            s.push_str(",\"device\":");
+            push_opt_u32(&mut s, *device);
+        }
     }
     s.push('}');
     s
@@ -662,6 +680,20 @@ fn event_from_json(obj: &Json) -> Result<Event, String> {
             Ok(Event::TraceTruncated { dropped_spans: u64_field(obj, "dropped_spans")? })
         }
         "dropped" => Ok(Event::Dropped { count: u64_field(obj, "count")? }),
+        "run_meta" => Ok(Event::RunMeta {
+            version: u32_field(obj, "version")?,
+            config: str_field(obj, "config")?,
+            seed: u64_field(obj, "seed")?,
+            kernel: str_field(obj, "kernel")?,
+            faults: str_field(obj, "faults")?,
+            features: str_field(obj, "features")?,
+            crates: str_field(obj, "crates")?,
+        }),
+        "postmortem" => Ok(Event::Postmortem {
+            round: u32_field(obj, "round")?,
+            reason: str_field(obj, "reason")?,
+            device: opt_u32_field(obj, "device")?,
+        }),
         other => Err(format!("unknown event tag `{other}`")),
     }
 }
@@ -796,6 +828,17 @@ mod tests {
             },
             Event::TraceTruncated { dropped_spans: 19 },
             Event::Dropped { count: 7 },
+            Event::RunMeta {
+                version: 1,
+                config: "9e3779b97f4a7c15".into(),
+                seed: 42,
+                kernel: "tiled-par".into(),
+                faults: "cbf29ce484222325".into(),
+                features: "telemetry".into(),
+                crates: "fedprox=0.1.0".into(),
+            },
+            Event::Postmortem { round: 4, reason: "quorum_skip".into(), device: Some(1) },
+            Event::Postmortem { round: 7, reason: "non_finite".into(), device: None },
         ]
     }
 

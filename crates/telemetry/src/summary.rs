@@ -21,12 +21,17 @@ pub struct OpStat {
     pub total_micros: f64,
     /// Longest single activation in microseconds.
     pub max_micros: f64,
+    /// Raw span events backing the percentile columns (a capped sample
+    /// when the collector hit its buffer limit; can be far smaller than
+    /// `count` when `span_stat` records are authoritative).
+    pub samples: u64,
     /// Median activation in microseconds, computed from the raw span
-    /// events present in the trace (a capped sample when the collector
-    /// hit its buffer limit). `None` when no raw spans were recorded.
+    /// sample. `None` when fewer than two raw spans were recorded: a
+    /// lone sample would report p50 == p95 == max and says nothing
+    /// about the distribution.
     pub p50_micros: Option<f64>,
     /// 95th-percentile activation in microseconds (nearest-rank over
-    /// the same raw sample as `p50_micros`).
+    /// the same raw sample as `p50_micros`; same two-sample guard).
     pub p95_micros: Option<f64>,
 }
 
@@ -97,11 +102,17 @@ pub struct TelemetryReport {
     /// sink attached (aggregates stay exact; raw percentiles are a
     /// partial sample).
     pub truncated_spans: u64,
+    /// Run-ledger headers present in the trace: `(config digest, seed,
+    /// kernel selector)` per `run_meta` record (see `fedobs ledger`).
+    pub run_headers: Vec<(String, u64, String)>,
+    /// Post-mortem markers present in the trace (see `fedobs postmortem`).
+    pub postmortems: u64,
 }
 
-/// Nearest-rank percentile of an unsorted sample; `None` when empty.
+/// Nearest-rank percentile of a sorted sample; `None` below two
+/// samples (a lone observation carries no distributional information).
 fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
-    if sorted.is_empty() {
+    if sorted.len() < 2 {
         return None;
     }
     let rank = (q * sorted.len() as f64).ceil() as usize;
@@ -132,6 +143,8 @@ impl TelemetryReport {
         let mut skipped_rounds = 0u64;
         let mut path_stats = 0u64;
         let mut truncated_spans = 0u64;
+        let mut run_headers: Vec<(String, u64, String)> = Vec::new();
+        let mut postmortems = 0u64;
 
         for ev in events {
             match ev {
@@ -145,6 +158,7 @@ impl TelemetryReport {
                         count: 0,
                         total_micros: 0.0,
                         max_micros: 0.0,
+                        samples: 0,
                         p50_micros: None,
                         p95_micros: None,
                     });
@@ -159,6 +173,7 @@ impl TelemetryReport {
                         count: 0,
                         total_micros: 0.0,
                         max_micros: 0.0,
+                        samples: 0,
                         p50_micros: None,
                         p95_micros: None,
                     });
@@ -224,6 +239,10 @@ impl TelemetryReport {
                     truncated_spans = truncated_spans.saturating_add(*dropped_spans);
                 }
                 Event::Dropped { count } => dropped = dropped.saturating_add(*count),
+                Event::RunMeta { config, seed, kernel, .. } => {
+                    run_headers.push((config.clone(), *seed, kernel.clone()));
+                }
+                Event::Postmortem { .. } => postmortems = postmortems.saturating_add(1),
             }
         }
 
@@ -234,6 +253,7 @@ impl TelemetryReport {
         for op in &mut ops {
             if let Some(sample) = durations.get_mut(&(op.layer.clone(), op.name.clone())) {
                 sample.sort_by(f64::total_cmp);
+                op.samples = sample.len() as u64;
                 op.p50_micros = percentile(sample, 0.50);
                 op.p95_micros = percentile(sample, 0.95);
             }
@@ -267,6 +287,8 @@ impl TelemetryReport {
             skipped_rounds,
             path_stats,
             truncated_spans,
+            run_headers,
+            postmortems,
         }
     }
 
@@ -278,6 +300,16 @@ impl TelemetryReport {
             "fedtrace summary: {} rounds, {} raw span events, {} dropped",
             self.rounds, self.span_events, self.dropped
         );
+        for (config, seed, kernel) in &self.run_headers {
+            let _ = writeln!(s, "run: config={config} seed={seed} kernel={kernel}");
+        }
+        if self.postmortems > 0 {
+            let _ = writeln!(
+                s,
+                "post-mortem: {} trigger(s) in trace (see `fedobs postmortem`)",
+                self.postmortems
+            );
+        }
         if self.health_samples > 0 || self.anomalies > 0 {
             let _ = writeln!(
                 s,
@@ -312,8 +344,8 @@ impl TelemetryReport {
             let _ = writeln!(s, "\n== slowest ops (top {top_n} by total time) ==");
             let _ = writeln!(
                 s,
-                "{:<8} {:<16} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
-                "layer", "op", "count", "total_ms", "mean_us", "p50_us", "p95_us", "max_us"
+                "{:<8} {:<16} {:>10} {:>12} {:>10} {:>8} {:>10} {:>10} {:>10}",
+                "layer", "op", "count", "total_ms", "mean_us", "n", "p50_us", "p95_us", "max_us"
             );
             let fmt_pct = |p: Option<f64>| match p {
                 Some(v) => format!("{v:>10.2}"),
@@ -323,12 +355,13 @@ impl TelemetryReport {
                 let mean = if op.count > 0 { op.total_micros / op.count as f64 } else { 0.0 };
                 let _ = writeln!(
                     s,
-                    "{:<8} {:<16} {:>10} {:>12.3} {:>10.2} {} {} {:>10.2}",
+                    "{:<8} {:<16} {:>10} {:>12.3} {:>10.2} {:>8} {} {} {:>10.2}",
                     op.layer,
                     op.name,
                     op.count,
                     op.total_micros / 1000.0,
                     mean,
+                    op.samples,
                     fmt_pct(op.p50_micros),
                     fmt_pct(op.p95_micros),
                     op.max_micros
@@ -470,6 +503,9 @@ mod tests {
         assert_eq!(r.ops.len(), 1);
         assert_eq!(r.ops[0].count, 2);
         assert!((r.ops[0].total_micros - 10.0).abs() < 1e-12);
+        // Two samples clear the count guard.
+        assert_eq!(r.ops[0].samples, 2);
+        assert_eq!(r.ops[0].p50_micros, Some(3.0));
     }
 
     #[test]
@@ -484,6 +520,7 @@ mod tests {
             })
             .collect();
         let r = TelemetryReport::from_events(&events);
+        assert_eq!(r.ops[0].samples, 100);
         assert_eq!(r.ops[0].p50_micros, Some(50.0));
         assert_eq!(r.ops[0].p95_micros, Some(95.0));
     }
@@ -492,14 +529,57 @@ mod tests {
     fn percentiles_attach_to_span_stats_when_raw_present() {
         let r = TelemetryReport::from_events(&trace());
         // softmax has one raw span (5.0 µs) plus an authoritative stat:
-        // totals come from the stat, percentiles from the raw sample.
+        // totals come from the stat; a lone raw sample is below the
+        // percentile count guard, so the columns stay empty rather than
+        // reporting p50 == p95 from one observation.
         let softmax = r.ops.iter().find(|o| o.name == "softmax").unwrap();
         assert_eq!(softmax.count, 10);
-        assert_eq!(softmax.p50_micros, Some(5.0));
-        assert_eq!(softmax.p95_micros, Some(5.0));
+        assert_eq!(softmax.samples, 1);
+        assert_eq!(softmax.p50_micros, None);
+        assert_eq!(softmax.p95_micros, None);
         // core.round has no raw spans at all → no percentiles.
         let round = r.ops.iter().find(|o| o.name == "round").unwrap();
+        assert_eq!(round.samples, 0);
         assert_eq!(round.p50_micros, None);
+    }
+
+    #[test]
+    fn single_sample_has_no_percentiles_but_reports_n() {
+        let events =
+            vec![Event::Span { layer: "t".into(), name: "solo".into(), micros: 5.0, attrs: vec![] }];
+        let r = TelemetryReport::from_events(&events);
+        assert_eq!(r.ops[0].samples, 1);
+        assert_eq!(r.ops[0].p50_micros, None);
+        assert_eq!(r.ops[0].p95_micros, None);
+        // The table carries an explicit sample-size column and renders
+        // the guarded percentiles as "-".
+        let text = r.render(5);
+        let header = text.lines().find(|l| l.contains("p50_us")).expect("ops header");
+        assert!(header.contains(" n "), "missing n column in {header:?}");
+        let row = text.lines().find(|l| l.contains("solo")).expect("ops row");
+        assert!(row.contains('-'), "guarded percentile must render as '-': {row:?}");
+    }
+
+    #[test]
+    fn run_headers_and_postmortems_surface() {
+        let events = vec![
+            Event::RunMeta {
+                version: 1,
+                config: "9e3779b97f4a7c15".into(),
+                seed: 7,
+                kernel: "tiled-par".into(),
+                faults: "0".into(),
+                features: "telemetry".into(),
+                crates: "fedprox=0.1.0".into(),
+            },
+            Event::Postmortem { round: 3, reason: "quorum_skip".into(), device: Some(1) },
+        ];
+        let r = TelemetryReport::from_events(&events);
+        assert_eq!(r.run_headers, vec![("9e3779b97f4a7c15".to_string(), 7, "tiled-par".to_string())]);
+        assert_eq!(r.postmortems, 1);
+        let text = r.render(5);
+        assert!(text.contains("config=9e3779b97f4a7c15"));
+        assert!(text.contains("fedobs postmortem"));
     }
 
     #[test]

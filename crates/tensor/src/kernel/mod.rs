@@ -35,6 +35,18 @@ pub enum Kernel {
     TiledParallel,
 }
 
+impl Kernel {
+    /// The selector's stable name — the `--kernel` CLI vocabulary and
+    /// the string stamped into run ledgers and fedperf reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Reference => "reference",
+            Kernel::Tiled => "tiled",
+            Kernel::TiledParallel => "tiled-par",
+        }
+    }
+}
+
 /// Process-global kernel selector (default: [`Kernel::TiledParallel`]).
 static ACTIVE: AtomicU8 = AtomicU8::new(2);
 

@@ -291,6 +291,78 @@ fn armed_profiling_is_bitwise_deterministic() {
     assert_eq!(pa, pb, "same-seed profiles recorded different span trees");
 }
 
+/// The observability pipeline is pure observation: arming the collector
+/// and streaming the obs event feed to disk — run-ledger header first,
+/// exactly as the bench binaries' `--obs PATH` wiring does — must leave
+/// the trajectory, the simulated clock, and the final model bitwise
+/// identical to the unarmed run.
+#[cfg(feature = "telemetry")]
+#[test]
+fn armed_obs_stream_is_invisible_to_trajectory_and_model() {
+    use fedprox_telemetry::{collector, event::Event};
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let networked = || {
+        let shards = generate(&SyntheticConfig { seed: 3, ..Default::default() }, &[80, 120, 60]);
+        let (train, test) = split_federation(&shards, 3);
+        let devices: Vec<Device> =
+            train.into_iter().enumerate().map(|(i, s)| Device::new(i, s)).collect();
+        let model = fedprox::models::MultinomialLogistic::new(60, 10);
+        let cfg = FedConfig::new(Algorithm::FedProxVr(EstimatorKind::Svrg))
+            .with_beta(5.0)
+            .with_smoothness(3.0)
+            .with_tau(8)
+            .with_mu(0.5)
+            .with_batch_size(8)
+            .with_rounds(10)
+            .with_eval_every(2)
+            .with_seed(42)
+            .with_runner(RunnerKind::Network(
+                fedprox::core::config::NetRunnerOptions::default(),
+            ));
+        FederatedTrainer::new(&model, &devices, &test, cfg).run().expect("run")
+    };
+    let plain = networked();
+    let path = std::env::temp_dir().join("fedprox_test_obs_determinism.jsonl");
+    collector::reset();
+    collector::arm();
+    collector::stream_to(path.to_str().expect("utf8 temp path")).expect("attach obs sink");
+    collector::record_event(Event::RunMeta {
+        version: 1,
+        config: "deadbeefdeadbeef".into(),
+        seed: 42,
+        kernel: "reference".into(),
+        faults: String::new(),
+        features: "telemetry".into(),
+        crates: String::new(),
+    });
+    let traced = networked();
+    let _tail = collector::drain();
+    collector::disarm();
+    let text = std::fs::read_to_string(&path).expect("read obs stream");
+    std::fs::remove_file(&path).ok();
+    // The stream is real: ledger header first, then the round feed.
+    assert!(
+        text.lines().next().is_some_and(|l| l.contains("\"t\":\"run_meta\"")),
+        "obs stream must open with the run-ledger header"
+    );
+    assert!(
+        text.contains("\"t\":\"device_round\""),
+        "obs stream must carry the per-device round feed"
+    );
+    // And invisible: trajectory, clock, and model are bit-identical.
+    assert!(!plain.diverged() && !traced.diverged());
+    assert_eq!(
+        fingerprint(&plain),
+        fingerprint(&traced),
+        "streaming the obs feed changed the training trajectory"
+    );
+    assert_eq!(plain.total_sim_time.to_bits(), traced.total_sim_time.to_bits());
+    assert_eq!(plain.final_model.len(), traced.final_model.len());
+    for (x, y) in plain.final_model.iter().zip(&traced.final_model) {
+        assert_eq!(x.to_bits(), y.to_bits(), "obs streaming perturbed the final model");
+    }
+}
+
 /// The fedscope health stream is part of the determinism contract:
 /// health samples and anomalies derive only from the seeded trajectory
 /// (never from wall clocks), so two armed same-seed runs must serialize

@@ -269,6 +269,142 @@ fn span_tree_paths_nest_exactly() {
     assert!(max_depth >= 4, "span tree flattened to {max_depth} levels");
 }
 
+/// Overflowing the raw span buffer *without* a streaming sink must
+/// surface exactly one `TraceTruncated` marker carrying the exact
+/// dropped count — never zero markers (silent loss) and never two
+/// (double accounting) — while the aggregates keep counting every span.
+#[test]
+fn span_cap_without_sink_yields_exactly_one_truncation_marker() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    const EXTRA: usize = 9;
+    let (devices, test) = federation(9);
+    let model = MultinomialLogistic::new(60, 10);
+    collector::reset();
+    collector::arm();
+    let h = FederatedTrainer::new(&model, &devices, &test, cfg(RunnerKind::Sequential))
+        .run()
+        .expect("run");
+    // The training run stays under the cap; this filler pushes the
+    // buffer exactly EXTRA-plus-run-spans past it.
+    for _ in 0..collector::SPAN_EVENT_CAP + EXTRA {
+        let _s = collector::SpanGuard::begin("test", "filler", &[]);
+    }
+    let events = collector::drain();
+    collector::disarm();
+    assert!(!h.diverged());
+    // Aggregates see every span, raw records stop at the cap, and the
+    // difference is precisely what the single marker reports.
+    let total: u64 = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::SpanStat { count, .. } => Some(*count),
+            _ => None,
+        })
+        .sum();
+    let raw = events.iter().filter(|e| matches!(e, Event::Span { .. })).count();
+    assert_eq!(raw, collector::SPAN_EVENT_CAP, "raw records must stop at the cap");
+    let markers: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::TraceTruncated { dropped_spans } => Some(*dropped_spans),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        markers,
+        vec![total - collector::SPAN_EVENT_CAP as u64],
+        "exactly one TraceTruncated marker with the exact dropped count"
+    );
+}
+
+/// The same overflow *with* a sink attached must spill every raw span
+/// to the file instead of truncating: no `TraceTruncated` marker
+/// anywhere, and the streamed file plus drained tail together hold
+/// every span recorded.
+#[test]
+fn span_cap_with_sink_spills_every_span_without_truncation() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    const EXTRA: usize = 9;
+    let path = std::env::temp_dir().join("fedprox_test_span_spill.jsonl");
+    collector::reset();
+    collector::arm();
+    collector::stream_to(path.to_str().expect("utf8 temp path")).expect("attach sink");
+    let n = collector::SPAN_EVENT_CAP + EXTRA;
+    for _ in 0..n {
+        let _s = collector::SpanGuard::begin("test", "filler", &[]);
+    }
+    let tail = collector::drain();
+    collector::disarm();
+    let text = std::fs::read_to_string(&path).expect("read streamed trace");
+    std::fs::remove_file(&path).ok();
+    let streamed = jsonl::parse(&text).expect("streamed trace parses");
+    let raw_total =
+        streamed.iter().chain(&tail).filter(|e| matches!(e, Event::Span { .. })).count();
+    assert_eq!(raw_total, n, "a streaming run must keep every raw span");
+    assert!(
+        streamed.iter().chain(&tail).all(|e| !matches!(e, Event::TraceTruncated { .. })),
+        "a streaming run spills — it must never emit a truncation marker"
+    );
+}
+
+/// The flight-recorder ring holds exactly the most recent structured
+/// run events, and — because everything in it derives from the virtual
+/// clock and seeded streams, never wall time — its contents are bitwise
+/// identical across same-seed runs.
+#[test]
+fn flight_ring_holds_most_recent_events_bitwise_deterministically() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let ring_run = || {
+        let (devices, test) = federation(9);
+        let model = MultinomialLogistic::new(60, 10);
+        collector::reset();
+        collector::arm();
+        let h = FederatedTrainer::new(
+            &model,
+            &devices,
+            &test,
+            cfg(RunnerKind::Network(NetRunnerOptions::default())),
+        )
+        .run()
+        .expect("run");
+        let ring = collector::flight_snapshot();
+        let events = collector::drain();
+        collector::disarm();
+        (h, ring, events)
+    };
+    let (ha, ra, ea) = ring_run();
+    let (hb, rb, _) = ring_run();
+    assert!(!ha.diverged() && !hb.diverged());
+    assert!(!ra.is_empty() && ra.len() <= collector::FLIGHT_RING_CAP);
+    // This run is small enough that nothing was evicted: the ring is
+    // exactly the structured run-event prefix of the drain, in order.
+    assert_eq!(
+        ra.as_slice(),
+        &ea[..ra.len()],
+        "ring does not match the run-event stream"
+    );
+    // Bitwise determinism, both in memory and through the codec.
+    assert_eq!(ra, rb, "same-seed flight rings differ");
+    assert_eq!(jsonl::to_jsonl(&ra), jsonl::to_jsonl(&rb));
+    // Overflow the ring with a deterministic tail: it must keep exactly
+    // the most recent FLIGHT_RING_CAP events.
+    collector::reset();
+    collector::arm();
+    let extra = 17u32;
+    let total = collector::FLIGHT_RING_CAP as u32 + extra;
+    for i in 0..total {
+        collector::record_event(Event::RoundEnd { round: i, sim_time_s: f64::from(i) });
+    }
+    let ring = collector::flight_snapshot();
+    collector::drain();
+    collector::disarm();
+    assert_eq!(ring.len(), collector::FLIGHT_RING_CAP);
+    assert!(matches!(ring[0], Event::RoundEnd { round, .. } if round == extra));
+    assert!(
+        matches!(ring[ring.len() - 1], Event::RoundEnd { round, .. } if round == total - 1)
+    );
+}
+
 #[test]
 fn drained_events_roundtrip_through_jsonl() {
     let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
