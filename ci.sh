@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # CI gate: build → test (default / check / telemetry) → clippy → fedlint →
 # fedtrace smoke → perf-smoke → fedscope-smoke → fedresil-smoke →
-# fedprof-smoke → fedobs-smoke. Any failing stage fails the run.
+# fedprof-smoke → fedobs-smoke → fedsim-smoke. Any failing stage fails
+# the run.
 set -eu
 
 echo "==> cargo build --release"
@@ -143,5 +144,32 @@ cargo build -q --release -p fedprox-obs
     | grep -q "^identical" \
     || { echo "fedobs-smoke: same-seed run ledgers differ"; exit 1; }
 ./target/release/fedobs critpath "$PERF_TMP/obs_a.jsonl" >/dev/null
+
+# fedsim-smoke: the event-driven backend at population scale. Two
+# same-seed 100k-device power-law runs sampling K=32 per round must
+# finish with per-round allocation bounded by the active set (not the
+# population — the --max-round-alloc-mib gate uses the counting
+# allocator baked into the telemetry bench build), sample exactly 32
+# devices every round (--expect-sampled), and stream obs feeds whose
+# run ledgers are bitwise-identical. The eq. (19) critical path must
+# reconstruct cleanly from a sampled round's sparse device legs.
+# Device 28563 is sampled in round 1 only (seed 29), so crashing it
+# exercises stable-id fault addressing on compact participation
+# records: the crash must still be counted although the final round
+# never samples the device. Reuses the telemetry-enabled bench build
+# from the fedscope stage.
+echo "==> fedsim-smoke (two same-seed 100k-device sampled runs -> alloc bound + ledger diff)"
+./target/release/fedsim --devices 100000 --rounds 4 --seed 29 --sample k:32 \
+    --crash 28563:1 --expect-crashed 1 \
+    --expect-sampled 32 --max-round-alloc-mib 64 \
+    --obs "$PERF_TMP/sim_a.jsonl" >/dev/null
+./target/release/fedsim --devices 100000 --rounds 4 --seed 29 --sample k:32 \
+    --crash 28563:1 --expect-crashed 1 \
+    --expect-sampled 32 --max-round-alloc-mib 64 \
+    --obs "$PERF_TMP/sim_b.jsonl" >/dev/null
+./target/release/fedobs ledger diff "$PERF_TMP/sim_a.jsonl" "$PERF_TMP/sim_b.jsonl" \
+    | grep -q "^identical" \
+    || { echo "fedsim-smoke: same-seed sampled-run ledgers differ"; exit 1; }
+./target/release/fedobs critpath "$PERF_TMP/sim_a.jsonl" >/dev/null
 
 echo "CI green."

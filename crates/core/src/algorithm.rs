@@ -94,6 +94,10 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
             RunnerKind::Sequential => self.run_local_loop(w0, false),
             RunnerKind::Parallel => self.run_local_loop(w0, true),
             RunnerKind::Network(opts) => self.run_networked(w0, &opts),
+            // The event-driven engine lives above this crate (it can
+            // synthesize its population lazily); `fedprox_sim::SimEngine`
+            // consumes the same config, including these options.
+            RunnerKind::EventDriven(_) => Err(FedError::EventDrivenBackend),
         }
     }
 
@@ -166,6 +170,7 @@ impl<'a, M: LossModel> FederatedTrainer<'a, M> {
                     outcomes,
                     responder_weight: weight_sum,
                     skipped: !quorum_ok,
+                    sampled: None,
                 });
                 #[cfg(feature = "telemetry")]
                 if let Some(m) = monitor.as_mut() {

@@ -20,6 +20,16 @@ pub enum RunnerKind {
     Parallel,
     /// The `fedprox-net` actor runtime with simulated delays.
     Network(NetRunnerOptions),
+    /// The `fedprox-sim` event-driven backend: compact passive device
+    /// state machines on a sharded virtual-time event loop, with
+    /// per-round client sampling. Scales to million-device populations
+    /// with memory bounded by the active set. [`FederatedTrainer`]
+    /// cannot host it (the engine lives above this crate); drive the
+    /// run through `fedprox_sim::SimEngine`, which consumes the same
+    /// `FedConfig`.
+    ///
+    /// [`FederatedTrainer`]: crate::algorithm::FederatedTrainer
+    EventDriven(SimRunnerOptions),
 }
 
 /// Options for the networked backend.
@@ -35,6 +45,87 @@ pub struct NetRunnerOptions {
 impl Default for NetRunnerOptions {
     fn default() -> Self {
         NetRunnerOptions { net: NetOptions::default(), sec_per_grad_eval: 1e-6 }
+    }
+}
+
+/// How the event-driven backend picks each round's active client set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SamplerSpec {
+    /// Every device, every round (p = 1). On a materialized population
+    /// this reproduces the sequential backend's trajectory bitwise.
+    Full,
+    /// K devices uniformly without replacement, drawn from the same
+    /// `(seed, round)` stream the sequential backend's partial
+    /// participation uses — so `K = ⌈pN⌉` matches `participation = p`
+    /// bitwise.
+    UniformK(usize),
+    /// K devices without replacement with inclusion probability ∝ their
+    /// sample count `n_k` (FedProx's sampling scheme, arXiv 1812.06127);
+    /// aggregation then averages the K updates uniformly.
+    WeightedK(usize),
+    /// Each device independently active with probability p ∈ (0, 1];
+    /// aggregation reweights contributions by 1/p with the residual
+    /// weight left on the previous global model, so weights still sum
+    /// to the full-participation total (unbiased — arXiv 2210.14362).
+    Bernoulli(f64),
+}
+
+/// Options for the event-driven (`fedprox-sim`) backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimRunnerOptions {
+    /// Per-round client sampling strategy.
+    pub sampler: SamplerSpec,
+    /// Event-loop shard count (≥ 1). Sharding is a memory/locality knob
+    /// only: events are ordered by (virtual time, stable device id)
+    /// across shards, so the trajectory is shard-count invariant.
+    pub shards: usize,
+    /// Compute-cost model: seconds per per-sample gradient evaluation.
+    pub sec_per_grad_eval: f64,
+    /// Server → device transfer time per round, seconds.
+    pub downlink_s: f64,
+    /// Device → server transfer time per round, seconds.
+    pub uplink_s: f64,
+    /// Multiplicative per-(round, device) compute jitter half-width
+    /// (0 = deterministic timing; timing never feeds back into the
+    /// trajectory either way).
+    pub jitter: f64,
+}
+
+impl Default for SimRunnerOptions {
+    fn default() -> Self {
+        SimRunnerOptions {
+            sampler: SamplerSpec::Full,
+            shards: 8,
+            sec_per_grad_eval: 1e-6,
+            downlink_s: 0.05,
+            uplink_s: 0.05,
+            jitter: 0.0,
+        }
+    }
+}
+
+impl SimRunnerOptions {
+    /// Set the sampler.
+    pub fn with_sampler(mut self, sampler: SamplerSpec) -> Self {
+        self.sampler = sampler;
+        self
+    }
+    /// Set the event-loop shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "event loop needs at least one shard");
+        self.shards = shards;
+        self
+    }
+    /// Set the compute-cost model (seconds per gradient evaluation).
+    pub fn with_sec_per_grad_eval(mut self, s: f64) -> Self {
+        self.sec_per_grad_eval = s;
+        self
+    }
+    /// Set the per-(round, device) compute jitter half-width.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        self.jitter = jitter;
+        self
     }
 }
 

@@ -21,6 +21,11 @@ pub enum FedError {
     /// — in the in-process simulation these are protocol or
     /// configuration bugs, never training dynamics).
     Net(NetError),
+    /// `RunnerKind::EventDriven` was selected on the in-process trainer.
+    /// The event-driven engine lives above this crate (it synthesizes
+    /// populations lazily); drive the run through
+    /// `fedprox_sim::SimEngine` with the same `FedConfig`.
+    EventDrivenBackend,
 }
 
 impl fmt::Display for FedError {
@@ -31,6 +36,11 @@ impl fmt::Display for FedError {
                 "fsvrg: round {round} local update requires the server-distributed global gradient"
             ),
             FedError::Net(e) => write!(f, "networked backend: {e}"),
+            FedError::EventDrivenBackend => write!(
+                f,
+                "the event-driven backend is hosted by fedprox-sim's SimEngine, \
+                 not FederatedTrainer"
+            ),
         }
     }
 }
@@ -39,7 +49,7 @@ impl std::error::Error for FedError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FedError::Net(e) => Some(e),
-            FedError::MissingGlobalGradient { .. } => None,
+            FedError::MissingGlobalGradient { .. } | FedError::EventDrivenBackend => None,
         }
     }
 }

@@ -35,7 +35,7 @@ pub mod server;
 pub mod theory;
 
 pub use algorithm::{Algorithm, FederatedTrainer};
-pub use config::{FedConfig, RunnerKind};
+pub use config::{FedConfig, RunnerKind, SamplerSpec, SimRunnerOptions};
 pub use device::Device;
 pub use error::FedError;
 pub use health::{HealthConfig, HealthMonitor};

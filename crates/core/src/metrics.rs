@@ -344,12 +344,14 @@ mod tests {
                 outcomes: vec![DeviceOutcome::Responded, DeviceOutcome::Responded],
                 responder_weight: 1.0,
                 skipped: false,
+                sampled: None,
             },
             RoundParticipation {
                 round: 2,
                 outcomes: vec![DeviceOutcome::Responded, DeviceOutcome::Crashed],
                 responder_weight: 0.6,
                 skipped: true,
+                sampled: None,
             },
         ];
         let back = History::from_json(&h.to_json()).unwrap();

@@ -20,21 +20,131 @@ pub fn power_law_sizes(
     assert!(min_size >= 1 && max_size >= min_size, "power_law_sizes: bad range");
     assert!(alpha > 0.0, "power_law_sizes: alpha must be positive");
     let mut rng = device_rng(seed, 0x51AE);
-    // Inverse-CDF sampling of a continuous bounded Pareto, then rounding.
-    let a = 1.0 - alpha;
-    let (lo, hi) = (min_size as f64, max_size as f64);
     (0..devices)
         .map(|_| {
             let u: f64 = rng.gen_range(0.0..1.0);
-            let s = if (a.abs()) < 1e-9 {
-                // alpha == 1: log-uniform.
-                (lo.ln() + u * (hi.ln() - lo.ln())).exp()
-            } else {
-                (lo.powf(a) + u * (hi.powf(a) - lo.powf(a))).powf(1.0 / a)
-            };
-            (s.round() as usize).clamp(min_size, max_size)
+            bounded_pareto(u, min_size, max_size, alpha)
         })
         .collect()
+}
+
+/// Inverse-CDF sample of a bounded discrete power law
+/// `P(size = s) ∝ s^{-alpha}` over `[min_size, max_size]` at quantile
+/// `u ∈ [0, 1)` (continuous bounded Pareto, rounded).
+fn bounded_pareto(u: f64, min_size: usize, max_size: usize, alpha: f64) -> usize {
+    let a = 1.0 - alpha;
+    let (lo, hi) = (min_size as f64, max_size as f64);
+    let s = if (a.abs()) < 1e-9 {
+        // alpha == 1: log-uniform.
+        (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+    } else {
+        (lo.powf(a) + u * (hi.powf(a) - lo.powf(a))).powf(1.0 / a)
+    };
+    (s.round() as usize).clamp(min_size, max_size)
+}
+
+/// A lazily-indexable power-law (Zipf-like) device population: per-device
+/// sample counts and a per-device compute-speed factor (hardware
+/// heterogeneity spread), each drawn from an independent
+/// [`device_rng`]`(seed, id)` stream keyed by the **stable device id**
+/// only.
+///
+/// [`ZipfPopulation::size_of`] is O(1) and order-independent, so a
+/// million-device federation never materializes its size vector — the
+/// property the event-driven backend's samplers rely on to keep
+/// per-round memory bounded by the active set. The one O(N) pass is the
+/// construction-time total-sample sum (needed for aggregation weights
+/// `D_n / D`).
+#[derive(Debug, Clone)]
+pub struct ZipfPopulation {
+    devices: usize,
+    min_size: usize,
+    max_size: usize,
+    alpha: f64,
+    compute_spread: f64,
+    seed: u64,
+    total: u64,
+}
+
+impl ZipfPopulation {
+    /// Build a population of `devices` devices with sizes power-law
+    /// distributed over `[min_size, max_size]` with exponent `alpha`,
+    /// and compute-speed factors log-uniform in `[1, compute_spread]`.
+    pub fn new(
+        devices: usize,
+        min_size: usize,
+        max_size: usize,
+        alpha: f64,
+        compute_spread: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(devices > 0, "ZipfPopulation: empty population");
+        assert!(min_size >= 1 && max_size >= min_size, "ZipfPopulation: bad size range");
+        assert!(alpha > 0.0, "ZipfPopulation: alpha must be positive");
+        assert!(compute_spread >= 1.0, "ZipfPopulation: compute_spread must be >= 1");
+        let mut pop = ZipfPopulation {
+            devices,
+            min_size,
+            max_size,
+            alpha,
+            compute_spread,
+            seed,
+            total: 0,
+        };
+        pop.total = (0..devices).map(|d| pop.size_of(d) as u64).sum();
+        pop
+    }
+
+    fn stream(&self, device: usize) -> rand::rngs::StdRng {
+        device_rng(self.seed ^ 0x21F0_715A, device as u64)
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices
+    }
+
+    /// Always false (construction rejects empty populations).
+    pub fn is_empty(&self) -> bool {
+        self.devices == 0
+    }
+
+    /// Device `d`'s sample count `D_d` — O(1), stable across runs.
+    pub fn size_of(&self, device: usize) -> usize {
+        assert!(device < self.devices, "ZipfPopulation: device out of range");
+        let u: f64 = self.stream(device).gen_range(0.0..1.0);
+        bounded_pareto(u, self.min_size, self.max_size, self.alpha)
+    }
+
+    /// Device `d`'s compute-speed multiplier, log-uniform in
+    /// `[1, compute_spread]` (1.0 everywhere when the spread is 1) —
+    /// models slow hardware in the event-driven timing layer.
+    pub fn compute_factor_of(&self, device: usize) -> f64 {
+        assert!(device < self.devices, "ZipfPopulation: device out of range");
+        if self.compute_spread <= 1.0 {
+            return 1.0;
+        }
+        let mut rng = self.stream(device);
+        let _size_draw: f64 = rng.gen_range(0.0..1.0);
+        let u: f64 = rng.gen_range(0.0..1.0);
+        (u * self.compute_spread.ln()).exp()
+    }
+
+    /// Total federation sample count `D = Σ D_d`.
+    pub fn total_samples(&self) -> u64 {
+        self.total
+    }
+
+    /// Aggregation weight `D_d / D` (the same formula
+    /// `fedprox_core::server::weights_from_sizes` applies densely).
+    pub fn weight_of(&self, device: usize) -> f64 {
+        self.size_of(device) as f64 / self.total as f64
+    }
+
+    /// Materialize the full size vector (small populations only).
+    pub fn sizes(&self) -> Vec<usize> {
+        (0..self.devices).map(|d| self.size_of(d)).collect()
+    }
 }
 
 /// How a [`Partitioner`] assigns samples to devices.
@@ -185,6 +295,45 @@ mod tests {
     fn power_law_alpha_one_is_log_uniform() {
         let s = power_law_sizes(50, 10, 1000, 1.0, 4);
         assert!(s.iter().all(|&x| (10..=1000).contains(&x)));
+    }
+
+    #[test]
+    fn zipf_population_is_stable_and_order_independent() {
+        let pop = ZipfPopulation::new(1000, 40, 400, 1.5, 4.0, 9);
+        // O(1) lookups agree with the materialized vector…
+        let sizes = pop.sizes();
+        assert_eq!(sizes.len(), 1000);
+        for &d in &[0usize, 999, 41, 500] {
+            assert_eq!(pop.size_of(d), sizes[d]);
+        }
+        // …are in range, reproducible, and total-consistent.
+        assert!(sizes.iter().all(|&s| (40..=400).contains(&s)));
+        let pop2 = ZipfPopulation::new(1000, 40, 400, 1.5, 4.0, 9);
+        assert_eq!(pop2.sizes(), sizes);
+        assert_eq!(pop.total_samples(), sizes.iter().map(|&s| s as u64).sum::<u64>());
+        // Power law: median well below the midpoint.
+        let mut sorted = sizes;
+        sorted.sort_unstable();
+        assert!(sorted[500] < (40 + 400) / 2);
+        // Weights sum to 1.
+        let wsum: f64 = (0..1000).map(|d| pop.weight_of(d)).sum();
+        assert!((wsum - 1.0).abs() < 1e-9, "weight sum {wsum}");
+    }
+
+    #[test]
+    fn zipf_compute_factors_span_the_spread() {
+        let pop = ZipfPopulation::new(500, 10, 20, 1.2, 8.0, 3);
+        let factors: Vec<f64> = (0..500).map(|d| pop.compute_factor_of(d)).collect();
+        assert!(factors.iter().all(|&f| (1.0..=8.0).contains(&f)));
+        let lo = factors.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = factors.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi / lo > 2.0, "spread collapsed: {lo}..{hi}");
+        // Spread 1.0 means no heterogeneity.
+        let flat = ZipfPopulation::new(10, 10, 20, 1.2, 1.0, 3);
+        assert!((0..10).all(|d| flat.compute_factor_of(d) == 1.0));
+        // The factor draw does not perturb the size draw.
+        let sized = ZipfPopulation::new(500, 10, 20, 1.2, 1.0, 3);
+        assert_eq!(sized.sizes(), pop.sizes());
     }
 
     #[test]

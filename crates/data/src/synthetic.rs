@@ -59,62 +59,91 @@ pub fn device_rng(seed: u64, device: u64) -> StdRng {
 /// (use [`crate::partition::power_law_sizes`] to draw the paper's
 /// power-law counts).
 pub fn generate(cfg: &SyntheticConfig, sizes: &[usize]) -> Vec<Dataset> {
-    let diag_std: Vec<f64> =
-        (1..=cfg.dim).map(|j| (j as f64).powf(-1.2).sqrt()).collect();
-    let unit = Normal::new(0.0, 1.0).expect("unit normal");
+    let pool = SyntheticPool::new(cfg.clone());
+    sizes.iter().enumerate().map(|(n, &size)| pool.device_shard(n, size)).collect()
+}
 
-    // In the i.i.d. control case all devices share the model drawn from
-    // stream u64::MAX (never a device id).
-    let shared = if cfg.iid {
-        let mut rng = device_rng(cfg.seed, u64::MAX);
-        Some(draw_model(&mut rng, 0.0, cfg))
-    } else {
-        None
-    };
+/// Lazy per-device synthesis of the same federation [`generate`] builds
+/// eagerly.
+///
+/// Holds the cross-device state (the Σ diagonal and, in the i.i.d.
+/// control case, the single shared model drawn from stream `u64::MAX`)
+/// so a shard can be synthesized for one device at a time and dropped
+/// after use. Device `n` consumes only its own `device_rng(seed, n)`
+/// stream, so [`SyntheticPool::device_shard`] is bitwise identical to
+/// `generate(cfg, sizes)[n]` regardless of which other devices are ever
+/// materialized — the property the million-device event-driven backend
+/// relies on to keep memory bounded by the sampled set.
+#[derive(Debug, Clone)]
+pub struct SyntheticPool {
+    cfg: SyntheticConfig,
+    diag_std: Vec<f64>,
+    shared: Option<ModelDraw>,
+}
 
-    sizes
-        .iter()
-        .enumerate()
-        .map(|(n, &size)| {
-            let mut rng = device_rng(cfg.seed, n as u64);
-            let (w, b, v) = if let Some((ref sw, ref sb, ref sv)) = shared {
-                (sw.clone(), sb.clone(), sv.clone())
+impl SyntheticPool {
+    /// Precompute the shared state for `cfg`.
+    pub fn new(cfg: SyntheticConfig) -> Self {
+        let diag_std: Vec<f64> =
+            (1..=cfg.dim).map(|j| (j as f64).powf(-1.2).sqrt()).collect();
+        // In the i.i.d. control case all devices share the model drawn
+        // from stream u64::MAX (never a device id).
+        let shared = if cfg.iid {
+            let mut rng = device_rng(cfg.seed, u64::MAX);
+            Some(draw_model(&mut rng, 0.0, &cfg))
+        } else {
+            None
+        };
+        SyntheticPool { cfg, diag_std, shared }
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.cfg
+    }
+
+    /// Synthesize device `n`'s shard with `size` samples.
+    pub fn device_shard(&self, n: usize, size: usize) -> Dataset {
+        let cfg = &self.cfg;
+        let unit = Normal::new(0.0, 1.0).expect("unit normal");
+        let mut rng = device_rng(cfg.seed, n as u64);
+        let (w, b, v) = if let Some((ref sw, ref sb, ref sv)) = self.shared {
+            (sw.clone(), sb.clone(), sv.clone())
+        } else {
+            let u_n: f64 = if cfg.alpha > 0.0 {
+                Normal::new(0.0, cfg.alpha.sqrt()).unwrap().sample(&mut rng)
             } else {
-                let u_n: f64 = if cfg.alpha > 0.0 {
-                    Normal::new(0.0, cfg.alpha.sqrt()).unwrap().sample(&mut rng)
-                } else {
-                    0.0
-                };
-                let (w, b, _) = draw_model(&mut rng, u_n, cfg);
-                let big_b: f64 = if cfg.beta > 0.0 {
-                    Normal::new(0.0, cfg.beta.sqrt()).unwrap().sample(&mut rng)
-                } else {
-                    0.0
-                };
-                let v: Vec<f64> =
-                    (0..cfg.dim).map(|_| big_b + unit.sample(&mut rng)).collect();
-                (w, b, v)
+                0.0
             };
+            let (w, b, _) = draw_model(&mut rng, u_n, cfg);
+            let big_b: f64 = if cfg.beta > 0.0 {
+                Normal::new(0.0, cfg.beta.sqrt()).unwrap().sample(&mut rng)
+            } else {
+                0.0
+            };
+            let v: Vec<f64> =
+                (0..cfg.dim).map(|_| big_b + unit.sample(&mut rng)).collect();
+            (w, b, v)
+        };
 
-            let mut feats = Matrix::zeros(size, cfg.dim);
-            let mut labels = Vec::with_capacity(size);
-            let mut logits = vec![0.0; cfg.num_classes];
-            for i in 0..size {
-                let row = feats.row_mut(i);
-                for j in 0..cfg.dim {
-                    row[j] = v[j] + diag_std[j] * unit.sample(&mut rng);
-                }
-                logits.copy_from_slice(&w.matvec(row));
-                for (l, bi) in logits.iter_mut().zip(&b) {
-                    *l += bi;
-                }
-                softmax_inplace(&mut logits);
-                let y = argmax(&logits);
-                labels.push(y as f64);
+        let mut feats = Matrix::zeros(size, cfg.dim);
+        let mut labels = Vec::with_capacity(size);
+        let mut logits = vec![0.0; cfg.num_classes];
+        for i in 0..size {
+            let row = feats.row_mut(i);
+            for j in 0..cfg.dim {
+                row[j] = v[j] + self.diag_std[j] * unit.sample(&mut rng);
             }
-            Dataset::new(feats, labels, cfg.num_classes)
-        })
-        .collect()
+            logits.copy_from_slice(&w.matvec(row));
+            for (l, bi) in logits.iter_mut().zip(&b) {
+                *l += bi;
+            }
+            softmax_inplace(&mut logits);
+            let y = argmax(&logits);
+            labels.push(y as f64);
+        }
+        Dataset::new(feats, labels, cfg.num_classes)
+    }
 }
 
 type ModelDraw = (Matrix, Vec<f64>, Vec<f64>);
@@ -230,6 +259,29 @@ mod tests {
             fedprox_tensor::vecops::variance(&vals)
         };
         assert!(col_var(0) > col_var(40));
+    }
+
+    #[test]
+    fn lazy_pool_matches_eager_generate_bitwise() {
+        let cfg = SyntheticConfig { alpha: 2.0, beta: 0.5, seed: 23, ..Default::default() };
+        let sizes = [12, 40, 7, 25];
+        let eager = generate(&cfg, &sizes);
+        let pool = SyntheticPool::new(cfg);
+        // Materialize out of order and only a subset: each shard must
+        // still equal the eager one (streams are per-device).
+        for &n in &[2usize, 0, 3] {
+            assert_eq!(pool.device_shard(n, sizes[n]), eager[n], "device {n}");
+        }
+    }
+
+    #[test]
+    fn lazy_pool_matches_eager_generate_iid() {
+        let cfg = SyntheticConfig { iid: true, seed: 31, ..Default::default() };
+        let sizes = [15, 9];
+        let eager = generate(&cfg, &sizes);
+        let pool = SyntheticPool::new(cfg);
+        assert_eq!(pool.device_shard(1, 9), eager[1]);
+        assert_eq!(pool.device_shard(0, 15), eager[0]);
     }
 
     #[test]

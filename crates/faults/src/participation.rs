@@ -51,7 +51,9 @@ impl DeviceOutcome {
 pub struct RoundParticipation {
     /// 1-based global round `s`.
     pub round: usize,
-    /// Outcome per device, indexed by device id.
+    /// Outcome per device. Indexed by **stable device id** when
+    /// [`RoundParticipation::sampled`] is `None`; otherwise `outcomes[j]`
+    /// describes device `sampled[j]`.
     pub outcomes: Vec<DeviceOutcome>,
     /// Responding fraction of the total federation aggregation weight
     /// (`Σ D_n/D` over responders), in `[0, 1]`.
@@ -60,12 +62,34 @@ pub struct RoundParticipation {
     /// model was left unchanged and no aggregation happened.
     #[serde(default)]
     pub skipped: bool,
+    /// Sampled-population (compact) form, used by the event-driven
+    /// backend when the population is too large for an outcome per
+    /// device: the stable ids of this round's sampled devices, aligned
+    /// with `outcomes`. Devices outside the list were not selected.
+    /// `None` (the default, and what the full-population backends write)
+    /// means `outcomes` is indexed directly by device id.
+    #[serde(default)]
+    pub sampled: Option<Vec<u32>>,
 }
 
 impl RoundParticipation {
     /// Number of devices that responded.
     pub fn responders(&self) -> usize {
         self.count(DeviceOutcome::Responded)
+    }
+
+    /// The outcome of the device with stable id `device`:
+    /// `NotSelected` for devices outside a compact record's sampled set
+    /// (or beyond a dense record's population).
+    pub fn outcome_of(&self, device: usize) -> DeviceOutcome {
+        match &self.sampled {
+            Some(ids) => ids
+                .iter()
+                .position(|&d| d as usize == device)
+                .and_then(|j| self.outcomes.get(j).copied())
+                .unwrap_or(DeviceOutcome::NotSelected),
+            None => self.outcomes.get(device).copied().unwrap_or(DeviceOutcome::NotSelected),
+        }
     }
 
     /// Number of devices with the given outcome.
@@ -106,10 +130,25 @@ pub struct ParticipationSummary {
 pub fn summarize(records: &[RoundParticipation]) -> ParticipationSummary {
     let rounds = records.len();
     let skipped_rounds = records.iter().filter(|r| r.skipped).count();
-    let crashed_devices = records
-        .last()
-        .map(|r| r.count(DeviceOutcome::Crashed))
-        .unwrap_or(0);
+    // Distinct ids, not the last round's count: compact (sampled)
+    // records only mention a crashed device in rounds that sampled it,
+    // so the final record may miss crashes observed earlier. Dense
+    // records are unaffected — crashes are monotone, so their last
+    // round already lists every crashed device exactly once.
+    let mut crashed_ids: Vec<usize> = records
+        .iter()
+        .flat_map(|r| {
+            r.outcomes.iter().enumerate().filter(|&(_, &o)| o == DeviceOutcome::Crashed).map(
+                move |(j, _)| match &r.sampled {
+                    Some(ids) => ids.get(j).map(|&d| d as usize).unwrap_or(j),
+                    None => j,
+                },
+            )
+        })
+        .collect();
+    crashed_ids.sort_unstable();
+    crashed_ids.dedup();
+    let crashed_devices = crashed_ids.len();
     let mean_responder_weight = if rounds == 0 {
         0.0
     } else {
@@ -132,7 +171,13 @@ mod tests {
     use super::*;
 
     fn record(round: usize, outcomes: Vec<DeviceOutcome>, weight: f64) -> RoundParticipation {
-        RoundParticipation { round, outcomes, responder_weight: weight, skipped: false }
+        RoundParticipation {
+            round,
+            outcomes,
+            responder_weight: weight,
+            skipped: false,
+            sampled: None,
+        }
     }
 
     #[test]
@@ -145,7 +190,7 @@ mod tests {
     }
 
     #[test]
-    fn summary_reads_crashes_from_final_round() {
+    fn summary_counts_crashes_in_dense_records() {
         use DeviceOutcome::*;
         let records = vec![
             record(1, vec![Responded, Responded, Responded], 1.0),
@@ -155,6 +200,7 @@ mod tests {
                 outcomes: vec![Responded, Crashed, DeadlineMiss],
                 responder_weight: 0.3,
                 skipped: true,
+                sampled: None,
             },
         ];
         let s = summarize(&records);
@@ -174,12 +220,67 @@ mod tests {
     }
 
     #[test]
+    fn summary_counts_distinct_crashes_across_compact_records() {
+        use DeviceOutcome::*;
+        // Compact (sampled) records: a crashed device appears only in
+        // rounds that sample it. Device 28563 crashes in round 1, is
+        // sampled crashed again in round 2, and the final round never
+        // samples it — it must still count exactly once.
+        let compact = |round, ids: Vec<u32>, outcomes, weight| RoundParticipation {
+            round,
+            outcomes,
+            responder_weight: weight,
+            skipped: false,
+            sampled: Some(ids),
+        };
+        let records = vec![
+            compact(1, vec![7, 28563, 91], vec![Responded, Crashed, Responded], 0.6),
+            compact(2, vec![28563, 404], vec![Crashed, Responded], 0.4),
+            compact(3, vec![12, 404], vec![Responded, Crashed], 0.3),
+        ];
+        let s = summarize(&records);
+        assert_eq!(s.crashed_devices, 2, "28563 deduped across rounds, 404 added");
+    }
+
+    #[test]
+    fn compact_records_address_devices_by_stable_id() {
+        use DeviceOutcome::*;
+        // Three devices sampled out of a large population: outcomes are
+        // aligned with the sampled ids, everyone else was not selected.
+        let r = RoundParticipation {
+            round: 4,
+            outcomes: vec![Responded, Crashed, Responded],
+            responder_weight: 0.002,
+            skipped: false,
+            sampled: Some(vec![7, 99_321, 12]),
+        };
+        assert_eq!(r.outcome_of(7), Responded);
+        assert_eq!(r.outcome_of(99_321), Crashed);
+        assert_eq!(r.outcome_of(12), Responded);
+        assert_eq!(r.outcome_of(0), NotSelected);
+        assert_eq!(r.outcome_of(1_000_000), NotSelected);
+        assert_eq!(r.responders(), 2);
+        // No NotSelected entries in a compact record: the eligible set
+        // is the sampled set.
+        assert!((r.responder_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        // Dense records keep the id-indexed lookup.
+        let dense = record(1, vec![Responded, Offline], 0.5);
+        assert_eq!(dense.outcome_of(1), Offline);
+        assert_eq!(dense.outcome_of(5), NotSelected);
+        // A compact record survives the serde roundtrip.
+        let json = serde_json::to_string(&r).unwrap_or_default();
+        let back: Result<RoundParticipation, _> = serde_json::from_str(&json);
+        assert_eq!(back.ok(), Some(r));
+    }
+
+    #[test]
     fn outcomes_roundtrip_snake_case() {
         let r = RoundParticipation {
             round: 2,
             outcomes: vec![DeviceOutcome::Responded, DeviceOutcome::DeadlineMiss],
             responder_weight: 0.5,
             skipped: true,
+            sampled: None,
         };
         let json = serde_json::to_string(&r).unwrap_or_default();
         assert!(json.contains("\"deadline_miss\""), "snake_case encoding missing: {json}");

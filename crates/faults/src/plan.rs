@@ -58,7 +58,13 @@ pub enum DeviceFault {
 /// A [`DeviceFault`] bound to the device it afflicts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlannedFault {
-    /// Device id (position in the federation).
+    /// **Stable device id** (`Device::id`, the id the device was created
+    /// with) — never its spawn order or its position in a round's
+    /// sampled participant set. The thread-per-device runtime spawns
+    /// workers in id order so the two coincide there; the event-driven
+    /// backend samples K of N devices per round and its sharded loop
+    /// relies on plan queries staying keyed by this id, so a fault lands
+    /// on the same device regardless of which rounds sample it.
     pub device: usize,
     /// The fault.
     pub fault: DeviceFault,

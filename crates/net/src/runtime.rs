@@ -215,10 +215,16 @@ pub struct NetOptions {
     pub uplink: LinkSpec,
     /// Probability that any single transmission attempt is dropped.
     pub drop_prob: f64,
-    /// Per-device compute-time multipliers `(device index, multiplier)`.
-    /// Any number of devices may be slowed (or sped up); entries naming
-    /// the same device multiply. [`NetOptions::with_straggler`] keeps the
-    /// classic single-straggler form.
+    /// Per-device compute-time multipliers `(stable device id,
+    /// multiplier)`. The key is the device's **stable id** (`Device::id`
+    /// — workers are spawned in id order here, so wire ids equal stable
+    /// ids), never a position in a sampled participant set; the
+    /// event-driven backend shares this addressing invariant (see
+    /// `fedprox_faults::PlannedFault::device`). Any number of devices
+    /// may be slowed (or sped up); entries naming the same device
+    /// multiply ([`NetOptions::compute_multiplier_for`] folds them).
+    /// [`NetOptions::with_straggler`] keeps the classic
+    /// single-straggler form.
     pub compute_multipliers: Vec<(usize, f64)>,
     /// Optional per-round multiplicative compute jitter applied to every
     /// device's reported compute time (e.g. a LogNormal with μ = 0 models
@@ -263,6 +269,16 @@ impl NetOptions {
     pub fn with_resilience(mut self, resilience: Resilience) -> Self {
         self.resilience = Some(resilience);
         self
+    }
+
+    /// The folded compute-time multiplier for the device with stable id
+    /// `device` (1.0 when no entry names it; repeated entries multiply).
+    pub fn compute_multiplier_for(&self, device: usize) -> f64 {
+        self.compute_multipliers
+            .iter()
+            .filter(|&&(dev, _)| dev == device)
+            .map(|&(_, mult)| mult)
+            .product()
     }
 }
 
@@ -550,12 +566,8 @@ impl NetworkRuntime {
                                     });
                                 }
                                 let d = device as usize;
-                                let mut compute = compute_time;
-                                for &(dev, mult) in &opts.compute_multipliers {
-                                    if dev == d {
-                                        compute *= mult;
-                                    }
-                                }
+                                let mut compute =
+                                    compute_time * opts.compute_multiplier_for(d);
                                 if let Some(resil) = resil {
                                     compute *= resil.plan.slow_factor(d, s);
                                     let dev_rng = streams[d]
@@ -714,6 +726,7 @@ impl NetworkRuntime {
                             outcomes: outcomes.clone(),
                             responder_weight: weight_sum,
                             skipped: !quorum_ok,
+                            sampled: None,
                         });
                         rounds_run = round + 1;
                         #[cfg(feature = "telemetry")]

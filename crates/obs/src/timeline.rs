@@ -500,4 +500,71 @@ mod tests {
         assert!(cp.contains("eq. 19"));
         assert!(cp.contains("cumulative gating attribution"));
     }
+
+    /// A sampled round emits `device_round` legs only for the active
+    /// set, with stable (population-level) device ids. Sparse ids like
+    /// {3, 42, 99} out of a large population must flow through
+    /// unchanged: the gate is a member of the sampled set, not an index
+    /// into it.
+    fn sampled_trace() -> Vec<Event> {
+        vec![
+            // Round 0 samples {3, 42, 99}; 99 stragglers.
+            leg(0, 42, 0.05, 0.2, 0.05),
+            leg(0, 99, 0.05, 0.8, 0.05),
+            leg(0, 3, 0.05, 0.3, 0.05),
+            Event::RoundEnd { round: 0, sim_time_s: 0.9 },
+            // Round 1 samples a disjoint set {7, 512}; 512 stragglers.
+            leg(1, 512, 0.05, 0.6, 0.05),
+            leg(1, 7, 0.05, 0.1, 0.05),
+            Event::RoundEnd { round: 1, sim_time_s: 1.6 },
+        ]
+    }
+
+    #[test]
+    fn sampled_round_gates_within_the_sampled_set() {
+        let t = Timeline::from_events(&sampled_trace());
+        assert_eq!(t.rounds.len(), 2);
+        let r1 = &t.rounds[0];
+        let sampled: Vec<u32> = r1.devices.iter().map(|d| d.device).collect();
+        assert_eq!(sampled, vec![3, 42, 99], "legs carry stable ids, sorted");
+        let g = r1.gating.expect("gating");
+        assert!(sampled.contains(&g.device), "gate must be a sampled device");
+        assert_eq!(g.device, 99, "slowest sampled device gates");
+        let g2 = t.rounds[1].gating.expect("gating");
+        assert_eq!(g2.device, 512, "round 2 gates within its own sample");
+    }
+
+    #[test]
+    fn sampled_round_attribution_never_names_unsampled_devices() {
+        let t = Timeline::from_events(&sampled_trace());
+        let ever_sampled = [3u32, 7, 42, 99, 512];
+        for a in &t.attribution {
+            assert!(
+                ever_sampled.contains(&a.device),
+                "device {} attributed but never sampled",
+                a.device
+            );
+        }
+        // Only the per-round gates accumulate: {99, 512}, gated-time
+        // descending.
+        let gates: Vec<u32> = t.attribution.iter().map(|a| a.device).collect();
+        assert_eq!(gates, vec![99, 512]);
+        // And devices sampled in one round never leak legs into
+        // another: round 2 holds exactly its own active set.
+        let r2: Vec<u32> = t.rounds[1].devices.iter().map(|d| d.device).collect();
+        assert_eq!(r2, vec![7, 512]);
+    }
+
+    #[test]
+    fn sampled_rounds_keep_eq19_accounting_per_active_set() {
+        let t = Timeline::from_events(&sampled_trace());
+        let (comm, compute) = t.eq19_totals();
+        // Gates are 99 (0.1 comm + 0.8 compute) and 512 (0.1 + 0.6):
+        // unsampled devices contribute nothing to the decomposition.
+        assert!((comm - 0.2).abs() < 1e-12);
+        assert!((compute - 1.4).abs() < 1e-12);
+        let cp = t.render_critpath();
+        assert!(cp.contains(" 99 "), "critpath names the sampled gate");
+        assert!(!cp.contains(" 1000 "), "no fabricated population ids");
+    }
 }

@@ -555,6 +555,48 @@ pub fn build_suite() -> Vec<Bench> {
         ));
     }
 
+    // -- macro: one event-driven round over a million-device population ----
+    // The population is lazy (per-device sample counts + shard synthesis
+    // on demand), so setup cost is the Zipf size scan, not data; each
+    // iteration samples K=64 clients, solves them, and aggregates.
+    {
+        use fedprox_core::config::{RunnerKind, SamplerSpec, SimRunnerOptions};
+        use fedprox_data::partition::ZipfPopulation;
+        use fedprox_data::synthetic::SyntheticPool;
+        use fedprox_sim::{LazyPopulation, Population, SimEngine};
+
+        let zipf = ZipfPopulation::new(1_000_000, 40, 120, 1.5, 4.0, 29);
+        let pool = SyntheticPool::new(SyntheticConfig { seed: 29, ..Default::default() });
+        let lazy = LazyPopulation::new(zipf, pool);
+        let model = MultinomialLogistic::new(60, 10);
+        let cfg = FedConfig::new(Algorithm::FedProxVr(EstimatorKind::Svrg))
+            .with_seed(29)
+            .with_tau(4)
+            .with_batch_size(8)
+            .with_mu(0.1)
+            .with_rounds(1)
+            .with_runner(RunnerKind::EventDriven(
+                SimRunnerOptions::default().with_sampler(SamplerSpec::UniformK(64)),
+            ));
+        benches.push(Bench::new(
+            "sim_round_1m",
+            "zipf-k64",
+            "macro",
+            Timing::new(2, 10, 5),
+            Timing::new(1, 2, 2),
+            Box::new(move || {
+                let engine =
+                    SimEngine::new(&model, Population::Lazy(lazy.clone()), None, cfg.clone());
+                match engine.run() {
+                    Ok(h) => {
+                        black_box(&h.final_model[..]);
+                    }
+                    Err(e) => panic!("sim_round_1m failed: {e}"),
+                }
+            }),
+        ));
+    }
+
     benches
 }
 

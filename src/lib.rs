@@ -17,7 +17,9 @@
 //!   policies (deadlines, quorum, retry/backoff),
 //! * [`net`] — simulated federated network runtime (actors, delays, clock),
 //! * [`core`] — the FedProxVR algorithm, baselines, theory, and parameter
-//!   optimization.
+//!   optimization,
+//! * [`sim`] — the event-driven million-device simulation backend with
+//!   per-round client sampling.
 
 pub use fedprox_core as core;
 pub use fedprox_data as data;
@@ -25,12 +27,13 @@ pub use fedprox_faults as faults;
 pub use fedprox_models as models;
 pub use fedprox_net as net;
 pub use fedprox_optim as optim;
+pub use fedprox_sim as sim;
 pub use fedprox_tensor as tensor;
 
 /// Convenient glob-import surface covering the common experiment workflow.
 pub mod prelude {
     pub use fedprox_core::algorithm::{Algorithm, FederatedTrainer};
-    pub use fedprox_core::config::{FedConfig, RunnerKind};
+    pub use fedprox_core::config::{FedConfig, RunnerKind, SamplerSpec, SimRunnerOptions};
     pub use fedprox_core::device::Device;
     pub use fedprox_core::metrics::{History, RoundRecord};
     pub use fedprox_core::theory::{self, Lemma1, TheoryParams};
@@ -41,4 +44,5 @@ pub mod prelude {
     };
     pub use fedprox_models::{LossModel, MODEL_SEED};
     pub use fedprox_optim::estimator::EstimatorKind;
+    pub use fedprox_sim::{LazyPopulation, Population, SimEngine};
 }
